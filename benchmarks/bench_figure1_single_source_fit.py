@@ -1,0 +1,60 @@
+"""Figure 1: raw data vs. fitted power law for a single LOFAR source.
+
+The paper shows one source's noisy flux observations over the four frequency
+bands with the fitted ``I = p * nu**alpha`` curve and reports a spectral
+index of about -0.69 (thermal emission).  This benchmark fits a single
+source, reports the fitted parameters versus the generating ones, and emits
+the fitted curve over nu in [0.10, 0.20] — the series a plot of Figure 1
+would draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentResult
+from repro.fitting import PowerLaw, fit_model
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_single_source_fit(benchmark, lofar_bench_dataset):
+    dataset = lofar_bench_dataset
+    # Pick a thermal-like (non-anomalous) source, as the paper's figure does.
+    source_id = next(sid for sid, truth in dataset.truths.items() if not truth.is_anomalous)
+    truth = dataset.truth_for(source_id)
+    mask = dataset.source_ids == source_id
+    frequencies = dataset.frequencies[mask]
+    intensities = dataset.intensities[mask]
+
+    fit = benchmark(
+        lambda: fit_model(PowerLaw(), {"frequency": frequencies}, intensities, output_name="intensity")
+    )
+
+    result = ExperimentResult(
+        name="Figure 1: single-source power-law fit",
+        metadata={
+            "source": source_id,
+            "observations": int(mask.sum()),
+            "paper": "spectral index ~ -0.69 for the example (thermal) source",
+        },
+    )
+    result.add_row(quantity="spectral index alpha", fitted=fit.param_dict["alpha"], generating=truth.alpha)
+    result.add_row(quantity="proportionality p", fitted=fit.param_dict["p"], generating=truth.p)
+    result.add_row(quantity="residual SE", fitted=fit.residual_standard_error, generating=None)
+    result.add_row(quantity="R^2", fitted=fit.r_squared, generating=None)
+    result.print()
+
+    curve = ExperimentResult(name="Figure 1 series: fitted curve I(nu)")
+    for nu in np.linspace(0.10, 0.20, 11):
+        curve.add_row(frequency_ghz=float(nu), intensity_jy=float(fit.predict({"frequency": np.array([nu])})[0]))
+    curve.print()
+
+    # Shape: the fitted index matches the generating one, is negative (thermal),
+    # and the fit is good.
+    assert fit.param_dict["alpha"] == pytest.approx(truth.alpha, abs=0.15)
+    assert fit.param_dict["alpha"] < 0
+    assert fit.r_squared > 0.7
+    # The curve decays with frequency, as in the figure.
+    values = [row["intensity_jy"] for row in curve.rows]
+    assert values[0] > values[-1]

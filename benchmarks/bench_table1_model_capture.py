@@ -1,0 +1,100 @@
+"""Table 1: the LOFAR observation table replaced by a per-source parameter table.
+
+The paper replaces ~1.45M observation rows (~11 MB) of 35,692 sources with a
+parameter table (spectral index, proportionality constant, residual SE) of
+~640 KB — about 5% of the raw size.  This benchmark regenerates the same
+numbers at the configured scale: the per-source fit, the parameter table,
+its size relative to the raw data, and the time the in-database capture
+takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LawsDatabase
+from repro.bench import ExperimentResult
+from repro.core.quality import QualityPolicy
+
+
+def _capture(dataset):
+    db = LawsDatabase(quality_policy=QualityPolicy(min_r_squared=0.7))
+    db.register_table(dataset.to_table("measurements"))
+    report = db.fit("measurements", "intensity ~ powerlaw(frequency)", group_by="source")
+    return db, report
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_model_capture(benchmark, lofar_bench_dataset):
+    dataset = lofar_bench_dataset
+    db, report = benchmark.pedantic(
+        lambda: _capture(dataset), iterations=1, rounds=1
+    )
+
+    raw_bytes = db.table("measurements").byte_size()
+    parameter_table = report.parameter_table()
+    parameter_bytes = parameter_table.byte_size()
+    ratio = parameter_bytes / raw_bytes
+
+    result = ExperimentResult(
+        name="Table 1: observations vs. model parameters",
+        metadata={
+            "sources": dataset.num_sources,
+            "measurements": dataset.num_rows,
+            "paper": "1,452,824 rows / 35,692 sources; 11 MB -> 640 KB (~5%)",
+        },
+    )
+    result.add_row(
+        representation="raw observations",
+        rows=dataset.num_rows,
+        bytes=raw_bytes,
+        fraction_of_raw=1.0,
+    )
+    result.add_row(
+        representation="model parameter table",
+        rows=parameter_table.num_rows,
+        bytes=parameter_bytes,
+        fraction_of_raw=ratio,
+    )
+    result.print()
+
+    # Shape assertions (the paper's ~5%; ours depends on rows-per-source, so
+    # accept anything clearly under 15%).
+    assert report.accepted
+    assert parameter_table.num_rows <= dataset.num_sources
+    assert ratio < 0.15
+    # The parameter table carries exactly the columns of the paper's Table 1.
+    assert {"p", "alpha", "residual_se"} <= set(parameter_table.schema.names)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_growth_keeps_parameters_constant(benchmark, scale):
+    """§2: ten times more observations per source make the model more precise,
+    not larger."""
+    from repro.datasets import lofar
+
+    sources = max(int(200 * scale * 10), 40)
+    small = lofar.generate(num_sources=sources, observations_per_source=10, seed=3)
+    large = lofar.generate(num_sources=sources, observations_per_source=50, seed=3)
+
+    def run():
+        out = {}
+        for name, dataset in (("10 obs/source", small), ("50 obs/source", large)):
+            db, report = _capture(dataset)
+            out[name] = (dataset, db, report)
+        return out
+
+    captured = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    result = ExperimentResult(name="Table 1 follow-up: storage vs. data growth")
+    sizes = {}
+    for name, (dataset, db, report) in captured.items():
+        sizes[name] = report.model.stored_byte_size()
+        result.add_row(
+            configuration=name,
+            raw_bytes=db.table("measurements").byte_size(),
+            parameter_bytes=sizes[name],
+            weighted_r2=report.r_squared,
+        )
+    result.print()
+    assert sizes["50 obs/source"] == sizes["10 obs/source"]

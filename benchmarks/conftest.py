@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark suite.
+
+Dataset sizes are controlled by the ``REPRO_SCALE`` environment variable
+(fraction of the paper's dataset size; default 0.02 keeps the suite fast,
+``REPRO_SCALE=1.0`` reproduces the full 1.45M-row LOFAR workload).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LawsDatabase
+from repro.bench import repro_scale
+from repro.core.quality import QualityPolicy
+from repro.datasets import lofar, tpcds_lite
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return repro_scale()
+
+
+@pytest.fixture(scope="session")
+def lofar_bench_dataset(scale):
+    """LOFAR dataset at the configured fraction of paper scale."""
+    config = lofar.scaled_config(scale)
+    return lofar.generate(config=config)
+
+
+@pytest.fixture(scope="session")
+def lofar_bench_db(lofar_bench_dataset):
+    db = LawsDatabase(quality_policy=QualityPolicy(min_r_squared=0.7))
+    db.register_table(lofar_bench_dataset.to_table("measurements"))
+    report = db.fit("measurements", "intensity ~ powerlaw(frequency)", group_by="source")
+    assert report.accepted
+    return db
+
+
+@pytest.fixture(scope="session")
+def lofar_bench_model(lofar_bench_db):
+    return lofar_bench_db.best_model("measurements", "intensity")
+
+
+@pytest.fixture(scope="session")
+def tpcds_bench_dataset(scale):
+    factor = max(scale * 10, 0.05)
+    return tpcds_lite.generate(
+        num_items=max(int(200 * factor), 40),
+        num_stores=max(int(20 * factor), 4),
+        num_days=max(int(365 * factor), 60),
+        sales_per_day_per_store=8,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tpcds_bench_db(tpcds_bench_dataset):
+    db = LawsDatabase()
+    tpcds_lite.load_into(db.database, tpcds_bench_dataset)
+    db.fit("store_sales", "sales_price ~ linear(list_price)")
+    db.fit("store_sales", "list_price ~ linear(wholesale_cost)")
+    return db

@@ -1,0 +1,85 @@
+"""LOFAR Transients walkthrough: the paper's astronomy use case end to end.
+
+Run with::
+
+    python examples/lofar_transients.py
+
+Covers the full §2 + §4 story: per-source power-law harvesting, the Figure 1
+single-source fit, anomaly hunting via residuals, model exploration, zero-IO
+scans and semantic compression — on a synthetic dataset with injected
+anomalous sources (flat spectra, turn-overs, pure interference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LawsDatabase
+from repro.core.approx.exploration import explore_gradients, extreme_parameter_groups
+from repro.core.quality import QualityPolicy
+from repro.datasets import lofar
+
+
+def main() -> None:
+    dataset = lofar.generate(
+        num_sources=800, observations_per_source=40, seed=2015, anomaly_fraction=0.03
+    )
+    db = LawsDatabase(quality_policy=QualityPolicy(min_r_squared=0.7))
+    db.register_table(dataset.to_table("measurements"))
+
+    # --- harvest the spectral-index model --------------------------------------
+    report = db.strawman("measurements").fit("intensity ~ powerlaw(frequency)", group_by="source")
+    model = report.model
+    print(f"Captured {model.describe()}")
+
+    # --- Figure 1: one source in detail -----------------------------------------
+    source_id = next(sid for sid, truth in dataset.truths.items() if not truth.is_anomalous)
+    fit = model.result_for_group((source_id,))
+    truth = dataset.truth_for(source_id)
+    print(f"\nFigure 1 analogue, source {source_id}:")
+    print(f"  fitted   alpha = {fit.param_dict['alpha']:.3f}, p = {fit.param_dict['p']:.4f}, "
+          f"RSE = {fit.residual_standard_error:.4f}")
+    print(f"  generated with alpha = {truth.alpha:.3f}, p = {truth.p:.4f}")
+    curve_nu = np.linspace(0.10, 0.20, 6)
+    curve = fit.predict({"frequency": curve_nu})
+    rendered = ", ".join(f"{nu:.2f}->{val:.3f}" for nu, val in zip(curve_nu, curve))
+    print(f"  fitted curve I(nu): {rendered}")
+
+    # --- anomalies: the transients we are actually hunting ----------------------
+    anomaly_report = db.anomalies("measurements", mad_multiplier=3.0)
+    flagged = {key[0] for key in anomaly_report.anomalous_keys}
+    true_anomalies = dataset.anomalous_sources()
+    hits = len(flagged & true_anomalies)
+    print(f"\nAnomaly hunt: flagged {len(flagged)} sources, "
+          f"{hits}/{len(true_anomalies)} injected anomalies found "
+          f"(precision {hits / max(len(flagged), 1):.2f}, recall {hits / len(true_anomalies):.2f})")
+    for anomaly in anomaly_report.top(5):
+        marker = "*" if anomaly.key[0] in true_anomalies else " "
+        print(f"  {marker} {anomaly}")
+
+    # --- model exploration --------------------------------------------------------
+    steepest = extreme_parameter_groups(model, "alpha", k=3, largest=False)
+    print("\nSteepest spectral indices (most negative alpha):")
+    for key, alpha in steepest:
+        print(f"  source {key[0]}: alpha = {alpha:.3f}")
+    regions = explore_gradients(model, {"frequency": (0.10, 0.20)}, group_key=(source_id,))
+    print(f"Highest-gradient frequency region for source {source_id}: {regions['frequency'][0]}")
+
+    # --- storage: zero-IO scans and compression -----------------------------------
+    scan = db.compare_scan("measurements", "intensity")
+    print(f"\nZero-IO scan: {scan.summary()}")
+    lossless = db.compress_table("measurements")
+    lossy = db.compress_table("measurements", quantisation_step=0.001)
+    print(f"Semantic compression (lossless residuals): {lossless.stats.summary()}")
+    print(f"Semantic compression (quantised to 0.001 Jy): {lossy.stats.summary()}")
+
+    # --- the data keeps growing (§2): models stay small ----------------------------
+    db.insert_rows("measurements", [(source_id, 0.15, float(curve[2]))] * 100)
+    db.lifecycle.revalidate("measurements")
+    refreshed = db.lifecycle.refit_if_needed("measurements", "intensity")
+    print(f"\nAfter appending 100 new observations the active model is model#{refreshed.model_id} "
+          f"({refreshed.status}); parameter table still {refreshed.stored_byte_size()} bytes.")
+
+
+if __name__ == "__main__":
+    main()

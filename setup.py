@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which need ``bdist_wheel``) fail.  Keeping a
+legacy ``setup.py`` lets ``pip install -e .`` fall back to the classic
+``setup.py develop`` code path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro — reproduction of "Capturing the Laws of (Data) Nature" (CIDR 2015).
+
+The package is organised as:
+
+* :mod:`repro.db` — the relational substrate (columnar storage, SQL subset,
+  simulated IO, in-database UDFs).
+* :mod:`repro.fitting` — the statistical model-fitting substrate (OLS,
+  Gauss-Newton / Levenberg-Marquardt, model families, grouped fits, metrics).
+* :mod:`repro.core` — the paper's contribution: model harvesting, the model
+  store, approximate query answering and model-based physical storage.
+* :mod:`repro.baselines` — comparators from the related work the paper cites
+  (sampling, histogram synopses, gzip, MauveDB, FunctionDB, SPARTAN).
+* :mod:`repro.datasets` — synthetic data generators (LOFAR transients,
+  TPC-DS-lite, sensor networks, generic time series).
+* :mod:`repro.bench` — the experiment harness used by the benchmark suite.
+
+Quickstart::
+
+    from repro import LawsDatabase
+    from repro.datasets import lofar
+
+    db = LawsDatabase()
+    db.register_table(lofar.generate(num_sources=500, seed=1).to_table("measurements"))
+    frame = db.strawman("measurements")
+    fit = frame.fit("intensity ~ powerlaw(frequency)", group_by="source")
+    answer = db.approximate_sql(
+        "SELECT intensity FROM measurements WHERE source = 42 AND frequency = 0.15"
+    )
+"""
+
+from repro._version import __version__
+from repro.core.system import LawsDatabase
+from repro.db import Database
+
+__all__ = ["Database", "LawsDatabase", "__version__"]

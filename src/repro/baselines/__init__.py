@@ -1,0 +1,13 @@
+"""Baselines from the related work the paper cites.
+
+* :mod:`repro.baselines.sampling` — BlinkDB-style uniform / stratified sampling.
+* :mod:`repro.baselines.histogram` — histogram synopses (Ioannidis & Poosala).
+* :mod:`repro.baselines.gzip_baseline` — generic zlib compression.
+* :mod:`repro.baselines.mauvedb` — MauveDB-style gridded model views.
+* :mod:`repro.baselines.functiondb` — FunctionDB-style piecewise functions.
+* :mod:`repro.baselines.spartan` — SPARTAN-style predictive compression.
+"""
+
+from repro.baselines import functiondb, gzip_baseline, histogram, mauvedb, sampling, spartan
+
+__all__ = ["functiondb", "gzip_baseline", "histogram", "mauvedb", "sampling", "spartan"]

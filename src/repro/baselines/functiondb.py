@@ -1,0 +1,122 @@
+"""FunctionDB-style piecewise-polynomial function tables.
+
+Thiagarajan & Madden's FunctionDB stores data as *piecewise polynomial
+functions* and answers queries algebraically over them, gridding only when
+unavoidable.  This baseline fits one piecewise polynomial per group and
+answers point and aggregate queries from the functions, so the benchmarks
+can compare it against the free-form harvested models the paper argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import ApproximationError, InsufficientDataError
+from repro.fitting.piecewise import fit_piecewise
+
+__all__ = ["FunctionTable", "build_function_table"]
+
+
+@dataclass
+class FunctionTable:
+    """A table represented as one piecewise polynomial per group."""
+
+    name: str
+    group_column: str | None
+    input_column: str
+    output_column: str
+    #: group key (or None) -> FitResult with a PiecewisePolynomial family
+    functions: dict
+
+    # -- queries ----------------------------------------------------------------
+
+    def evaluate(self, x: float | np.ndarray, group_key=None) -> np.ndarray:
+        fit = self._function_for(group_key)
+        return fit.predict({self.input_column: np.atleast_1d(np.asarray(x, dtype=np.float64))})
+
+    def point(self, x: float, group_key=None) -> float:
+        return float(self.evaluate(x, group_key)[0])
+
+    def aggregate(self, function: str, x_values: np.ndarray, group_key=None) -> float:
+        """Aggregate the function over a set of x values (gridded evaluation)."""
+        values = self.evaluate(np.asarray(x_values, dtype=np.float64), group_key)
+        function = function.lower()
+        if function == "avg":
+            return float(np.mean(values))
+        if function == "sum":
+            return float(np.sum(values))
+        if function == "min":
+            return float(np.min(values))
+        if function == "max":
+            return float(np.max(values))
+        raise ApproximationError(f"unsupported FunctionDB aggregate {function!r}")
+
+    def _function_for(self, group_key):
+        key = group_key if self.group_column is not None else None
+        if key not in self.functions:
+            raise ApproximationError(f"function table {self.name!r} has no group {group_key!r}")
+        return self.functions[key]
+
+    # -- storage accounting ----------------------------------------------------------
+
+    def byte_size(self) -> int:
+        total = 0
+        for fit in self.functions.values():
+            total += fit.family.byte_size()
+            if self.group_column is not None:
+                total += 8  # the group key itself
+        return total
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.functions)
+
+
+def build_function_table(
+    table: Table,
+    input_column: str,
+    output_column: str,
+    group_column: str | None = None,
+    num_segments: int = 4,
+    degree: int = 1,
+    name: str = "function_table",
+) -> FunctionTable:
+    """Fit piecewise polynomials (per group) and wrap them as a FunctionTable."""
+    x_all = table.column(input_column).to_numpy().astype(np.float64)
+    y_all = table.column(output_column).to_numpy().astype(np.float64)
+    functions: dict = {}
+
+    if group_column is None:
+        functions[None] = fit_piecewise(
+            x_all, y_all, num_segments=num_segments, degree=degree,
+            output_name=output_column, input_name=input_column,
+        )
+    else:
+        keys = table.column(group_column).to_pylist()
+        by_group: dict = {}
+        for index, key in enumerate(keys):
+            if key is None:
+                continue
+            by_group.setdefault(key, []).append(index)
+        for key, indices in by_group.items():
+            rows = np.asarray(indices, dtype=np.int64)
+            try:
+                functions[key] = fit_piecewise(
+                    x_all[rows], y_all[rows], num_segments=num_segments, degree=degree,
+                    output_name=output_column, input_name=input_column,
+                )
+            except InsufficientDataError:
+                continue  # groups too small for the requested segmentation are skipped
+
+    if not functions:
+        raise InsufficientDataError("no group had enough observations to fit a piecewise function")
+    return FunctionTable(
+        name=name,
+        group_column=group_column,
+        input_column=input_column,
+        output_column=output_column,
+        functions=functions,
+    )

@@ -1,0 +1,144 @@
+"""Histogram synopses (Ioannidis & Poosala-style baseline).
+
+The second established AQP approach the paper cites: synopses are
+"compressed lossy approximations of the data".  Equi-width and equi-depth
+one-dimensional histograms support approximate COUNT/SUM/AVG/MIN/MAX over a
+column and selectivity estimates for range predicates, with the usual
+uniform-within-bucket assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.column import Column
+from repro.errors import ApproximationError
+
+__all__ = ["HistogramBucket", "Histogram", "build_equi_width", "build_equi_depth"]
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    """One histogram bucket: [lower, upper), row count and value sum."""
+
+    lower: float
+    upper: float
+    count: int
+    value_sum: float
+
+    @property
+    def midpoint(self) -> float:
+        return (self.lower + self.upper) / 2.0
+
+
+@dataclass
+class Histogram:
+    """A one-dimensional histogram synopsis of a numeric column."""
+
+    column_name: str
+    buckets: list[HistogramBucket]
+    total_count: int
+    min_value: float
+    max_value: float
+
+    # -- storage accounting ------------------------------------------------------
+
+    def byte_size(self) -> int:
+        """Nominal storage: 4 doubles per bucket."""
+        return len(self.buckets) * 4 * 8
+
+    # -- estimators ----------------------------------------------------------------
+
+    def estimate(self, function: str, low: float | None = None, high: float | None = None) -> float:
+        """Estimate an aggregate over rows whose value lies in [low, high]."""
+        function = function.lower()
+        low = self.min_value if low is None else low
+        high = self.max_value if high is None else high
+        if function == "count":
+            return self._range_count(low, high)
+        if function == "sum":
+            return self._range_sum(low, high)
+        if function == "avg":
+            count = self._range_count(low, high)
+            return self._range_sum(low, high) / count if count > 0 else float("nan")
+        if function == "min":
+            for bucket in self.buckets:
+                if bucket.count > 0 and bucket.upper >= low:
+                    return max(bucket.lower, low)
+            return float("nan")
+        if function == "max":
+            for bucket in reversed(self.buckets):
+                if bucket.count > 0 and bucket.lower <= high:
+                    return min(bucket.upper, high)
+            return float("nan")
+        raise ApproximationError(f"unsupported histogram estimator {function!r}")
+
+    def selectivity(self, low: float, high: float) -> float:
+        """Estimated fraction of rows with value in [low, high]."""
+        if self.total_count == 0:
+            return 0.0
+        return self._range_count(low, high) / self.total_count
+
+    def _overlap_fraction(self, bucket: HistogramBucket, low: float, high: float) -> float:
+        width = bucket.upper - bucket.lower
+        if width <= 0:
+            return 1.0 if low <= bucket.lower <= high else 0.0
+        overlap = max(0.0, min(high, bucket.upper) - max(low, bucket.lower))
+        return overlap / width
+
+    def _range_count(self, low: float, high: float) -> float:
+        return sum(bucket.count * self._overlap_fraction(bucket, low, high) for bucket in self.buckets)
+
+    def _range_sum(self, low: float, high: float) -> float:
+        return sum(bucket.value_sum * self._overlap_fraction(bucket, low, high) for bucket in self.buckets)
+
+
+def build_equi_width(column: Column, num_buckets: int = 32, name: str = "column") -> Histogram:
+    """Equi-width histogram: buckets of equal value-range width."""
+    values = column.nonnull_numpy().astype(np.float64)
+    return _build(values, num_buckets, name, equi_depth=False)
+
+
+def build_equi_depth(column: Column, num_buckets: int = 32, name: str = "column") -> Histogram:
+    """Equi-depth histogram: buckets holding (roughly) equal row counts."""
+    values = column.nonnull_numpy().astype(np.float64)
+    return _build(values, num_buckets, name, equi_depth=True)
+
+
+def _build(values: np.ndarray, num_buckets: int, name: str, equi_depth: bool) -> Histogram:
+    if num_buckets < 1:
+        raise ApproximationError("a histogram needs at least one bucket")
+    if len(values) == 0:
+        return Histogram(column_name=name, buckets=[], total_count=0, min_value=0.0, max_value=0.0)
+
+    lo, hi = float(np.min(values)), float(np.max(values))
+    if hi <= lo:
+        # All values identical: one degenerate bucket holding everything.
+        bucket = HistogramBucket(lower=lo, upper=lo, count=len(values), value_sum=float(values.sum()))
+        return Histogram(column_name=name, buckets=[bucket], total_count=len(values), min_value=lo, max_value=lo)
+    if equi_depth:
+        quantiles = np.quantile(values, np.linspace(0.0, 1.0, num_buckets + 1))
+        edges = np.unique(quantiles)
+        if len(edges) < 2:
+            edges = np.array([lo, hi])
+    else:
+        edges = np.linspace(lo, hi, num_buckets + 1)
+
+    buckets: list[HistogramBucket] = []
+    for i in range(len(edges) - 1):
+        lower, upper = float(edges[i]), float(edges[i + 1])
+        if i == len(edges) - 2:
+            mask = (values >= lower) & (values <= upper)
+        else:
+            mask = (values >= lower) & (values < upper)
+        buckets.append(
+            HistogramBucket(
+                lower=lower,
+                upper=upper,
+                count=int(mask.sum()),
+                value_sum=float(values[mask].sum()),
+            )
+        )
+    return Histogram(column_name=name, buckets=buckets, total_count=len(values), min_value=lo, max_value=hi)

@@ -1,0 +1,120 @@
+"""MauveDB-style model-based views (gridded regression baseline).
+
+Deshpande & Madden's MauveDB exposes "model-based views": the raw data is
+projected onto a *fixed grid* of the input domain through a user-chosen
+(regression or interpolation) model, and queries run against the gridded
+view.  The key differences from the paper's proposal — which this baseline
+makes measurable — are that (1) the model must be explicitly declared per
+view rather than harvested, and (2) the grid is fixed up front, so accuracy
+is bounded by the grid resolution rather than by the model fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.schema import ColumnDef, Schema
+from repro.db.table import Table
+from repro.db.types import DataType
+from repro.errors import ApproximationError
+from repro.fitting.families import Polynomial
+from repro.fitting.fit import fit_model
+
+__all__ = ["ModelBasedView", "build_regression_view"]
+
+
+@dataclass
+class ModelBasedView:
+    """A gridded view materialised from per-group regression models."""
+
+    name: str
+    group_column: str | None
+    input_column: str
+    output_column: str
+    grid: np.ndarray
+    #: group key -> predicted outputs over the grid (single key None when ungrouped)
+    gridded_values: dict
+
+    def to_table(self) -> Table:
+        """Materialise the view as a relational table (what MauveDB queries)."""
+        defs = []
+        data: dict[str, list] = {}
+        if self.group_column is not None:
+            defs.append(ColumnDef(self.group_column, DataType.infer(next(iter(self.gridded_values)))))
+            data[self.group_column] = []
+        defs.append(ColumnDef(self.input_column, DataType.FLOAT64))
+        defs.append(ColumnDef(self.output_column, DataType.FLOAT64))
+        data[self.input_column] = []
+        data[self.output_column] = []
+
+        for key, values in self.gridded_values.items():
+            for x, y in zip(self.grid, values):
+                if self.group_column is not None:
+                    data[self.group_column].append(key)
+                data[self.input_column].append(float(x))
+                data[self.output_column].append(float(y))
+        return Table.from_dict(self.name, data, Schema(defs))
+
+    def lookup(self, x: float, group_key=None) -> float:
+        """Point lookup with nearest-grid-point semantics (MauveDB's grid answer)."""
+        values = self.gridded_values.get(group_key if self.group_column is not None else None)
+        if values is None:
+            raise ApproximationError(f"view {self.name!r} has no group {group_key!r}")
+        index = int(np.argmin(np.abs(self.grid - x)))
+        return float(values[index])
+
+    def byte_size(self) -> int:
+        """Storage cost of the materialised grid."""
+        rows = len(self.gridded_values) * len(self.grid)
+        width = 16 if self.group_column is None else 24
+        return rows * width
+
+
+def build_regression_view(
+    table: Table,
+    input_column: str,
+    output_column: str,
+    group_column: str | None = None,
+    grid_points: int = 16,
+    degree: int = 2,
+    name: str = "model_view",
+) -> ModelBasedView:
+    """Build a MauveDB-style regression view over a fixed input grid."""
+    x_all = table.column(input_column).to_numpy().astype(np.float64)
+    finite = np.isfinite(x_all)
+    if not finite.any():
+        raise ApproximationError(f"column {input_column!r} has no finite values to grid")
+    grid = np.linspace(float(np.min(x_all[finite])), float(np.max(x_all[finite])), grid_points)
+
+    y_all = table.column(output_column).to_numpy().astype(np.float64)
+    gridded: dict = {}
+
+    if group_column is None:
+        fit = fit_model(Polynomial(degree=degree), {"x": x_all}, y_all, output_name=output_column)
+        gridded[None] = fit.predict({"x": grid})
+    else:
+        keys = table.column(group_column).to_pylist()
+        by_group: dict = {}
+        for index, key in enumerate(keys):
+            if key is None:
+                continue
+            by_group.setdefault(key, []).append(index)
+        for key, indices in by_group.items():
+            rows = np.asarray(indices, dtype=np.int64)
+            x, y = x_all[rows], y_all[rows]
+            finite_rows = np.isfinite(x) & np.isfinite(y)
+            if finite_rows.sum() <= degree + 1:
+                continue
+            fit = fit_model(Polynomial(degree=degree), {"x": x[finite_rows]}, y[finite_rows], output_name=output_column)
+            gridded[key] = fit.predict({"x": grid})
+
+    return ModelBasedView(
+        name=name,
+        group_column=group_column,
+        input_column=input_column,
+        output_column=output_column,
+        grid=grid,
+        gridded_values=gridded,
+    )

@@ -1,0 +1,149 @@
+"""SPARTAN-style predictive semantic compression (simplified baseline).
+
+Babu et al.'s SPARTAN compresses a table by learning which columns can be
+*predicted* from other columns, storing the predictor plus error-bounded
+corrections instead of the column.  The full system learns Bayesian networks
+and CART trees; this baseline keeps the essential mechanism at the scale the
+benchmarks need:
+
+* for every numeric column, try to predict it with a linear model over the
+  other numeric columns;
+* if the prediction is within an absolute error tolerance for a large enough
+  fraction of rows, store (model + outlier corrections) instead of the
+  column;
+* columns that cannot be predicted well are kept verbatim.
+
+The reported size is what a SPARTAN-like system would store; the comparison
+against model-harvesting compression (and plain zlib) is the point of the
+``bench_semantic_compression`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import CompressionError
+from repro.fitting.families import LinearModel
+from repro.fitting.fit import fit_model
+
+__all__ = ["ColumnPlan", "SpartanCompressionResult", "compress_table"]
+
+
+@dataclass(frozen=True)
+class ColumnPlan:
+    """How one column is stored: predicted (with corrections) or verbatim."""
+
+    column: str
+    predicted: bool
+    predictor_columns: tuple[str, ...] = ()
+    outlier_count: int = 0
+    stored_bytes: int = 0
+
+
+@dataclass
+class SpartanCompressionResult:
+    """Overall byte accounting of the SPARTAN-style compression."""
+
+    raw_bytes: int
+    stored_bytes: int
+    error_tolerance: float
+    plans: list[ColumnPlan] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        return self.stored_bytes / self.raw_bytes if self.raw_bytes else 0.0
+
+    @property
+    def predicted_columns(self) -> list[str]:
+        return [plan.column for plan in self.plans if plan.predicted]
+
+    def summary(self) -> str:
+        return (
+            f"raw={self.raw_bytes}B, spartan={self.stored_bytes}B ({self.ratio:.1%}), "
+            f"predicted columns: {self.predicted_columns or 'none'}"
+        )
+
+
+def compress_table(
+    table: Table,
+    error_tolerance: float = 0.05,
+    max_outlier_fraction: float = 0.2,
+) -> SpartanCompressionResult:
+    """Compress ``table`` with the simplified SPARTAN scheme.
+
+    ``error_tolerance`` is the *relative* per-value tolerance (fraction of the
+    column's mean absolute value) within which a predicted value counts as
+    good enough; rows outside it are stored as explicit corrections.
+    """
+    if error_tolerance < 0:
+        raise CompressionError("error_tolerance must be non-negative")
+
+    numeric = [c.name for c in table.schema if c.dtype.is_numeric]
+    raw_bytes = table.byte_size()
+    stored = 0
+    plans: list[ColumnPlan] = []
+
+    arrays = {name: table.column(name).to_numpy().astype(np.float64) for name in numeric}
+    validity = {name: table.column(name).validity for name in numeric}
+
+    for column in table.schema.names:
+        width = table.schema.dtype_of(column).byte_width
+        verbatim_bytes = table.num_rows * width
+        if column not in numeric or len(numeric) < 2:
+            stored += verbatim_bytes
+            plans.append(ColumnPlan(column=column, predicted=False, stored_bytes=verbatim_bytes))
+            continue
+
+        predictors = tuple(name for name in numeric if name != column)
+        mask = validity[column].copy()
+        for name in predictors:
+            mask &= validity[name]
+        if mask.sum() < len(predictors) + 2:
+            stored += verbatim_bytes
+            plans.append(ColumnPlan(column=column, predicted=False, stored_bytes=verbatim_bytes))
+            continue
+
+        inputs = {name: arrays[name][mask] for name in predictors}
+        y = arrays[column][mask]
+        try:
+            fit = fit_model(LinearModel(predictors), inputs, y, output_name=column)
+        except Exception:  # rank-deficient or degenerate columns stay verbatim
+            stored += verbatim_bytes
+            plans.append(ColumnPlan(column=column, predicted=False, stored_bytes=verbatim_bytes))
+            continue
+
+        predictions = fit.predict(inputs)
+        scale = float(np.mean(np.abs(y))) or 1.0
+        absolute_tolerance = error_tolerance * scale
+        outliers = int(np.sum(np.abs(y - predictions) > absolute_tolerance))
+        outliers += int((~mask).sum())  # rows we could not predict at all
+
+        if outliers / max(table.num_rows, 1) > max_outlier_fraction:
+            stored += verbatim_bytes
+            plans.append(ColumnPlan(column=column, predicted=False, stored_bytes=verbatim_bytes))
+            continue
+
+        # Stored: the model parameters + one (row id, exact value) pair per outlier.
+        model_bytes = (fit.family.num_params + 2) * 8
+        correction_bytes = outliers * (8 + width)
+        column_bytes = model_bytes + correction_bytes
+        stored += column_bytes
+        plans.append(
+            ColumnPlan(
+                column=column,
+                predicted=True,
+                predictor_columns=predictors,
+                outlier_count=outliers,
+                stored_bytes=column_bytes,
+            )
+        )
+
+    return SpartanCompressionResult(
+        raw_bytes=raw_bytes,
+        stored_bytes=stored,
+        error_tolerance=error_tolerance,
+        plans=plans,
+    )

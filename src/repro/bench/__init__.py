@@ -1,0 +1,6 @@
+"""Benchmark harness utilities shared by the scripts under ``benchmarks/``."""
+
+from repro.bench.harness import Experiment, ExperimentResult, repro_scale
+from repro.bench.reporting import format_bytes, ratio, relative_error
+
+__all__ = ["Experiment", "ExperimentResult", "format_bytes", "ratio", "relative_error", "repro_scale"]

@@ -1,0 +1,94 @@
+"""Experiment harness: build datasets, run experiment steps, collect rows.
+
+The benchmark scripts under ``benchmarks/`` use this harness so every
+experiment reports its results the same way: a list of dict rows rendered as
+an aligned text table (printed to stdout, so the pytest-benchmark output
+contains the paper-shaped tables alongside the timing numbers) and kept
+around for assertions on the expected *shape* of the result.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable
+
+__all__ = ["ExperimentResult", "Experiment", "repro_scale"]
+
+
+def repro_scale(default: float = 0.02) -> float:
+    """The dataset scale factor used by the benchmark suite.
+
+    ``REPRO_SCALE=1.0`` reproduces the paper's full dataset sizes; the
+    default keeps the suite laptop-fast while preserving every result shape.
+    """
+    try:
+        value = float(os.environ.get("REPRO_SCALE", str(default)))
+    except ValueError:
+        return default
+    return min(max(value, 1e-4), 1.0)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows collected by one experiment, with rendering helpers."""
+
+    name: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, key: str) -> list[Any]:
+        return [row.get(key) for row in self.rows]
+
+    def row_for(self, **match: Any) -> dict[str, Any]:
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in match.items()):
+                return row
+        raise KeyError(f"no row matching {match!r} in experiment {self.name!r}")
+
+    def to_text(self) -> str:
+        if not self.rows:
+            return f"== {self.name} ==\n(no rows)"
+        keys: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        rendered = [[_format(row.get(key)) for key in keys] for row in self.rows]
+        widths = [max(len(key), *(len(r[i]) for r in rendered)) for i, key in enumerate(keys)]
+        header = " | ".join(key.ljust(widths[i]) for i, key in enumerate(keys))
+        rule = "-+-".join("-" * w for w in widths)
+        body = "\n".join(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)) for cells in rendered)
+        meta = "" if not self.metadata else "\n" + "\n".join(f"  {k}: {v}" for k, v in self.metadata.items())
+        return f"== {self.name} =={meta}\n{header}\n{rule}\n{body}"
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors logging style of bench scripts
+        print()
+        print(self.to_text())
+
+
+def _format(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Experiment:
+    """A named experiment: a setup callable plus a run callable."""
+
+    name: str
+    run: Callable[[], ExperimentResult]
+
+    def execute(self) -> ExperimentResult:
+        started = perf_counter()
+        result = self.run()
+        result.elapsed_seconds = perf_counter() - started
+        return result

@@ -1,0 +1,35 @@
+"""Shared reporting helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["relative_error", "format_bytes", "ratio"]
+
+
+def relative_error(approximate: float, exact: float) -> float:
+    """|approx - exact| / |exact| with a guard for zero denominators."""
+    if exact == 0:
+        return abs(approximate) if approximate != 0 else 0.0
+    if not (math.isfinite(approximate) and math.isfinite(exact)):
+        return math.inf
+    return abs(approximate - exact) / abs(exact)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte counts (binary units)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def ratio(numerator: Any, denominator: Any) -> float:
+    """A safe ratio for report tables (0 when the denominator is 0)."""
+    denominator = float(denominator)
+    if denominator == 0:
+        return 0.0
+    return float(numerator) / denominator

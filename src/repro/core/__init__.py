@@ -1,0 +1,33 @@
+"""The paper's contribution: model harvesting and its applications.
+
+* :mod:`repro.core.harvester` / :mod:`repro.core.strawman` — intercepting
+  in-database model fits (Figure 2).
+* :mod:`repro.core.captured_model` / :mod:`repro.core.model_store` /
+  :mod:`repro.core.quality` — storing and judging captured models (§3).
+* :mod:`repro.core.approx` — approximate query answering (§4.2).
+* :mod:`repro.core.storage` — semantic compression, zero-IO scans and model
+  lifecycle management (§4.1).
+* :mod:`repro.core.system` — the :class:`~repro.core.system.LawsDatabase`
+  façade tying everything together.
+"""
+
+from repro.core.captured_model import CapturedModel, ModelCoverage
+from repro.core.harvester import HarvestReport, ModelHarvester
+from repro.core.model_store import ModelStore
+from repro.core.quality import ModelQuality, QualityPolicy, judge_fit, judge_grouped
+from repro.core.strawman import StrawmanFrame
+from repro.core.system import LawsDatabase
+
+__all__ = [
+    "CapturedModel",
+    "HarvestReport",
+    "LawsDatabase",
+    "ModelCoverage",
+    "ModelHarvester",
+    "ModelQuality",
+    "ModelStore",
+    "QualityPolicy",
+    "StrawmanFrame",
+    "judge_fit",
+    "judge_grouped",
+]

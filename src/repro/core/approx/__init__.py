@@ -1,0 +1,38 @@
+"""Approximate query answering from captured models (§4.2 of the paper)."""
+
+from repro.core.approx.aggregates import AnalyticAggregate, analytic_aggregate, supports_analytic
+from repro.core.approx.anomalies import AnomalyReport, GroupAnomaly, detect_anomalies, rank_groups_by_misfit
+from repro.core.approx.engine import ApproximateAnswer, ApproximateQueryEngine
+from repro.core.approx.enumeration import EnumerationPlan, build_enumeration_plan, generate_virtual_table
+from repro.core.approx.error_bounds import ErrorEstimate, aggregate_error, combine_independent
+from repro.core.approx.exploration import InterestingRegion, explore_gradients, extreme_parameter_groups
+from repro.core.approx.legal import BloomFilter, LegalCombinationFilter
+from repro.core.approx.point import PointAnswer, answer_point_query
+from repro.core.approx.range_query import SelectionAnswer, answer_selection
+
+__all__ = [
+    "AnalyticAggregate",
+    "AnomalyReport",
+    "ApproximateAnswer",
+    "ApproximateQueryEngine",
+    "BloomFilter",
+    "EnumerationPlan",
+    "ErrorEstimate",
+    "GroupAnomaly",
+    "InterestingRegion",
+    "LegalCombinationFilter",
+    "PointAnswer",
+    "SelectionAnswer",
+    "aggregate_error",
+    "analytic_aggregate",
+    "answer_point_query",
+    "answer_selection",
+    "build_enumeration_plan",
+    "combine_independent",
+    "detect_anomalies",
+    "explore_gradients",
+    "extreme_parameter_groups",
+    "generate_virtual_table",
+    "rank_groups_by_misfit",
+    "supports_analytic",
+]

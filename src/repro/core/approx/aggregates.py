@@ -1,0 +1,174 @@
+"""Analytic aggregate answers for captured models.
+
+§4.2, "Analytic solutions for linear models": for models that are linear (or
+at least monotone) in their inputs, aggregate queries over the modelled
+column can be answered in closed form from the fitted parameters and the
+input domain, without generating any tuples at all.
+
+* ``min`` / ``max`` of a monotone model over an interval occur at the
+  interval's endpoints;
+* ``avg`` of a model linear in its inputs is the model evaluated at the
+  input means (by linearity of expectation);
+* ``sum`` is ``avg * row_count``.
+
+Non-monotone or non-linear models fall back to evaluating the model over the
+enumerated input domain (still zero IO, just not closed form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.approx.error_bounds import ErrorEstimate, aggregate_error
+from repro.core.captured_model import CapturedModel
+from repro.errors import ApproximationError
+from repro.fitting.families import Exponential, LinearModel, Polynomial, PowerLaw
+from repro.fitting.model import FitResult
+
+__all__ = ["AnalyticAggregate", "analytic_aggregate", "supports_analytic"]
+
+_SUPPORTED_FUNCTIONS = {"min", "max", "avg", "sum"}
+
+
+@dataclass(frozen=True)
+class AnalyticAggregate:
+    """An aggregate value computed analytically from model parameters."""
+
+    function: str
+    value: float
+    error: ErrorEstimate
+    method: str  # "endpoint", "linearity", "domain-scan"
+    model_id: int
+
+
+def supports_analytic(model: CapturedModel) -> bool:
+    """True if the model family admits an endpoint/linearity argument."""
+    family = model.fit.family
+    return isinstance(family, (LinearModel, PowerLaw, Exponential, Polynomial)) or family.is_linear
+
+
+def analytic_aggregate(
+    model: CapturedModel,
+    function: str,
+    input_ranges: Mapping[str, tuple[float, float]],
+    row_count: int,
+    group_key: tuple | None = None,
+    input_means: Mapping[str, float] | None = None,
+) -> AnalyticAggregate:
+    """Answer ``function(output_column)`` over the given input ranges.
+
+    Parameters
+    ----------
+    model:
+        The captured (ungrouped, or grouped with ``group_key``) model.
+    function:
+        One of ``min``, ``max``, ``avg``, ``sum``.
+    input_ranges:
+        For every model input, the ``(low, high)`` interval the query covers
+        (from the column statistics or the query predicate).
+    row_count:
+        Number of raw rows the aggregate notionally covers (needed for SUM
+        and for the error bound).
+    input_means:
+        Per-input mean values from the column statistics.  For models linear
+        in their inputs, ``avg(output) = model(mean(inputs))`` exactly (by
+        linearity of expectation), so providing the means makes AVG/SUM
+        answers track the true data distribution instead of assuming a
+        uniform one over the range.
+    """
+    function = function.lower()
+    if function not in _SUPPORTED_FUNCTIONS:
+        raise ApproximationError(
+            f"analytic aggregation supports {sorted(_SUPPORTED_FUNCTIONS)}, not {function!r}"
+        )
+    missing = [name for name in model.input_columns if name not in input_ranges]
+    if missing:
+        raise ApproximationError(f"analytic aggregation needs ranges for inputs {missing}")
+
+    fit = model.result_for_group(group_key) if group_key is not None else model.fit
+    if not isinstance(fit, FitResult):
+        raise ApproximationError(
+            "analytic aggregation over a grouped model requires a group key "
+            "(or use the engine, which enumerates groups)"
+        )
+
+    if function in ("min", "max"):
+        value, method = _extreme_value(fit, model, input_ranges, function)
+    elif function == "avg":
+        value, method = _average_value(fit, model, input_ranges, input_means)
+    else:  # sum
+        avg_value, method = _average_value(fit, model, input_ranges, input_means)
+        value = avg_value * row_count
+
+    per_row_error = fit.residual_standard_error
+    error = ErrorEstimate(value=value, standard_error=aggregate_error(function, per_row_error, max(row_count, 1)))
+    return AnalyticAggregate(function=function, value=value, error=error, method=method, model_id=model.model_id)
+
+
+def _extreme_value(
+    fit: FitResult,
+    model: CapturedModel,
+    input_ranges: Mapping[str, tuple[float, float]],
+    function: str,
+) -> tuple[float, str]:
+    """Min/max over the input box: evaluate at all corners (monotone families)."""
+    family = fit.family
+    if isinstance(family, (LinearModel, PowerLaw, Exponential)) or family.is_linear:
+        corners = _corner_grid(model.input_columns, input_ranges)
+        values = fit.predict(corners)
+        value = float(np.min(values) if function == "min" else np.max(values))
+        return value, "endpoint"
+    # General fallback: dense scan of the input box (still no data IO).
+    grid = _dense_grid(model.input_columns, input_ranges)
+    values = fit.predict(grid)
+    value = float(np.min(values) if function == "min" else np.max(values))
+    return value, "domain-scan"
+
+
+def _average_value(
+    fit: FitResult,
+    model: CapturedModel,
+    input_ranges: Mapping[str, tuple[float, float]],
+    input_means: Mapping[str, float] | None = None,
+) -> tuple[float, str]:
+    family = fit.family
+    if family.is_linear:
+        if input_means is not None and all(name in input_means for name in model.input_columns):
+            points = {name: np.array([float(input_means[name])]) for name in model.input_columns}
+            return float(fit.predict(points)[0]), "linearity"
+        midpoints = {
+            name: np.array([(low + high) / 2.0]) for name, (low, high) in input_ranges.items()
+        }
+        return float(fit.predict(midpoints)[0]), "linearity-uniform"
+    grid = _dense_grid(model.input_columns, input_ranges)
+    return float(np.mean(fit.predict(grid))), "domain-scan"
+
+
+def _corner_grid(
+    input_columns: tuple[str, ...], input_ranges: Mapping[str, tuple[float, float]]
+) -> dict[str, np.ndarray]:
+    """All corners of the input bounding box."""
+    num_inputs = len(input_columns)
+    corners = {name: [] for name in input_columns}
+    for mask in range(2**num_inputs):
+        for bit, name in enumerate(input_columns):
+            low, high = input_ranges[name]
+            corners[name].append(high if (mask >> bit) & 1 else low)
+    return {name: np.asarray(values, dtype=np.float64) for name, values in corners.items()}
+
+
+def _dense_grid(
+    input_columns: tuple[str, ...],
+    input_ranges: Mapping[str, tuple[float, float]],
+    points_per_dim: int = 101,
+) -> dict[str, np.ndarray]:
+    """A dense regular grid over the input box (meshgrid, flattened)."""
+    axes = [
+        np.linspace(input_ranges[name][0], input_ranges[name][1], points_per_dim)
+        for name in input_columns
+    ]
+    mesh = np.meshgrid(*axes, indexing="ij") if axes else []
+    return {name: grid.ravel() for name, grid in zip(input_columns, mesh)}

@@ -1,0 +1,527 @@
+"""The approximate query engine: answering SQL from captured models.
+
+This is where the harvested models pay off (Figure 2, steps 4-5).  Given a
+SQL query, the engine decides whether some usable captured model can stand
+in for the stored data, regenerates the tuples the query needs from the
+model ("zero-IO"), runs the rest of the query over the regenerated table,
+and attaches error estimates.  Queries the models cannot cover fall back to
+exact execution — with the reason recorded, because the fallback conditions
+(no model, non-enumerable inputs, unsupported SQL shape) are themselves
+findings the paper discusses in §4.2.
+
+Answer routes
+-------------
+``point``
+    Every model input and group key is pinned by equality predicates: a
+    single model evaluation (the paper's first example query).
+``analytic-aggregate``
+    A global aggregate over the modelled column of an ungrouped linear-ish
+    model: closed-form answer from the parameters (§4.2).
+``virtual-table``
+    The general route: enumerate the parameter space, generate the virtual
+    table, run the query plan over it (the paper's second example query).
+``exact-fallback``
+    No usable model covers the query; execute against the raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any
+
+import numpy as np
+
+from repro.core.approx.aggregates import analytic_aggregate, supports_analytic
+from repro.core.approx.enumeration import (
+    DEFAULT_MAX_ROWS,
+    build_enumeration_plan,
+    generate_virtual_table,
+)
+from repro.core.approx.error_bounds import ErrorEstimate, aggregate_error
+from repro.core.approx.legal import LegalCombinationFilter
+from repro.core.captured_model import CapturedModel
+from repro.core.model_store import ModelStore
+from repro.db.catalog import Catalog
+from repro.db.database import Database
+from repro.db.expressions import Between, BinaryOp, ColumnRef, Expression, InList, Literal
+from repro.db.operators.aggregate import SUPPORTED_AGGREGATES
+from repro.db.expressions import FunctionCall
+from repro.db.sql.ast import SelectStatement, Star
+from repro.db.sql.parser import parse
+from repro.db.sql.planner import plan_select
+from repro.db.table import Table
+from repro.errors import ApproximationError, EnumerationError, ModelNotFoundError
+
+__all__ = ["ApproximateAnswer", "ApproximateQueryEngine"]
+
+
+@dataclass
+class ApproximateAnswer:
+    """The result of asking the engine to answer a query approximately."""
+
+    sql: str
+    table: Table
+    route: str
+    is_exact: bool
+    used_model_ids: list[int] = field(default_factory=list)
+    reason: str = ""
+    #: result-column name -> standard error estimate attached to that column
+    column_errors: dict[str, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    io: dict[str, float] = field(default_factory=dict)
+    virtual_rows_generated: int = 0
+
+    def rows(self) -> list[tuple]:
+        return self.table.to_rows()
+
+    def scalar(self) -> Any:
+        if self.table.num_rows != 1 or self.table.num_columns != 1:
+            raise ApproximationError(
+                f"scalar() requires a 1x1 result, got {self.table.num_rows}x{self.table.num_columns}"
+            )
+        return self.table.row(0)[0]
+
+    def error_estimate(self, column: str) -> ErrorEstimate | None:
+        if column not in self.column_errors:
+            return None
+        values = [v for v in self.table.column(column).to_pylist() if v is not None]
+        value = float(values[0]) if len(values) == 1 else float("nan")
+        return ErrorEstimate(value=value, standard_error=self.column_errors[column])
+
+
+class ApproximateQueryEngine:
+    """Routes SQL queries to captured models when possible."""
+
+    def __init__(
+        self,
+        database: Database,
+        store: ModelStore,
+        max_virtual_rows: int = DEFAULT_MAX_ROWS,
+        use_legal_filter: bool = False,
+    ) -> None:
+        self.database = database
+        self.store = store
+        self.max_virtual_rows = max_virtual_rows
+        self.use_legal_filter = use_legal_filter
+        #: (table_name, key columns) -> legality filter, built lazily on demand
+        self._legal_filters: dict[tuple[str, tuple[str, ...]], LegalCombinationFilter] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def answer(self, sql: str, allow_fallback: bool = True) -> ApproximateAnswer:
+        """Answer ``sql`` from captured models, falling back to exact execution."""
+        started = perf_counter()
+        io_before = self.database.io_snapshot()
+        try:
+            answer = self._answer_from_models(sql)
+        except (ApproximationError, EnumerationError, ModelNotFoundError) as exc:
+            if not allow_fallback:
+                raise
+            answer = self._exact(sql, reason=str(exc))
+        answer.elapsed_seconds = perf_counter() - started
+        io_after = self.database.io_snapshot()
+        answer.io = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
+        return answer
+
+    def answer_exact(self, sql: str) -> ApproximateAnswer:
+        """Execute ``sql`` exactly (for comparisons and benchmarks)."""
+        started = perf_counter()
+        io_before = self.database.io_snapshot()
+        answer = self._exact(sql, reason="exact execution requested")
+        answer.elapsed_seconds = perf_counter() - started
+        io_after = self.database.io_snapshot()
+        answer.io = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
+        return answer
+
+    def compare(self, sql: str) -> dict[str, Any]:
+        """Run both the approximate and the exact query; report errors.
+
+        Returns a dict with the two answers plus per-column mean relative
+        error (for numeric result columns aligned by position).
+        """
+        approx = self.answer(sql)
+        exact = self.answer_exact(sql)
+        errors = _relative_errors(approx.table, exact.table)
+        return {
+            "approximate": approx,
+            "exact": exact,
+            "relative_errors": errors,
+            "max_relative_error": max(errors.values()) if errors else None,
+            "approx_pages_read": approx.io.get("pages_read", 0.0),
+            "exact_pages_read": exact.io.get("pages_read", 0.0),
+        }
+
+    # -- routing ------------------------------------------------------------------
+
+    def _answer_from_models(self, sql: str) -> ApproximateAnswer:
+        statement = parse(sql)
+        if not isinstance(statement, SelectStatement):
+            raise ApproximationError("only SELECT statements can be answered approximately")
+        if statement.table is None or statement.joins:
+            raise ApproximationError("approximate answering supports single-table queries only")
+
+        table_name = statement.table.name
+        if not self.database.has_table(table_name):
+            raise ApproximationError(f"unknown table {table_name!r}")
+
+        referenced = _referenced_columns(statement)
+        model = self._select_model(table_name, referenced)
+
+        pinned = _extract_pinned_values(statement.where)
+        covered = set(model.group_columns) | set(model.input_columns) | {model.output_column}
+        uncovered = referenced - covered
+        if uncovered:
+            raise ApproximationError(
+                f"query references columns {sorted(uncovered)} that model {model.model_id} does not cover"
+            )
+
+        # Route 1: fully pinned point query.
+        point_answer = self._try_point_route(statement, model, pinned)
+        if point_answer is not None:
+            return point_answer
+
+        # Route 2: analytic aggregate for ungrouped, closed-form friendly models.
+        analytic_answer = self._try_analytic_route(statement, model, table_name)
+        if analytic_answer is not None:
+            return analytic_answer
+
+        # Route 3: generic parameter-space enumeration.
+        return self._virtual_table_route(sql, statement, model, pinned)
+
+    def _select_model(self, table_name: str, referenced: set[str]) -> CapturedModel:
+        """Pick the captured model whose output the query needs."""
+        candidate_outputs = [
+            column for column in referenced if self.store.has_model_for(table_name, column)
+        ]
+        if not candidate_outputs:
+            raise ModelNotFoundError(
+                f"no captured model predicts any column referenced by the query on {table_name!r}"
+            )
+        # Prefer the model that covers the most of the referenced columns.
+        best: CapturedModel | None = None
+        best_score = -1
+        for output in candidate_outputs:
+            try:
+                model = self.store.best_model(table_name, output)
+            except ModelNotFoundError:
+                continue
+            covered = set(model.group_columns) | set(model.input_columns) | {model.output_column}
+            score = len(referenced & covered)
+            if score > best_score:
+                best, best_score = model, score
+        if best is None:
+            raise ModelNotFoundError(f"no usable captured model for table {table_name!r}")
+        return best
+
+    # -- route implementations ---------------------------------------------------------
+
+    def _try_point_route(
+        self,
+        statement: SelectStatement,
+        model: CapturedModel,
+        pinned: dict[str, list[Any]],
+    ) -> ApproximateAnswer | None:
+        """Single model evaluation when every group key and input is pinned to one value."""
+        if statement.group_by or statement.order_by or statement.distinct:
+            return None
+        if _has_aggregates(statement):
+            return None
+        # The SELECT list must be exactly the modelled output column.
+        if len(statement.items) != 1:
+            return None
+        item = statement.items[0]
+        if isinstance(item.expression, Star) or not isinstance(item.expression, ColumnRef):
+            return None
+        if _bare_name(item.expression.name) != model.output_column:
+            return None
+
+        needed = list(model.group_columns) + list(model.input_columns)
+        for column in needed:
+            if column not in pinned or len(pinned[column]) != 1:
+                return None
+
+        from repro.core.approx.point import answer_point_query
+
+        group_key = {column: pinned[column][0] for column in model.group_columns}
+        input_values = {column: float(pinned[column][0]) for column in model.input_columns}
+        point = answer_point_query(model, input_values, group_key or None)
+
+        output_name = item.alias or model.output_column
+        table = Table.from_dict("approximate", {output_name: [point.value]})
+        return ApproximateAnswer(
+            sql="",
+            table=table,
+            route="point",
+            is_exact=False,
+            used_model_ids=[model.model_id],
+            reason="all model inputs pinned by equality predicates",
+            column_errors={output_name: point.error.standard_error},
+            virtual_rows_generated=1,
+        )
+
+    def _try_analytic_route(
+        self,
+        statement: SelectStatement,
+        model: CapturedModel,
+        table_name: str,
+    ) -> ApproximateAnswer | None:
+        """Closed-form aggregates for ungrouped models (§4.2 analytic solutions)."""
+        if model.is_grouped or statement.group_by or statement.where is not None:
+            return None
+        if not supports_analytic(model):
+            return None
+        aggregates = _simple_aggregates(statement, model.output_column)
+        if aggregates is None:
+            return None
+
+        stats = self.database.stats(table_name)
+        input_ranges = {}
+        input_means: dict[str, float] = {}
+        for column in model.input_columns:
+            column_stats = stats.columns.get(column)
+            if column_stats is None or column_stats.min_value is None or column_stats.max_value is None:
+                return None
+            input_ranges[column] = (float(column_stats.min_value), float(column_stats.max_value))
+            if column_stats.mean is not None:
+                input_means[column] = float(column_stats.mean)
+        row_count = stats.row_count
+
+        data: dict[str, list[Any]] = {}
+        errors: dict[str, float] = {}
+        for alias, function in aggregates:
+            result = analytic_aggregate(
+                model, function, input_ranges, row_count, input_means=input_means or None
+            )
+            data[alias] = [result.value]
+            errors[alias] = result.error.standard_error
+        table = Table.from_dict("approximate", data)
+        return ApproximateAnswer(
+            sql="",
+            table=table,
+            route="analytic-aggregate",
+            is_exact=False,
+            used_model_ids=[model.model_id],
+            reason="closed-form aggregate from linear model parameters",
+            column_errors=errors,
+            virtual_rows_generated=0,
+        )
+
+    def _virtual_table_route(
+        self,
+        sql: str,
+        statement: SelectStatement,
+        model: CapturedModel,
+        pinned: dict[str, list[Any]],
+    ) -> ApproximateAnswer:
+        stats = self.database.stats(model.table_name)
+        plan = build_enumeration_plan(model, stats, pinned_values=pinned, max_rows=self.max_virtual_rows)
+        virtual = generate_virtual_table(model, plan, table_name=model.table_name)
+
+        if self.use_legal_filter:
+            legal = self._legal_filter_for(model)
+            virtual = legal.filter_table(virtual)
+
+        # Execute the original statement against the model-generated table.
+        shadow_catalog = Catalog()
+        shadow_catalog.register_table(virtual)
+        planned = plan_select(statement, shadow_catalog, io_model=None)
+        result = planned.root.execute()
+
+        errors = self._result_errors(statement, model, virtual)
+        return ApproximateAnswer(
+            sql=sql,
+            table=result,
+            route="virtual-table",
+            is_exact=False,
+            used_model_ids=[model.model_id],
+            reason=f"parameter space enumerated ({plan.describe()})",
+            column_errors=errors,
+            virtual_rows_generated=virtual.num_rows,
+        )
+
+    def _exact(self, sql: str, reason: str) -> ApproximateAnswer:
+        result = self.database.sql(sql)
+        return ApproximateAnswer(
+            sql=sql,
+            table=result.table,
+            route="exact-fallback",
+            is_exact=True,
+            reason=reason,
+        )
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _legal_filter_for(self, model: CapturedModel) -> LegalCombinationFilter:
+        key_columns = tuple(list(model.group_columns) + list(model.input_columns))
+        cache_key = (model.table_name, key_columns)
+        if cache_key not in self._legal_filters:
+            table = self.database.table(model.table_name)
+            # Building the filter reads the raw data once; it is an auxiliary
+            # structure like an index, charged as a one-off scan.
+            self.database.io_model.charge_scan(table, list(key_columns))
+            self._legal_filters[cache_key] = LegalCombinationFilter.from_table(
+                table, key_columns, round_decimals=3
+            )
+        return self._legal_filters[cache_key]
+
+    def _result_errors(
+        self, statement: SelectStatement, model: CapturedModel, virtual: Table
+    ) -> dict[str, float]:
+        """Standard-error estimates for the result columns derived from the model."""
+        per_row = model.quality.residual_standard_error
+        errors: dict[str, float] = {}
+        n = max(virtual.num_rows, 1)
+        for item in statement.items:
+            if isinstance(item.expression, Star):
+                errors[model.output_column] = per_row
+                continue
+            expression = item.expression
+            name = item.alias or expression.output_name()
+            aggregate = _first_aggregate(expression)
+            if aggregate is not None:
+                function, argument = aggregate
+                if argument is None or model.output_column in argument.referenced_columns():
+                    errors[name] = aggregate_error(function, per_row, n)
+            elif model.output_column in expression.referenced_columns():
+                errors[name] = per_row
+        return errors
+
+
+# ---------------------------------------------------------------------------
+# Statement analysis helpers
+# ---------------------------------------------------------------------------
+
+
+def _bare_name(name: str) -> str:
+    return name.split(".")[-1]
+
+
+def _referenced_columns(statement: SelectStatement) -> set[str]:
+    names: set[str] = set()
+    for item in statement.items:
+        if isinstance(item.expression, Star):
+            raise ApproximationError("SELECT * cannot be answered from a model (unknown column set)")
+        names |= item.expression.referenced_columns()
+    if statement.where is not None:
+        names |= statement.where.referenced_columns()
+    for expression in statement.group_by:
+        names |= expression.referenced_columns()
+    if statement.having is not None:
+        names |= statement.having.referenced_columns()
+    for order in statement.order_by:
+        names |= order.expression.referenced_columns()
+    return {_bare_name(name) for name in names}
+
+
+def _has_aggregates(statement: SelectStatement) -> bool:
+    for item in statement.items:
+        if isinstance(item.expression, Star):
+            continue
+        if _first_aggregate(item.expression) is not None:
+            return True
+    return False
+
+
+def _first_aggregate(expression: Expression) -> tuple[str, Expression | None] | None:
+    """Find the first aggregate call inside an expression tree."""
+    if isinstance(expression, FunctionCall) and expression.name.lower() in SUPPORTED_AGGREGATES:
+        argument = expression.args[0] if expression.args else None
+        return expression.name.lower(), argument
+    for child in _children_of(expression):
+        found = _first_aggregate(child)
+        if found is not None:
+            return found
+    return None
+
+
+def _children_of(expression: Expression) -> list[Expression]:
+    if isinstance(expression, BinaryOp):
+        return [expression.left, expression.right]
+    if isinstance(expression, FunctionCall):
+        return list(expression.args)
+    if isinstance(expression, Between):
+        return [expression.operand, expression.low, expression.high]
+    if isinstance(expression, InList):
+        return [expression.operand, *expression.values]
+    return []
+
+
+def _simple_aggregates(
+    statement: SelectStatement, output_column: str
+) -> list[tuple[str, str]] | None:
+    """If every SELECT item is ``agg(output_column)`` with a supported function,
+    return the (alias, function) pairs; otherwise None."""
+    pairs: list[tuple[str, str]] = []
+    for item in statement.items:
+        expression = item.expression
+        if isinstance(expression, Star) or not isinstance(expression, FunctionCall):
+            return None
+        function = expression.name.lower()
+        if function not in ("min", "max", "avg", "sum"):
+            return None
+        if len(expression.args) != 1 or not isinstance(expression.args[0], ColumnRef):
+            return None
+        if _bare_name(expression.args[0].name) != output_column:
+            return None
+        alias = item.alias or f"{function}({output_column})"
+        pairs.append((alias, function))
+    return pairs if pairs else None
+
+
+def _extract_pinned_values(where: Expression | None) -> dict[str, list[Any]]:
+    """Columns pinned to literal values by the WHERE clause's top-level conjuncts."""
+    pinned: dict[str, list[Any]] = {}
+    for conjunct in _conjuncts(where):
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+            column, literal = _column_literal(conjunct.left, conjunct.right)
+            if column is not None:
+                pinned.setdefault(column, [])
+                if literal not in pinned[column]:
+                    pinned[column].append(literal)
+        elif isinstance(conjunct, InList) and isinstance(conjunct.operand, ColumnRef):
+            values = [v.value for v in conjunct.values if isinstance(v, Literal)]
+            if len(values) == len(conjunct.values):
+                name = _bare_name(conjunct.operand.name)
+                pinned.setdefault(name, [])
+                for value in values:
+                    if value not in pinned[name]:
+                        pinned[name].append(value)
+    return pinned
+
+
+def _conjuncts(expression: Expression | None) -> list[Expression]:
+    if expression is None:
+        return []
+    if isinstance(expression, BinaryOp) and expression.op.lower() == "and":
+        return _conjuncts(expression.left) + _conjuncts(expression.right)
+    return [expression]
+
+
+def _column_literal(left: Expression, right: Expression) -> tuple[str | None, Any]:
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return _bare_name(left.name), right.value
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        return _bare_name(right.name), left.value
+    return None, None
+
+
+def _relative_errors(approx: Table, exact: Table) -> dict[str, float]:
+    """Mean relative error per numeric column, aligning result rows by position."""
+    errors: dict[str, float] = {}
+    if approx.num_rows == 0 or exact.num_rows == 0:
+        return errors
+    for approx_name, exact_name in zip(approx.schema.names, exact.schema.names):
+        approx_column = approx.column(approx_name)
+        exact_column = exact.column(exact_name)
+        if not (approx_column.dtype.is_numeric and exact_column.dtype.is_numeric):
+            continue
+        n = min(len(approx_column), len(exact_column))
+        approx_values = np.asarray(approx_column.to_numpy()[:n], dtype=np.float64)
+        exact_values = np.asarray(exact_column.to_numpy()[:n], dtype=np.float64)
+        mask = np.isfinite(approx_values) & np.isfinite(exact_values)
+        if not mask.any():
+            continue
+        denominator = np.where(np.abs(exact_values[mask]) > 1e-12, np.abs(exact_values[mask]), 1.0)
+        errors[approx_name] = float(np.mean(np.abs(approx_values[mask] - exact_values[mask]) / denominator))
+    return errors

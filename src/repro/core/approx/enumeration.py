@@ -1,0 +1,191 @@
+"""Parameter-space enumeration: regenerating tuples from a captured model.
+
+§4.2 of the paper: a model can only replace a scan if every input the model
+needs can be *enumerated* without reading the raw data.  Group keys come for
+free (they are stored in the parameter table); other inputs are enumerable
+when they are categorical / low-cardinality ("our telescope only creates
+observations at a small set of frequencies, so ν would only assume values in
+{0.12, 0.15, 0.16, 0.18}") or when the query itself pins them with equality
+predicates.  This module decides enumerability, builds the value grid, and
+materialises the model-generated ("gridded") virtual table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.captured_model import CapturedModel
+from repro.db.column import Column
+from repro.db.schema import ColumnDef, Schema
+from repro.db.stats import TableStats
+from repro.db.table import Table
+from repro.db.types import DataType
+from repro.errors import EnumerationError
+
+__all__ = ["EnumerationPlan", "build_enumeration_plan", "generate_virtual_table"]
+
+#: Refuse to materialise virtual tables larger than this many rows unless the
+#: caller raises the cap explicitly; protects against combinatorial blow-up.
+DEFAULT_MAX_ROWS = 2_000_000
+
+
+@dataclass
+class EnumerationPlan:
+    """Concrete value domains for every column the model needs."""
+
+    model: CapturedModel
+    #: group-key tuples taken from the stored parameter table
+    group_keys: list[tuple[Any, ...]]
+    #: input column name -> list of values to enumerate
+    input_domains: dict[str, list[float]] = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        rows = max(len(self.group_keys), 1) if self.model.group_columns else 1
+        for values in self.input_domains.values():
+            rows *= max(len(values), 1)
+        return rows
+
+    def describe(self) -> str:
+        parts = []
+        if self.model.group_columns:
+            parts.append(f"{len(self.group_keys)} group keys")
+        for name, values in self.input_domains.items():
+            parts.append(f"{name}: {len(values)} values")
+        return ", ".join(parts) or "(empty plan)"
+
+
+def build_enumeration_plan(
+    model: CapturedModel,
+    table_stats: TableStats,
+    pinned_values: Mapping[str, Sequence[Any]] | None = None,
+    max_rows: int = DEFAULT_MAX_ROWS,
+) -> EnumerationPlan:
+    """Work out how to enumerate every input the model requires.
+
+    ``pinned_values`` carries values fixed by the query's equality / IN
+    predicates; any remaining input column must be enumerable from the
+    catalog statistics (a known small domain), otherwise
+    :class:`~repro.errors.EnumerationError` is raised — the paper's "we
+    might as well use the raw data directly" case.
+    """
+    pinned = {name: list(values) for name, values in (pinned_values or {}).items()}
+
+    group_keys = _group_keys(model, pinned)
+    input_domains: dict[str, list[float]] = {}
+    for name in model.input_columns:
+        if name in pinned:
+            input_domains[name] = [float(v) for v in pinned[name]]
+            continue
+        stats = table_stats.columns.get(name)
+        if stats is None or not stats.is_enumerable or stats.domain is None:
+            raise EnumerationError(
+                f"input column {name!r} is not enumerable (unknown or high-cardinality domain) "
+                "and the query does not pin its value"
+            )
+        input_domains[name] = [float(v) for v in stats.domain]
+
+    plan = EnumerationPlan(model=model, group_keys=group_keys, input_domains=input_domains)
+    if plan.num_rows > max_rows:
+        raise EnumerationError(
+            f"enumerating the parameter space would generate {plan.num_rows} rows "
+            f"(> max_rows={max_rows}); refusing to materialise"
+        )
+    return plan
+
+
+def _group_keys(model: CapturedModel, pinned: dict[str, list[Any]]) -> list[tuple[Any, ...]]:
+    if not model.group_columns:
+        return []
+    if model.is_grouped:
+        keys = [record.key for record in model.fit.records if record.result is not None]  # type: ignore[union-attr]
+    else:  # pragma: no cover - grouped coverage always has a grouped fit
+        keys = []
+    # Apply pinning on group columns (e.g. WHERE source = 42).
+    for position, column in enumerate(model.group_columns):
+        if column in pinned:
+            allowed = set(pinned[column])
+            keys = [key for key in keys if key[position] in allowed]
+    return keys
+
+
+def generate_virtual_table(
+    model: CapturedModel,
+    plan: EnumerationPlan,
+    table_name: str | None = None,
+    include_error_column: bool = False,
+) -> Table:
+    """Materialise the model-generated table over the enumeration plan.
+
+    The output has the model's group columns, input columns and predicted
+    output column — the same shape as the raw table restricted to those
+    columns, so the rest of the query plan can run against it unchanged.
+    """
+    group_columns = list(model.group_columns)
+    input_columns = list(model.input_columns)
+    input_values = [plan.input_domains[name] for name in input_columns]
+
+    rows_group: list[tuple[Any, ...]] = []
+    rows_inputs: list[tuple[float, ...]] = []
+    predictions: list[float] = []
+    errors: list[float] = []
+
+    input_product = list(itertools.product(*input_values)) if input_values else [tuple()]
+
+    if group_columns:
+        for key in plan.group_keys:
+            fit = model.result_for_group(key)
+            if input_product:
+                inputs_arrays = {
+                    name: np.array([combo[i] for combo in input_product], dtype=np.float64)
+                    for i, name in enumerate(input_columns)
+                }
+                predicted = fit.predict(inputs_arrays)
+            else:
+                predicted = np.array([])
+            for combo, value in zip(input_product, predicted):
+                rows_group.append(key)
+                rows_inputs.append(combo)
+                predictions.append(float(value))
+                errors.append(fit.residual_standard_error)
+    else:
+        fit = model.fit  # type: ignore[assignment]
+        inputs_arrays = {
+            name: np.array([combo[i] for combo in input_product], dtype=np.float64)
+            for i, name in enumerate(input_columns)
+        }
+        predicted = fit.predict(inputs_arrays) if input_product else np.array([])
+        for combo, value in zip(input_product, predicted):
+            rows_group.append(tuple())
+            rows_inputs.append(combo)
+            predictions.append(float(value))
+            errors.append(fit.residual_standard_error)
+
+    defs: list[ColumnDef] = []
+    columns: dict[str, Column] = {}
+
+    for position, column in enumerate(group_columns):
+        values = [key[position] for key in rows_group]
+        dtype = DataType.infer_common(values) if values else DataType.INT64
+        defs.append(ColumnDef(column, dtype))
+        columns[column] = Column.from_values(dtype, values)
+
+    for position, column in enumerate(input_columns):
+        values = [combo[position] for combo in rows_inputs]
+        defs.append(ColumnDef(column, DataType.FLOAT64))
+        columns[column] = Column.from_values(DataType.FLOAT64, values)
+
+    defs.append(ColumnDef(model.output_column, DataType.FLOAT64))
+    columns[model.output_column] = Column.from_values(DataType.FLOAT64, predictions)
+
+    if include_error_column:
+        error_name = f"{model.output_column}_error"
+        defs.append(ColumnDef(error_name, DataType.FLOAT64))
+        columns[error_name] = Column.from_values(DataType.FLOAT64, errors)
+
+    name = table_name or model.table_name
+    return Table(name, Schema(defs), columns)

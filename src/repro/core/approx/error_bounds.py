@@ -1,0 +1,74 @@
+"""Error-bound propagation for approximate answers.
+
+Every approximate answer must carry "an indication of the error that is to
+be expected" (§2).  For per-row answers that indication is the residual
+standard error of the model that produced the value; for aggregates the
+per-row errors combine according to standard error-propagation rules under
+the (paper-consistent) assumption of independent, zero-mean residuals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ErrorEstimate", "aggregate_error", "combine_independent"]
+
+
+@dataclass(frozen=True)
+class ErrorEstimate:
+    """A symmetric error estimate attached to an approximate value."""
+
+    value: float
+    standard_error: float
+
+    @property
+    def lower(self) -> float:
+        return self.value - 1.96 * self.standard_error
+
+    @property
+    def upper(self) -> float:
+        return self.value + 1.96 * self.standard_error
+
+    @property
+    def relative_error(self) -> float:
+        if self.value == 0:
+            return math.inf if self.standard_error > 0 else 0.0
+        return abs(self.standard_error / self.value)
+
+    def __str__(self) -> str:
+        return f"{self.value:.6g} ± {1.96 * self.standard_error:.3g}"
+
+
+def combine_independent(errors: list[float]) -> float:
+    """Standard error of a sum of independent errors (root-sum-square)."""
+    return math.sqrt(sum(e * e for e in errors))
+
+
+def aggregate_error(function: str, per_row_error: float, n_rows: int) -> float:
+    """Standard error of an aggregate computed over model-generated rows.
+
+    Assuming independent per-row residuals with standard deviation
+    ``per_row_error``:
+
+    * ``sum`` — errors add in quadrature: ``per_row_error * sqrt(n)``;
+    * ``avg`` — the error of the mean: ``per_row_error / sqrt(n)``;
+    * ``min`` / ``max`` — bounded by the per-row error of the extreme row;
+    * ``count`` — counting model-generated rows is exact given the
+      enumeration, so 0 (legality false-positives are reported separately);
+    * ``stddev`` / ``var`` — conservatively the per-row error itself.
+    """
+    function = function.lower()
+    if n_rows <= 0:
+        return 0.0
+    if function == "sum":
+        return per_row_error * math.sqrt(n_rows)
+    if function == "avg":
+        return per_row_error / math.sqrt(n_rows)
+    if function in ("min", "max"):
+        return per_row_error
+    if function == "count":
+        return 0.0
+    if function in ("stddev", "var"):
+        return per_row_error
+    return per_row_error

@@ -1,0 +1,89 @@
+"""Point queries answered directly from a captured model.
+
+The paper's first example query::
+
+    SELECT intensity FROM measurements
+    WHERE source = 42 AND wavelength = 0.14;
+
+"requires us to look up the two parameters to the model function
+I = p * nu^alpha and evaluate the function with those parameters" — no data
+access at all.  :func:`answer_point_query` is that lookup-and-evaluate step,
+returning the prediction together with error bounds (Figure 2, step 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.approx.error_bounds import ErrorEstimate
+from repro.core.captured_model import CapturedModel
+from repro.errors import ApproximationError, ModelNotFoundError
+from repro.fitting.predict import PredictionInterval, predict_interval
+
+__all__ = ["PointAnswer", "answer_point_query"]
+
+
+@dataclass(frozen=True)
+class PointAnswer:
+    """An approximate answer to a fully-pinned point query."""
+
+    value: float
+    error: ErrorEstimate
+    interval: PredictionInterval
+    model_id: int
+    group_key: tuple[Any, ...] | None
+
+    def __str__(self) -> str:
+        return str(self.error)
+
+
+def answer_point_query(
+    model: CapturedModel,
+    input_values: Mapping[str, float],
+    group_key: Mapping[str, Any] | None = None,
+    confidence: float = 0.95,
+) -> PointAnswer:
+    """Answer a point query from the captured model alone.
+
+    Parameters
+    ----------
+    model:
+        The captured model predicting the requested output column.
+    input_values:
+        One value per model input column (e.g. ``{"frequency": 0.14}``).
+    group_key:
+        Values for the model's group columns (e.g. ``{"source": 42}``); must
+        be given iff the model is grouped.
+    """
+    missing = [name for name in model.input_columns if name not in input_values]
+    if missing:
+        raise ApproximationError(
+            f"point query must pin every model input; missing {missing} for model {model.model_id}"
+        )
+
+    key_tuple: tuple[Any, ...] | None = None
+    if model.group_columns:
+        if group_key is None:
+            raise ApproximationError(
+                f"model {model.model_id} is grouped by {list(model.group_columns)}; "
+                "the point query must pin the group key"
+            )
+        missing_keys = [name for name in model.group_columns if name not in group_key]
+        if missing_keys:
+            raise ApproximationError(f"point query does not pin group columns {missing_keys}")
+        key_tuple = tuple(group_key[name] for name in model.group_columns)
+
+    fit = model.result_for_group(key_tuple) if key_tuple is not None else model.fit
+    if fit is None:  # pragma: no cover - result_for_group raises before this
+        raise ModelNotFoundError(f"no parameters available for group {key_tuple!r}")
+
+    inputs = {name: float(input_values[name]) for name in model.input_columns}
+    interval = predict_interval(fit, inputs, confidence=confidence)[0]
+    return PointAnswer(
+        value=interval.value,
+        error=ErrorEstimate(value=interval.value, standard_error=interval.standard_error),
+        interval=interval,
+        model_id=model.model_id,
+        group_key=key_tuple,
+    )

@@ -1,0 +1,92 @@
+"""Selection (range) queries answered from model-generated tuples.
+
+The paper's second example query::
+
+    SELECT source, intensity FROM measurements
+    WHERE wavelength = 0.14 AND intensity > 3.0;
+
+is answered "by calculating all intensity values with the stored set of
+parameters for all sources and the given wavelength" and then filtering on
+the predicted value.  :func:`answer_selection` is the direct programmatic
+API for that pattern; the SQL-level engine uses the same building blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.approx.enumeration import build_enumeration_plan, generate_virtual_table
+from repro.core.approx.legal import LegalCombinationFilter
+from repro.core.captured_model import CapturedModel
+from repro.db.expressions import Expression, truthy_mask
+from repro.db.stats import TableStats
+from repro.db.table import Table
+
+__all__ = ["SelectionAnswer", "answer_selection"]
+
+
+@dataclass
+class SelectionAnswer:
+    """Model-generated rows satisfying a selection predicate."""
+
+    table: Table
+    per_row_standard_error: float
+    virtual_rows_generated: int
+    rows_after_filter: int
+    model_id: int
+
+    def rows(self) -> list[tuple]:
+        return self.table.to_rows()
+
+
+def answer_selection(
+    model: CapturedModel,
+    table_stats: TableStats,
+    predicate: Expression | None = None,
+    pinned_values: Mapping[str, Sequence[Any]] | None = None,
+    output_columns: Sequence[str] | None = None,
+    legal_filter: LegalCombinationFilter | None = None,
+    include_error_column: bool = False,
+) -> SelectionAnswer:
+    """Answer a selection query purely from the captured model.
+
+    Parameters
+    ----------
+    model:
+        The captured model for the queried table.
+    table_stats:
+        Catalog statistics of the base table (for enumerable input domains).
+    predicate:
+        Optional boolean expression evaluated over the model-generated table
+        (it may reference the predicted output column — the paper's
+        ``intensity > 3.0``).
+    pinned_values:
+        Values fixed by equality predicates (e.g. ``{"frequency": [0.14]}``).
+    output_columns:
+        Columns to keep in the answer (default: group + input + output).
+    legal_filter:
+        Optional legality filter removing combinations absent from the data.
+    """
+    plan = build_enumeration_plan(model, table_stats, pinned_values=pinned_values)
+    virtual = generate_virtual_table(model, plan, include_error_column=include_error_column)
+    generated = virtual.num_rows
+
+    if legal_filter is not None:
+        virtual = legal_filter.filter_table(virtual)
+
+    if predicate is not None:
+        mask = truthy_mask(predicate.evaluate(virtual))
+        virtual = virtual.filter(mask)
+
+    if output_columns is not None:
+        keep = [name for name in output_columns if name in virtual.schema]
+        virtual = virtual.select(keep)
+
+    return SelectionAnswer(
+        table=virtual,
+        per_row_standard_error=model.quality.residual_standard_error,
+        virtual_rows_generated=generated,
+        rows_after_filter=virtual.num_rows,
+        model_id=model.model_id,
+    )

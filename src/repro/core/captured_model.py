@@ -1,0 +1,180 @@
+"""Captured models: what the database stores after intercepting a fit.
+
+A :class:`CapturedModel` is the persistent artefact of the interception in
+Figure 2: the model's *source form* (the formula text), the fitted
+parameters (a single :class:`~repro.fitting.model.FitResult` or a grouped
+result with one parameter set per group), the quality judgement, and the
+coverage metadata (which table/columns/predicate the model describes) needed
+to decide whether it can answer a later query.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.quality import ModelQuality
+from repro.db.table import Table
+from repro.errors import ModelNotFoundError
+from repro.fitting.grouped import GroupedFitResult
+from repro.fitting.model import FitResult
+
+__all__ = ["ModelCoverage", "CapturedModel"]
+
+_id_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ModelCoverage:
+    """What part of the data a captured model describes.
+
+    ``predicate_sql`` is the textual WHERE clause of the fitted subset (None
+    when the whole table was used) — this is the paper's "partial models"
+    challenge: a model fitted to a restricted query result only covers that
+    subset.
+    """
+
+    table_name: str
+    input_columns: tuple[str, ...]
+    output_column: str
+    group_columns: tuple[str, ...] = ()
+    predicate_sql: str | None = None
+
+    @property
+    def covers_whole_table(self) -> bool:
+        return self.predicate_sql is None
+
+    def columns(self) -> set[str]:
+        return set(self.input_columns) | {self.output_column} | set(self.group_columns)
+
+
+@dataclass
+class CapturedModel:
+    """A harvested model stored inside the database."""
+
+    coverage: ModelCoverage
+    formula: str
+    fit: FitResult | GroupedFitResult
+    quality: ModelQuality
+    accepted: bool
+    #: Fraction of groups that fitted successfully (1.0 for ungrouped models).
+    group_fit_fraction: float = 1.0
+    #: Monotonically increasing capture sequence number (acts as a timestamp).
+    model_id: int = field(default_factory=lambda: next(_id_counter))
+    #: Catalog row-count of the table at capture time (staleness detection).
+    fitted_row_count: int = 0
+    #: Free-form extras (optimiser method, robustness, notes).
+    metadata: dict[str, Any] = field(default_factory=dict)
+    #: Lifecycle status: "active", "stale" or "retired".
+    status: str = "active"
+
+    # -- classification ----------------------------------------------------------
+
+    @property
+    def is_grouped(self) -> bool:
+        return isinstance(self.fit, GroupedFitResult)
+
+    @property
+    def family_name(self) -> str:
+        if self.is_grouped:
+            return self.fit.family.name
+        return self.fit.family.name
+
+    @property
+    def is_linear(self) -> bool:
+        family = self.fit.family
+        return bool(family.is_linear)
+
+    @property
+    def table_name(self) -> str:
+        return self.coverage.table_name
+
+    @property
+    def output_column(self) -> str:
+        return self.coverage.output_column
+
+    @property
+    def input_columns(self) -> tuple[str, ...]:
+        return self.coverage.input_columns
+
+    @property
+    def group_columns(self) -> tuple[str, ...]:
+        return self.coverage.group_columns
+
+    # -- prediction ----------------------------------------------------------------
+
+    def result_for_group(self, key: tuple[Any, ...] | Any) -> FitResult:
+        """The per-group FitResult (or the single FitResult for ungrouped models)."""
+        if not self.is_grouped:
+            return self.fit  # type: ignore[return-value]
+        result = self.fit.result_for(key)  # type: ignore[union-attr]
+        if result is None:
+            pretty = key if isinstance(key, tuple) else (key,)
+            raise ModelNotFoundError(
+                f"model {self.model_id} has no fitted parameters for group {pretty!r}"
+            )
+        return result
+
+    def predict(
+        self,
+        inputs: Mapping[str, np.ndarray | float],
+        group_key: tuple[Any, ...] | Any | None = None,
+    ) -> np.ndarray:
+        """Predict output values for the given inputs (and group, if grouped)."""
+        arrays = {name: np.atleast_1d(np.asarray(value, dtype=np.float64)) for name, value in inputs.items()}
+        if self.is_grouped:
+            if group_key is None:
+                raise ModelNotFoundError(
+                    f"model {self.model_id} is grouped by {self.group_columns}; a group key is required"
+                )
+            return self.result_for_group(group_key).predict(arrays)
+        return self.fit.predict(arrays)  # type: ignore[union-attr]
+
+    def prediction_error(self, group_key: tuple[Any, ...] | Any | None = None) -> float:
+        """The residual standard error to attach to approximate answers."""
+        if self.is_grouped and group_key is not None:
+            try:
+                return self.result_for_group(group_key).residual_standard_error
+            except ModelNotFoundError:
+                return self.quality.residual_standard_error
+        return self.quality.residual_standard_error
+
+    # -- storage accounting -----------------------------------------------------------
+
+    def parameter_table(self) -> Table:
+        """The stored parameter table (Table 1 of the paper for grouped models)."""
+        if self.is_grouped:
+            return self.fit.to_parameter_table(f"model_{self.model_id}_parameters")  # type: ignore[union-attr]
+        fit: FitResult = self.fit  # type: ignore[assignment]
+        data: dict[str, list[Any]] = {name: [float(value)] for name, value in fit.param_dict.items()}
+        data["residual_se"] = [fit.residual_standard_error]
+        data["r_squared"] = [fit.r_squared]
+        data["n_obs"] = [fit.n_observations]
+        return Table.from_dict(f"model_{self.model_id}_parameters", data)
+
+    def stored_byte_size(self) -> int:
+        """Nominal bytes needed to store the captured model's parameters."""
+        return self.parameter_table().byte_size()
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def mark_stale(self) -> None:
+        self.status = "stale"
+
+    def retire(self) -> None:
+        self.status = "retired"
+
+    @property
+    def is_usable(self) -> bool:
+        return self.accepted and self.status == "active"
+
+    def describe(self) -> str:
+        grouped = f" per {list(self.group_columns)}" if self.is_grouped else ""
+        return (
+            f"model#{self.model_id} [{self.status}] {self.coverage.table_name}: "
+            f"{self.output_column} ~ {self.family_name}({', '.join(self.input_columns)}){grouped} "
+            f"({self.quality.summary()})"
+        )

@@ -1,0 +1,237 @@
+"""The model harvester: in-database fitting with interception.
+
+This is Figure 2 of the paper in code.  When a strawman frame (or the user
+directly) asks the engine to fit a model formula against a stored table, the
+harvester
+
+1. runs the fitting *inside* the database (using :mod:`repro.fitting`),
+2. judges the quality of the fit (:mod:`repro.core.quality`),
+3. stores the model source (formula), the trained parameters and the quality
+   in the model store, and
+4. returns the goodness of fit to the user — who never needs to know the
+   model was captured.
+
+The harvester also listens to the UDF registry's fit log, so fits executed
+through the in-database UDF path are captured identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.captured_model import CapturedModel, ModelCoverage
+from repro.core.model_store import ModelStore
+from repro.core.quality import ModelQuality, QualityPolicy, judge_fit, judge_grouped
+from repro.db.database import Database
+from repro.db.table import Table
+from repro.db.udf import FitInvocation
+from repro.errors import HarvestError, ReproError
+from repro.fitting.fit import fit_model
+from repro.fitting.formulas import ParsedFormula, parse_formula
+from repro.fitting.grouped import GroupedFitter
+from repro.fitting.model import FitResult
+from repro.fitting.robust import fit_robust
+
+__all__ = ["HarvestReport", "ModelHarvester"]
+
+
+@dataclass
+class HarvestReport:
+    """What the user gets back from a (captured) fit: the goodness of fit.
+
+    This mirrors step (3) of Figure 2 — "the database dutifully fits the
+    model and returns the goodness of fit" — plus a handle on the captured
+    model for tests and power users.
+    """
+
+    model: CapturedModel
+    quality: ModelQuality
+    accepted: bool
+
+    @property
+    def r_squared(self) -> float:
+        return self.quality.r_squared
+
+    @property
+    def residual_standard_error(self) -> float:
+        return self.quality.residual_standard_error
+
+    def parameter_table(self) -> Table:
+        return self.model.parameter_table()
+
+    def summary(self) -> str:
+        verdict = "accepted" if self.accepted else "rejected"
+        return f"{self.model.describe()} -> {verdict}"
+
+
+class ModelHarvester:
+    """Fits user models inside the database and captures the results."""
+
+    def __init__(
+        self,
+        database: Database,
+        store: ModelStore,
+        policy: QualityPolicy | None = None,
+    ) -> None:
+        self.database = database
+        self.store = store
+        self.policy = policy or QualityPolicy()
+        # Capture fits that go through the in-database UDF path as well.
+        self.database.udfs.add_fit_listener(self._on_udf_fit)
+
+    # -- the main entry point ----------------------------------------------------
+
+    def fit_and_capture(
+        self,
+        table_name: str,
+        formula: str,
+        group_by: str | list[str] | None = None,
+        predicate_sql: str | None = None,
+        robust: bool = False,
+        method: str = "lm",
+        min_observations: int | None = None,
+    ) -> HarvestReport:
+        """Fit ``formula`` against a stored table and capture the model.
+
+        Parameters
+        ----------
+        table_name:
+            Base table to fit against.
+        formula:
+            Model formula, e.g. ``"intensity ~ powerlaw(frequency)"``.
+        group_by:
+            Optional column (or columns) to fit one model per group — the
+            LOFAR per-source case.
+        predicate_sql:
+            Optional SQL WHERE clause restricting the fitted subset (the
+            "partial models" case); recorded in the coverage metadata.
+        robust:
+            Use IRLS / trimmed robust fitting instead of plain least squares.
+        method:
+            ``"lm"`` (Levenberg-Marquardt) or ``"gn"`` (Gauss-Newton) for
+            non-linear families.
+        """
+        parsed = parse_formula(formula)
+        group_columns = self._normalise_group_by(group_by)
+        table = self._fitting_input(table_name, parsed, group_columns, predicate_sql)
+
+        if group_columns:
+            fit_result, quality, fraction = self._fit_grouped(table, parsed, group_columns, method, min_observations)
+            accepted = self.policy.accepts(quality) and fraction >= self.policy.min_group_pass_fraction
+        else:
+            fit_result, quality = self._fit_single(table, parsed, robust, method)
+            fraction = 1.0
+            accepted = self.policy.accepts(quality)
+
+        coverage = ModelCoverage(
+            table_name=table_name,
+            input_columns=parsed.inputs,
+            output_column=parsed.output,
+            group_columns=tuple(group_columns),
+            predicate_sql=predicate_sql,
+        )
+        model = CapturedModel(
+            coverage=coverage,
+            formula=formula,
+            fit=fit_result,
+            quality=quality,
+            accepted=accepted,
+            group_fit_fraction=fraction,
+            fitted_row_count=self.database.table(table_name).num_rows,
+            metadata={"robust": robust, "method": method},
+        )
+        self.store.add(model)
+        return HarvestReport(model=model, quality=quality, accepted=accepted)
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _normalise_group_by(group_by: str | list[str] | None) -> list[str]:
+        if group_by is None:
+            return []
+        if isinstance(group_by, str):
+            return [group_by]
+        return list(group_by)
+
+    def _fitting_input(
+        self,
+        table_name: str,
+        parsed: ParsedFormula,
+        group_columns: list[str],
+        predicate_sql: str | None,
+    ) -> Table:
+        """Materialise exactly the columns (and rows) the fit needs."""
+        table = self.database.table(table_name)
+        needed = list(dict.fromkeys([*group_columns, *parsed.inputs, parsed.output]))
+        missing = [name for name in needed if name not in table.schema]
+        if missing:
+            raise HarvestError(
+                f"formula {parsed.text!r} references columns {missing} not present in table {table_name!r}"
+            )
+        if predicate_sql:
+            projected = ", ".join(needed)
+            result = self.database.query(f"SELECT {projected} FROM {table_name} WHERE {predicate_sql}")
+            return result
+        return table.select(needed)
+
+    def _fit_single(
+        self, table: Table, parsed: ParsedFormula, robust: bool, method: str
+    ) -> tuple[FitResult, ModelQuality]:
+        family = parsed.build_family()
+        inputs = {name: table.column(name).to_numpy().astype(np.float64) for name in parsed.inputs}
+        y = table.column(parsed.output).to_numpy().astype(np.float64)
+        if robust:
+            fit = fit_robust(family, inputs, y, output_name=parsed.output)
+        else:
+            fit = fit_model(family, inputs, y, output_name=parsed.output, method=method)
+        quality = judge_fit(fit, y=y, inputs=inputs)
+        return fit, quality
+
+    def _fit_grouped(
+        self,
+        table: Table,
+        parsed: ParsedFormula,
+        group_columns: list[str],
+        method: str,
+        min_observations: int | None,
+    ):
+        family = parsed.build_family()
+        fitter = GroupedFitter(
+            family,
+            input_columns=parsed.inputs,
+            output_column=parsed.output,
+            group_columns=group_columns,
+            method=method,
+            min_observations=min_observations,
+        )
+        grouped = fitter.fit(table)
+        quality, fraction = judge_grouped(grouped.records)
+        return grouped, quality, fraction
+
+    # -- UDF interception path ------------------------------------------------------------
+
+    def _on_udf_fit(self, invocation: FitInvocation) -> None:
+        """Capture a fit that was executed through the in-database UDF layer."""
+        inputs = ", ".join(invocation.input_columns)
+        formula = f"{invocation.output_column} ~ {invocation.model_name}({inputs})"
+        try:
+            self.fit_and_capture(
+                invocation.table_name,
+                formula,
+                group_by=invocation.group_by or None,
+            )
+        except ReproError:
+            # A malformed UDF fit must not break the user's query; the model
+            # is simply not captured.
+            pass
+
+    # -- provenance -----------------------------------------------------------------------------
+
+    def capture_invocation(self, invocation: FitInvocation) -> HarvestReport:
+        """Explicitly capture a previously logged UDF fit invocation."""
+        inputs = ", ".join(invocation.input_columns)
+        formula = f"{invocation.output_column} ~ {invocation.model_name}({inputs})"
+        return self.fit_and_capture(invocation.table_name, formula, group_by=invocation.group_by or None)

@@ -1,0 +1,149 @@
+"""The model store: the database's catalog of captured models.
+
+Harvested models are "transparently stored, re-executed, and generally
+employed for approximate query answering and data storage optimization"
+(§1).  The store indexes captured models by table and output column, handles
+the "multiple, partial or grouped models" challenge of §4.1 by ranking
+candidates, and tracks staleness when the underlying table changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.captured_model import CapturedModel
+from repro.errors import ModelNotFoundError
+
+__all__ = ["ModelStore"]
+
+
+class ModelStore:
+    """In-database registry of captured models."""
+
+    def __init__(self) -> None:
+        self._models: dict[int, CapturedModel] = {}
+        #: (table_name, output_column) -> model ids, in capture order
+        self._by_target: dict[tuple[str, str], list[int]] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def add(self, model: CapturedModel) -> CapturedModel:
+        """Register a captured model (accepted or not — rejected models are
+        kept for provenance and for the model-switching policy)."""
+        self._models[model.model_id] = model
+        key = (model.table_name, model.output_column)
+        self._by_target.setdefault(key, []).append(model.model_id)
+        return model
+
+    def remove(self, model_id: int) -> None:
+        model = self._models.pop(model_id, None)
+        if model is None:
+            raise ModelNotFoundError(f"no captured model with id {model_id}")
+        key = (model.table_name, model.output_column)
+        if key in self._by_target and model_id in self._by_target[key]:
+            self._by_target[key].remove(model_id)
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get(self, model_id: int) -> CapturedModel:
+        try:
+            return self._models[model_id]
+        except KeyError:
+            raise ModelNotFoundError(f"no captured model with id {model_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self):
+        return iter(self._models.values())
+
+    def all_models(self) -> list[CapturedModel]:
+        return list(self._models.values())
+
+    def models_for_table(self, table_name: str, include_unusable: bool = False) -> list[CapturedModel]:
+        models = [m for m in self._models.values() if m.table_name == table_name]
+        if not include_unusable:
+            models = [m for m in models if m.is_usable]
+        return sorted(models, key=lambda m: m.model_id)
+
+    def candidates(
+        self,
+        table_name: str,
+        output_column: str,
+        required_inputs: Iterable[str] | None = None,
+        require_whole_table: bool = True,
+    ) -> list[CapturedModel]:
+        """Usable models that predict ``output_column`` of ``table_name``.
+
+        ``required_inputs`` restricts to models whose input (plus group)
+        columns are a subset of the columns the query can bind — the
+        "parameter space enumeration" precondition of §4.2.
+        """
+        key = (table_name, output_column)
+        models = [self._models[model_id] for model_id in self._by_target.get(key, [])]
+        models = [m for m in models if m.is_usable]
+        if require_whole_table:
+            models = [m for m in models if m.coverage.covers_whole_table]
+        if required_inputs is not None:
+            available = set(required_inputs)
+            models = [
+                m
+                for m in models
+                if set(m.input_columns) | set(m.group_columns) <= available
+            ]
+        return sorted(models, key=lambda m: m.model_id)
+
+    def best_model(
+        self,
+        table_name: str,
+        output_column: str,
+        required_inputs: Iterable[str] | None = None,
+        ranking: Callable[[CapturedModel], float] | None = None,
+    ) -> CapturedModel:
+        """The best usable model for a target column.
+
+        §4.1 ("Multiple, partial or grouped models ... it is not obvious how
+        to select the best model"): the default policy ranks by adjusted R²
+        and breaks ties with the newer capture.  A custom ``ranking``
+        callable can override this.
+        """
+        candidates = self.candidates(table_name, output_column, required_inputs)
+        if not candidates:
+            raise ModelNotFoundError(
+                f"no usable captured model predicts {output_column!r} of table {table_name!r}"
+            )
+        if ranking is None:
+            ranking = lambda m: (m.quality.adjusted_r_squared, m.model_id)  # noqa: E731
+        return max(candidates, key=ranking)
+
+    def has_model_for(self, table_name: str, output_column: str) -> bool:
+        return bool(self.candidates(table_name, output_column))
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def mark_table_stale(self, table_name: str) -> list[CapturedModel]:
+        """Mark every model of ``table_name`` stale (called when data changes)."""
+        stale = []
+        for model in self._models.values():
+            if model.table_name == table_name and model.status == "active":
+                model.mark_stale()
+                stale.append(model)
+        return stale
+
+    def retire_model(self, model_id: int) -> None:
+        self.get(model_id).retire()
+
+    def reactivate(self, model_id: int) -> None:
+        """Reactivate a stale model (e.g. after re-validation against new data)."""
+        self.get(model_id).status = "active"
+
+    # -- accounting --------------------------------------------------------------------------
+
+    def total_stored_bytes(self) -> int:
+        """Nominal storage cost of all usable captured models."""
+        return sum(model.stored_byte_size() for model in self._models.values() if model.is_usable)
+
+    def describe(self) -> str:
+        if not self._models:
+            return "(no captured models)"
+        return "\n".join(model.describe() for model in sorted(self._models.values(), key=lambda m: m.model_id))

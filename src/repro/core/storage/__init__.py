@@ -1,0 +1,15 @@
+"""Model-based physical storage (§4.1 of the paper)."""
+
+from repro.core.storage.model_switching import ModelLifecycleManager, RevalidationResult
+from repro.core.storage.semantic_compression import CompressedTable, CompressionStats, ModelCompressor
+from repro.core.storage.zero_io import ScanComparison, ZeroIOScanner
+
+__all__ = [
+    "CompressedTable",
+    "CompressionStats",
+    "ModelCompressor",
+    "ModelLifecycleManager",
+    "RevalidationResult",
+    "ScanComparison",
+    "ZeroIOScanner",
+]

@@ -1,0 +1,111 @@
+"""Zero-IO scans: answering scan-shaped work from the model alone.
+
+§4.1: "In the case of approximate queries, we do not even need to access the
+stored data at all, since we can use the model instead of the stored data to
+provide values.  This allows us to transform an IO-bound problem (scanning a
+large table on disk) into a CPU-bound problem (recalculating all the values
+from the model)."
+
+:class:`ZeroIOScanner` makes that trade measurable: it runs the same logical
+scan twice — once against the base table (charging the simulated IO model)
+and once against the model-generated virtual table (charging nothing) — and
+reports pages read, virtual IO time and wall-clock time for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Mapping, Sequence
+
+from repro.core.approx.enumeration import build_enumeration_plan, generate_virtual_table
+from repro.core.captured_model import CapturedModel
+from repro.db.database import Database
+from repro.db.table import Table
+
+__all__ = ["ScanComparison", "ZeroIOScanner"]
+
+
+@dataclass(frozen=True)
+class ScanComparison:
+    """Side-by-side cost of a raw scan vs. a model-backed (zero-IO) scan."""
+
+    raw_rows: int
+    raw_pages_read: int
+    raw_virtual_io_seconds: float
+    raw_wall_seconds: float
+    model_rows: int
+    model_pages_read: int
+    model_virtual_io_seconds: float
+    model_wall_seconds: float
+
+    @property
+    def pages_saved(self) -> int:
+        return self.raw_pages_read - self.model_pages_read
+
+    @property
+    def io_time_saved(self) -> float:
+        return self.raw_virtual_io_seconds - self.model_virtual_io_seconds
+
+    def summary(self) -> str:
+        return (
+            f"raw scan: {self.raw_rows} rows, {self.raw_pages_read} pages, "
+            f"{self.raw_virtual_io_seconds * 1e3:.2f} ms simulated IO; "
+            f"model scan: {self.model_rows} rows, {self.model_pages_read} pages, "
+            f"{self.model_virtual_io_seconds * 1e3:.2f} ms simulated IO"
+        )
+
+
+class ZeroIOScanner:
+    """Produces model-generated scans and compares them with raw scans."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def model_scan(
+        self,
+        model: CapturedModel,
+        pinned_values: Mapping[str, Sequence[Any]] | None = None,
+    ) -> Table:
+        """Generate the model's virtual table without touching the base table."""
+        stats = self.database.stats(model.table_name)
+        plan = build_enumeration_plan(model, stats, pinned_values=pinned_values)
+        return generate_virtual_table(model, plan)
+
+    def raw_scan(self, table_name: str, columns: Sequence[str] | None = None) -> Table:
+        """Scan the base table, charging the IO model for the bytes read."""
+        table = self.database.table(table_name)
+        column_list = list(columns) if columns is not None else None
+        self.database.io_model.charge_scan(table, column_list)
+        return table.select(column_list) if column_list is not None else table
+
+    def compare(
+        self,
+        model: CapturedModel,
+        pinned_values: Mapping[str, Sequence[Any]] | None = None,
+    ) -> ScanComparison:
+        """Run both scans and report their costs."""
+        columns = list(model.group_columns) + list(model.input_columns) + [model.output_column]
+
+        self.database.reset_io()
+        started = perf_counter()
+        raw = self.raw_scan(model.table_name, columns)
+        raw_wall = perf_counter() - started
+        raw_io = self.database.io_snapshot()
+
+        self.database.reset_io()
+        started = perf_counter()
+        virtual = self.model_scan(model, pinned_values=pinned_values)
+        model_wall = perf_counter() - started
+        model_io = self.database.io_snapshot()
+
+        return ScanComparison(
+            raw_rows=raw.num_rows,
+            raw_pages_read=int(raw_io["pages_read"]),
+            raw_virtual_io_seconds=float(raw_io["virtual_io_seconds"]),
+            raw_wall_seconds=raw_wall,
+            model_rows=virtual.num_rows,
+            model_pages_read=int(model_io["pages_read"]),
+            model_virtual_io_seconds=float(model_io["virtual_io_seconds"]),
+            model_wall_seconds=model_wall,
+        )

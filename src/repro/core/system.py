@@ -1,0 +1,180 @@
+"""The end-to-end system façade: a database that captures the laws of its data.
+
+:class:`LawsDatabase` wires together the relational substrate, the model
+store, the harvester, the approximate query engine and the model-based
+storage optimiser into the single object the paper envisions: "a database
+system which is able to gain unprecedented understanding by autonomous and
+proactive harvesting of statistical models as they are fitted to the stored
+data."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.approx.engine import ApproximateAnswer, ApproximateQueryEngine
+from repro.core.approx.anomalies import AnomalyReport, detect_anomalies
+from repro.core.captured_model import CapturedModel
+from repro.core.harvester import HarvestReport, ModelHarvester
+from repro.core.model_store import ModelStore
+from repro.core.quality import QualityPolicy
+from repro.core.storage.model_switching import ModelLifecycleManager
+from repro.core.storage.semantic_compression import CompressedTable, ModelCompressor
+from repro.core.storage.zero_io import ScanComparison, ZeroIOScanner
+from repro.core.strawman import StrawmanFrame
+from repro.db.database import Database
+from repro.db.io_model import IOParameters
+from repro.db.schema import Schema
+from repro.db.sql.executor import QueryResult
+from repro.db.table import Table
+from repro.errors import ModelNotFoundError
+
+__all__ = ["LawsDatabase"]
+
+
+class LawsDatabase:
+    """A relational database that harvests and exploits user models."""
+
+    def __init__(
+        self,
+        quality_policy: QualityPolicy | None = None,
+        io_parameters: IOParameters | None = None,
+        use_legal_filter: bool = False,
+    ) -> None:
+        self.database = Database(io_parameters)
+        self.models = ModelStore()
+        self.harvester = ModelHarvester(self.database, self.models, quality_policy)
+        self.approx = ApproximateQueryEngine(
+            self.database, self.models, use_legal_filter=use_legal_filter
+        )
+        self.lifecycle = ModelLifecycleManager(self.database, self.models, self.harvester)
+        self.zero_io = ZeroIOScanner(self.database)
+
+    # -- data management (delegated to the substrate) -----------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        return self.database.create_table(name, schema)
+
+    def register_table(self, table: Table, replace: bool = False) -> Table:
+        return self.database.register_table(table, replace=replace)
+
+    def load_dict(self, name: str, data: Mapping[str, Sequence[Any]], schema: Schema | None = None) -> Table:
+        return self.database.load_dict(name, data, schema)
+
+    def table(self, name: str) -> Table:
+        return self.database.table(name)
+
+    def table_names(self) -> list[str]:
+        return self.database.table_names()
+
+    def insert_rows(self, name: str, rows: Sequence[Sequence[Any]]) -> None:
+        """Append rows; captured models of the table become stale (§4.1)."""
+        self.database.insert_rows(name, rows)
+        self.lifecycle.on_data_changed(name)
+
+    # -- SQL ------------------------------------------------------------------------
+
+    def sql(self, query: str) -> QueryResult:
+        """Execute SQL exactly against the stored data."""
+        return self.database.sql(query)
+
+    def approximate_sql(self, query: str, allow_fallback: bool = True) -> ApproximateAnswer:
+        """Answer SQL approximately from captured models (§4.2)."""
+        return self.approx.answer(query, allow_fallback=allow_fallback)
+
+    def compare_sql(self, query: str) -> dict[str, Any]:
+        """Run a query both ways and report the approximation error."""
+        return self.approx.compare(query)
+
+    # -- model harvesting -----------------------------------------------------------------
+
+    def strawman(self, table_name: str, predicate_sql: str | None = None) -> StrawmanFrame:
+        """The user-facing proxy object whose fits are intercepted (Figure 2)."""
+        # Validate eagerly so typos fail fast.
+        self.database.table(table_name)
+        return StrawmanFrame(self, table_name, predicate_sql)
+
+    def fit(
+        self,
+        table_name: str,
+        formula: str,
+        group_by: str | list[str] | None = None,
+        **kwargs: Any,
+    ) -> HarvestReport:
+        """Fit a model formula in-database and capture it."""
+        return self.harvester.fit_and_capture(table_name, formula, group_by=group_by, **kwargs)
+
+    def captured_models(self, table_name: str | None = None) -> list[CapturedModel]:
+        if table_name is None:
+            return self.models.all_models()
+        return self.models.models_for_table(table_name, include_unusable=True)
+
+    def best_model(self, table_name: str, output_column: str) -> CapturedModel:
+        return self.models.best_model(table_name, output_column)
+
+    # -- storage optimisation ------------------------------------------------------------------
+
+    def compress_table(
+        self,
+        table_name: str,
+        model: CapturedModel | None = None,
+        quantisation_step: float = 0.0,
+    ) -> CompressedTable:
+        """Semantic compression of a table using a captured model (§4.1)."""
+        table = self.database.table(table_name)
+        if model is None:
+            model = self._any_model_for(table_name)
+        compressor = ModelCompressor(quantisation_step=quantisation_step)
+        return compressor.compress(table, model)
+
+    def compare_scan(self, table_name: str, output_column: str | None = None) -> ScanComparison:
+        """Raw scan vs. zero-IO model scan for a modelled table (§4.1)."""
+        model = (
+            self.models.best_model(table_name, output_column)
+            if output_column is not None
+            else self._any_model_for(table_name)
+        )
+        return self.zero_io.compare(model)
+
+    def anomalies(
+        self,
+        table_name: str,
+        output_column: str | None = None,
+        metric: str = "relative_rse",
+        mad_multiplier: float = 4.0,
+    ) -> AnomalyReport:
+        """Groups of a table that the captured model fails to explain (§4.2)."""
+        model = (
+            self.models.best_model(table_name, output_column)
+            if output_column is not None
+            else self._any_model_for(table_name)
+        )
+        return detect_anomalies(model, metric=metric, mad_multiplier=mad_multiplier)
+
+    # -- accounting -----------------------------------------------------------------------------
+
+    def storage_report(self) -> dict[str, Any]:
+        """Raw table bytes vs. captured-model bytes, per table and total."""
+        per_table: dict[str, dict[str, int]] = {}
+        for name in self.database.table_names():
+            raw = self.database.table(name).byte_size()
+            model_bytes = sum(
+                model.stored_byte_size() for model in self.models.models_for_table(name)
+            )
+            per_table[name] = {"raw_bytes": raw, "model_bytes": model_bytes}
+        return {
+            "tables": per_table,
+            "total_raw_bytes": sum(entry["raw_bytes"] for entry in per_table.values()),
+            "total_model_bytes": self.models.total_stored_bytes(),
+        }
+
+    def describe(self) -> str:
+        return f"{self.database.describe()}\n\nCaptured models:\n{self.models.describe()}"
+
+    # -- internals ---------------------------------------------------------------------------------
+
+    def _any_model_for(self, table_name: str) -> CapturedModel:
+        models = self.models.models_for_table(table_name)
+        if not models:
+            raise ModelNotFoundError(f"no usable captured model for table {table_name!r}")
+        return max(models, key=lambda m: (m.quality.adjusted_r_squared, m.model_id))

@@ -1,0 +1,14 @@
+"""Synthetic dataset generators.
+
+* :mod:`repro.datasets.lofar` — the paper's LOFAR Transients workload
+  (power-law radio sources, four frequency bands, interference noise).
+* :mod:`repro.datasets.tpcds_lite` — the TPC-DS-style star schema the paper
+  proposes for evaluation, with planted regularities.
+* :mod:`repro.datasets.sensors` — MauveDB-style sensor-network readings.
+* :mod:`repro.datasets.timeseries` — simple single-law series for tests and
+  ablations.
+"""
+
+from repro.datasets import lofar, sensors, timeseries, tpcds_lite
+
+__all__ = ["lofar", "sensors", "timeseries", "tpcds_lite"]

@@ -1,0 +1,239 @@
+"""TPC-DS-lite: a small star-schema generator with plantable regularities.
+
+§6 of the paper proposes evaluating a model-harvesting prototype on "the
+considerable regularity in the generated datasets for popular database
+benchmarks such as TPC-DS", using "the complex benchmark queries ... as
+tasks for approximate query answering".  The real TPC-DS toolkit is not
+redistributable, so this module generates a *scaled-down star schema in its
+spirit*: a large fact table whose measure columns follow known laws of the
+dimension attributes, plus small dimension tables.
+
+Schema
+------
+``store_sales`` (fact): ``sale_id, item_id, store_id, date_id, quantity,
+wholesale_cost, list_price, sales_price, net_profit``
+``item`` (dimension): ``item_id, category_id, base_cost``
+``store`` (dimension): ``store_id, region_id, size_factor``
+``date_dim`` (dimension): ``date_id, day_of_year, month, year``
+
+Planted regularities (the "laws" a harvester should be able to capture):
+
+* ``list_price ≈ markup_cat * wholesale_cost`` — linear per item category;
+* ``sales_price ≈ discount * list_price`` — linear, global;
+* per-store daily revenue follows a seasonal (sinusoidal) curve over
+  ``day_of_year`` scaled by the store's ``size_factor``;
+* ``net_profit ≈ sales_price - wholesale_cost`` (up to noise) — an exact
+  linear law queries can exploit analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.schema import ColumnDef, Schema
+from repro.db.table import Table
+from repro.db.types import DataType
+
+__all__ = ["TpcdsLiteConfig", "TpcdsLiteDataset", "generate", "load_into"]
+
+
+@dataclass(frozen=True)
+class TpcdsLiteConfig:
+    """Scale and noise knobs for the generator."""
+
+    num_items: int = 200
+    num_stores: int = 20
+    num_days: int = 365
+    num_categories: int = 8
+    num_regions: int = 4
+    sales_per_day_per_store: int = 12
+    price_noise: float = 0.03
+    profit_noise: float = 0.02
+    seed: int = 7
+
+
+@dataclass
+class TpcdsLiteDataset:
+    """Generated tables plus the planted ground-truth coefficients."""
+
+    config: TpcdsLiteConfig
+    store_sales: Table
+    item: Table
+    store: Table
+    date_dim: Table
+    #: category_id -> true markup used for list_price = markup * wholesale_cost
+    category_markup: dict[int, float]
+    #: global discount factor: sales_price = discount * list_price
+    discount: float
+
+    def tables(self) -> list[Table]:
+        return [self.store_sales, self.item, self.store, self.date_dim]
+
+    def byte_size(self) -> int:
+        return sum(table.byte_size() for table in self.tables())
+
+
+def generate(config: TpcdsLiteConfig | None = None, **overrides) -> TpcdsLiteDataset:
+    """Generate a TPC-DS-lite dataset."""
+    if config is None:
+        config = TpcdsLiteConfig(**overrides)
+    rng = np.random.default_rng(config.seed)
+
+    # --- dimensions ----------------------------------------------------------
+    item_ids = np.arange(1, config.num_items + 1, dtype=np.int64)
+    category_ids = rng.integers(1, config.num_categories + 1, config.num_items)
+    base_costs = np.round(rng.uniform(2.0, 80.0, config.num_items), 2)
+    item = Table.from_numpy(
+        "item",
+        Schema(
+            [
+                ColumnDef("item_id", DataType.INT64),
+                ColumnDef("category_id", DataType.INT64),
+                ColumnDef("base_cost", DataType.FLOAT64),
+            ]
+        ),
+        {"item_id": item_ids, "category_id": category_ids, "base_cost": base_costs},
+    )
+
+    store_ids = np.arange(1, config.num_stores + 1, dtype=np.int64)
+    region_ids = rng.integers(1, config.num_regions + 1, config.num_stores)
+    size_factors = np.round(rng.uniform(0.5, 2.5, config.num_stores), 3)
+    store = Table.from_numpy(
+        "store",
+        Schema(
+            [
+                ColumnDef("store_id", DataType.INT64),
+                ColumnDef("region_id", DataType.INT64),
+                ColumnDef("size_factor", DataType.FLOAT64),
+            ]
+        ),
+        {"store_id": store_ids, "region_id": region_ids, "size_factor": size_factors},
+    )
+
+    date_ids = np.arange(1, config.num_days + 1, dtype=np.int64)
+    day_of_year = ((date_ids - 1) % 365) + 1
+    month = ((day_of_year - 1) // 30) + 1
+    year = 2014 + (date_ids - 1) // 365
+    date_dim = Table.from_numpy(
+        "date_dim",
+        Schema(
+            [
+                ColumnDef("date_id", DataType.INT64),
+                ColumnDef("day_of_year", DataType.INT64),
+                ColumnDef("month", DataType.INT64),
+                ColumnDef("year", DataType.INT64),
+            ]
+        ),
+        {"date_id": date_ids, "day_of_year": day_of_year, "month": np.minimum(month, 12), "year": year},
+    )
+
+    # --- planted laws ----------------------------------------------------------
+    category_markup = {
+        int(cat): float(np.round(rng.uniform(1.3, 2.2), 3)) for cat in range(1, config.num_categories + 1)
+    }
+    discount = float(np.round(rng.uniform(0.85, 0.95), 3))
+
+    # --- fact table ------------------------------------------------------------
+    rows_per_day = config.sales_per_day_per_store * config.num_stores
+    total_rows = rows_per_day * config.num_days
+
+    sale_id = np.arange(1, total_rows + 1, dtype=np.int64)
+    fact_date = np.repeat(date_ids, rows_per_day)
+    fact_store = np.tile(np.repeat(store_ids, config.sales_per_day_per_store), config.num_days)
+    fact_item = rng.integers(1, config.num_items + 1, total_rows)
+
+    item_cost = base_costs[fact_item - 1]
+    item_category = category_ids[fact_item - 1]
+    markup = np.array([category_markup[int(c)] for c in item_category])
+    store_size = size_factors[fact_store - 1]
+    day = day_of_year[fact_date - 1].astype(np.float64)
+
+    # Seasonal demand drives quantity: peak around day ~350 (holidays).
+    seasonal = 1.0 + 0.5 * np.sin(2.0 * np.pi * (day - 260.0) / 365.0)
+    quantity = np.maximum(1, rng.poisson(2.0 * store_size * seasonal)).astype(np.int64)
+
+    wholesale_cost = np.round(item_cost * (1.0 + rng.normal(0.0, 0.01, total_rows)), 2)
+    list_price = np.round(markup * wholesale_cost * (1.0 + rng.normal(0.0, config.price_noise, total_rows)), 2)
+    sales_price = np.round(discount * list_price * (1.0 + rng.normal(0.0, config.price_noise, total_rows)), 2)
+    net_profit = np.round(
+        (sales_price - wholesale_cost) * quantity * (1.0 + rng.normal(0.0, config.profit_noise, total_rows)), 2
+    )
+
+    store_sales = Table.from_numpy(
+        "store_sales",
+        Schema(
+            [
+                ColumnDef("sale_id", DataType.INT64),
+                ColumnDef("item_id", DataType.INT64),
+                ColumnDef("store_id", DataType.INT64),
+                ColumnDef("date_id", DataType.INT64),
+                ColumnDef("quantity", DataType.INT64),
+                ColumnDef("wholesale_cost", DataType.FLOAT64),
+                ColumnDef("list_price", DataType.FLOAT64),
+                ColumnDef("sales_price", DataType.FLOAT64),
+                ColumnDef("net_profit", DataType.FLOAT64),
+            ]
+        ),
+        {
+            "sale_id": sale_id,
+            "item_id": fact_item,
+            "store_id": fact_store,
+            "date_id": fact_date,
+            "quantity": quantity,
+            "wholesale_cost": wholesale_cost,
+            "list_price": list_price,
+            "sales_price": sales_price,
+            "net_profit": net_profit,
+        },
+    )
+
+    return TpcdsLiteDataset(
+        config=config,
+        store_sales=store_sales,
+        item=item,
+        store=store,
+        date_dim=date_dim,
+        category_markup=category_markup,
+        discount=discount,
+    )
+
+
+def load_into(database: Database, dataset: TpcdsLiteDataset | None = None, **overrides) -> TpcdsLiteDataset:
+    """Generate (if needed) and register all TPC-DS-lite tables in a database."""
+    if dataset is None:
+        dataset = generate(**overrides)
+    for table in dataset.tables():
+        database.register_table(table, replace=True)
+    return dataset
+
+
+#: A handful of benchmark-style aggregate queries over the star schema,
+#: used both by the examples and by the TPC-DS approximate-query benchmark.
+BENCHMARK_QUERIES: Sequence[tuple[str, str]] = (
+    (
+        "q1_total_revenue",
+        "SELECT sum(sales_price) AS total_revenue FROM store_sales",
+    ),
+    (
+        "q2_avg_profit_per_store",
+        "SELECT store_id, avg(net_profit) AS avg_profit FROM store_sales GROUP BY store_id ORDER BY store_id",
+    ),
+    (
+        "q3_monthly_revenue",
+        "SELECT d.month AS month, sum(s.sales_price) AS revenue "
+        "FROM store_sales s JOIN date_dim d ON s.date_id = d.date_id "
+        "GROUP BY d.month ORDER BY month",
+    ),
+    (
+        "q4_high_value_sales",
+        "SELECT count(*) AS n FROM store_sales WHERE sales_price > 100.0",
+    ),
+    (
+        "q5_avg_list_price",
+        "SELECT avg(list_price) AS avg_list FROM store_sales WHERE wholesale_cost BETWEEN 20.0 AND 60.0",
+    ),
+)

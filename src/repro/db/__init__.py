@@ -1,0 +1,35 @@
+"""Relational database substrate.
+
+A pure-Python, in-memory, columnar relational engine with a SQL subset, a
+simulated IO cost model, per-column statistics and an in-database UDF layer
+(the "embedded statistical environment" the paper assumes).
+"""
+
+from repro.db.catalog import Catalog
+from repro.db.column import Column
+from repro.db.database import Database
+from repro.db.io_model import IOAccountant, IOModel, IOParameters
+from repro.db.schema import ColumnDef, Schema
+from repro.db.stats import ColumnStats, TableStats, compute_column_stats, compute_table_stats
+from repro.db.table import Table
+from repro.db.types import DataType
+from repro.db.expressions import col, lit
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnDef",
+    "ColumnStats",
+    "Database",
+    "DataType",
+    "IOAccountant",
+    "IOModel",
+    "IOParameters",
+    "Schema",
+    "Table",
+    "TableStats",
+    "col",
+    "compute_column_stats",
+    "compute_table_stats",
+    "lit",
+]

@@ -1,0 +1,112 @@
+"""System catalog: the registry of base tables and their statistics.
+
+The catalog owns every base :class:`~repro.db.table.Table`, keeps their
+:class:`~repro.db.stats.TableStats` fresh, and exposes lookups used by the
+planner, the model harvester and the storage optimiser.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.db.schema import Schema
+from repro.db.stats import TableStats, compute_table_stats
+from repro.db.table import Table
+from repro.errors import CatalogError
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A registry mapping table names to tables and their statistics."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+        self._stats_dirty: set[str] = set()
+
+    # -- registration ----------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create and register an empty table."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table.empty(name, schema)
+        self._tables[name] = table
+        self._stats_dirty.add(name)
+        return table
+
+    def register_table(self, table: Table, replace: bool = False) -> Table:
+        """Register an existing table object under its own name."""
+        if table.name in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        self._stats_dirty.add(table.name)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+        self._stats.pop(name, None)
+        self._stats_dirty.discard(name)
+
+    def replace_table(self, table: Table) -> None:
+        """Replace the stored table (e.g. after appends return a new object)."""
+        if table.name not in self._tables:
+            raise CatalogError(f"cannot replace unknown table {table.name!r}")
+        self._tables[table.name] = table
+        self._stats_dirty.add(table.name)
+
+    # -- lookup -------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}; known tables: {sorted(self._tables)}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # -- statistics -----------------------------------------------------------------
+
+    def mark_dirty(self, name: str) -> None:
+        """Mark a table's statistics as stale (call after in-place appends)."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        self._stats_dirty.add(name)
+
+    def stats(self, name: str) -> TableStats:
+        """Return (and lazily recompute) statistics for ``name``."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        if name in self._stats_dirty or name not in self._stats:
+            self._stats[name] = compute_table_stats(self._tables[name])
+            self._stats_dirty.discard(name)
+        return self._stats[name]
+
+    def total_bytes(self) -> int:
+        """Total nominal storage footprint of all registered tables."""
+        return sum(table.byte_size() for table in self._tables.values())
+
+    def describe(self) -> str:
+        """A human-readable summary of the catalog contents."""
+        lines = []
+        for name in self.table_names():
+            table = self._tables[name]
+            columns = ", ".join(f"{c.name}:{c.dtype.value}" for c in table.schema)
+            lines.append(f"{name} ({table.num_rows} rows, {table.byte_size()} bytes): {columns}")
+        return "\n".join(lines) if lines else "(empty catalog)"

@@ -1,0 +1,204 @@
+"""Columnar storage: a single column of values plus a validity bitmap.
+
+The engine stores every table column as a :class:`Column` — a packed NumPy
+array together with a boolean validity mask (True = value present, False =
+SQL NULL).  All physical operators exchange data as columns, which keeps the
+hot paths vectorised and makes the byte accounting used by the compression
+experiments straightforward.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.db.types import DataType, is_null, null_value, python_value
+from repro.errors import TypeMismatchError
+
+__all__ = ["Column"]
+
+
+class Column:
+    """A typed column of values with NULL tracking.
+
+    Parameters
+    ----------
+    dtype:
+        Declared type of the column.
+    values:
+        Packed NumPy array of values (``dtype.numpy_dtype``).
+    validity:
+        Boolean array of the same length; False marks NULL positions.
+    """
+
+    __slots__ = ("dtype", "values", "validity")
+
+    def __init__(self, dtype: DataType, values: np.ndarray, validity: np.ndarray | None = None) -> None:
+        self.dtype = dtype
+        self.values = np.asarray(values, dtype=dtype.numpy_dtype)
+        if validity is None:
+            validity = np.ones(len(self.values), dtype=bool)
+        self.validity = np.asarray(validity, dtype=bool)
+        if len(self.validity) != len(self.values):
+            raise TypeMismatchError(
+                f"validity mask length {len(self.validity)} != values length {len(self.values)}"
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, dtype: DataType, values: Sequence[Any]) -> "Column":
+        """Build a column from plain python values (``None`` becomes NULL)."""
+        packed = []
+        validity = np.ones(len(values), dtype=bool)
+        sentinel = null_value(dtype)
+        for i, value in enumerate(values):
+            if value is None:
+                packed.append(sentinel)
+                validity[i] = False
+            else:
+                packed.append(dtype.coerce(value))
+        array = np.array(packed, dtype=dtype.numpy_dtype) if packed else np.empty(0, dtype=dtype.numpy_dtype)
+        return cls(dtype, array, validity)
+
+    @classmethod
+    def from_numpy(cls, dtype: DataType, array: np.ndarray) -> "Column":
+        """Build a column directly from a NumPy array (NaN -> NULL for floats)."""
+        array = np.asarray(array, dtype=dtype.numpy_dtype)
+        if dtype is DataType.FLOAT64:
+            validity = ~np.isnan(array)
+        else:
+            validity = np.ones(len(array), dtype=bool)
+        return cls(dtype, array, validity)
+
+    @classmethod
+    def empty(cls, dtype: DataType) -> "Column":
+        return cls(dtype, np.empty(0, dtype=dtype.numpy_dtype), np.empty(0, dtype=bool))
+
+    @classmethod
+    def infer(cls, values: Sequence[Any]) -> "Column":
+        """Infer the dtype from ``values`` and build a column."""
+        dtype = DataType.infer_common(list(values))
+        return cls.from_values(dtype, values)
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, index: int) -> Any:
+        return python_value(self.dtype, self.values[index], bool(self.validity[index]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.dtype is other.dtype and self.to_pylist() == other.to_pylist()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        preview = ", ".join(repr(v) for v in self.to_pylist()[:5])
+        suffix = ", ..." if len(self) > 5 else ""
+        return f"Column({self.dtype.value}, [{preview}{suffix}], n={len(self)})"
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_pylist(self) -> list[Any]:
+        """Return the column as a list of python values (None for NULL)."""
+        return [self[i] for i in range(len(self))]
+
+    def to_numpy(self) -> np.ndarray:
+        """Return the packed value array.
+
+        Float columns encode NULL as NaN; integer columns use the INT64 min
+        sentinel.  Use :attr:`validity` to distinguish genuine values.
+        """
+        return self.values
+
+    def nonnull_numpy(self) -> np.ndarray:
+        """Return only the non-NULL values as a NumPy array."""
+        return self.values[self.validity]
+
+    # -- null accounting -----------------------------------------------------
+
+    @property
+    def null_count(self) -> int:
+        return int((~self.validity).sum())
+
+    @property
+    def has_nulls(self) -> bool:
+        return bool((~self.validity).any())
+
+    # -- derivation ----------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by integer index (used by joins, sorts and filters)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Column(self.dtype, self.values[indices], self.validity[indices])
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Keep only rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        return Column(self.dtype, self.values[mask], self.validity[mask])
+
+    def slice(self, start: int, stop: int) -> "Column":
+        return Column(self.dtype, self.values[start:stop], self.validity[start:stop])
+
+    def concat(self, other: "Column") -> "Column":
+        if other.dtype is not self.dtype:
+            raise TypeMismatchError(
+                f"cannot concatenate {self.dtype.value} column with {other.dtype.value} column"
+            )
+        return Column(
+            self.dtype,
+            np.concatenate([self.values, other.values]),
+            np.concatenate([self.validity, other.validity]),
+        )
+
+    def append_value(self, value: Any) -> "Column":
+        """Return a new column with ``value`` appended (None for NULL)."""
+        if value is None:
+            new_values = np.append(self.values, null_value(self.dtype))
+            new_validity = np.append(self.validity, False)
+        else:
+            new_values = np.append(self.values, self.dtype.coerce(value))
+            new_validity = np.append(self.validity, True)
+        return Column(self.dtype, new_values.astype(self.dtype.numpy_dtype), new_validity)
+
+    # -- storage accounting --------------------------------------------------
+
+    def byte_size(self) -> int:
+        """Nominal storage footprint in bytes (values only, fixed-width accounting)."""
+        return len(self) * self.dtype.byte_width
+
+    # -- statistics helpers --------------------------------------------------
+
+    def distinct_values(self) -> list[Any]:
+        """Distinct non-NULL values, sorted when the type is orderable."""
+        values = {v for v in self.to_pylist() if v is not None}
+        try:
+            return sorted(values)
+        except TypeError:  # pragma: no cover - mixed types cannot occur for typed columns
+            return list(values)
+
+    def min(self) -> Any:
+        data = self.nonnull_numpy()
+        if len(data) == 0:
+            return None
+        if self.dtype is DataType.STRING:
+            return min(data)
+        return python_value(self.dtype, data.min())
+
+    def max(self) -> Any:
+        data = self.nonnull_numpy()
+        if len(data) == 0:
+            return None
+        if self.dtype is DataType.STRING:
+            return max(data)
+        return python_value(self.dtype, data.max())
+
+    def is_value_null(self, index: int) -> bool:
+        return not bool(self.validity[index]) or is_null(self.dtype, self.values[index])

@@ -1,0 +1,98 @@
+"""The :class:`Database` façade: catalog + SQL executor + IO model + UDFs.
+
+This is the substrate object the rest of the library builds on.  The model
+harvesting system (:class:`repro.core.system.LawsDatabase`) wraps a
+``Database`` and adds the model store, the interception hooks and the
+approximate query engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.db.catalog import Catalog
+from repro.db.io_model import IOModel, IOParameters
+from repro.db.schema import Schema
+from repro.db.sql.executor import QueryResult, SQLExecutor
+from repro.db.stats import TableStats
+from repro.db.table import Table
+from repro.db.udf import UDFRegistry
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory columnar relational database with a SQL subset."""
+
+    def __init__(self, io_parameters: IOParameters | None = None) -> None:
+        self.catalog = Catalog()
+        self.io_model = IOModel(io_parameters)
+        self.udfs = UDFRegistry()
+        self._executor = SQLExecutor(self.catalog, self.io_model)
+
+    # -- DDL / data loading -----------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create an empty table with the given schema."""
+        return self.catalog.create_table(name, schema)
+
+    def register_table(self, table: Table, replace: bool = False) -> Table:
+        """Register an existing :class:`Table` under its own name."""
+        return self.catalog.register_table(table, replace=replace)
+
+    def load_dict(self, name: str, data: Mapping[str, Sequence[Any]], schema: Schema | None = None) -> Table:
+        """Create and register a table from a column mapping (types inferred)."""
+        table = Table.from_dict(name, data, schema)
+        return self.catalog.register_table(table)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    def insert_rows(self, name: str, rows: Sequence[Sequence[Any]]) -> None:
+        """Append row tuples to an existing table."""
+        self.catalog.table(name).append_rows(rows)
+        self.catalog.mark_dirty(name)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.catalog.has_table(name)
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    def stats(self, name: str) -> TableStats:
+        return self.catalog.stats(name)
+
+    # -- SQL ------------------------------------------------------------------------
+
+    def sql(self, query: str) -> QueryResult:
+        """Execute a SQL statement and return its result."""
+        return self._executor.execute(query)
+
+    def query(self, query: str) -> Table:
+        """Execute a SELECT and return just the result table."""
+        return self._executor.execute(query).table
+
+    def explain(self, query: str) -> str:
+        """Return the physical plan text for a SELECT statement."""
+        return self._executor.explain(query)
+
+    # -- accounting -------------------------------------------------------------------
+
+    def reset_io(self) -> None:
+        """Reset the simulated IO counters (benchmarks call this between runs)."""
+        self.io_model.reset()
+
+    def io_snapshot(self) -> dict[str, float]:
+        return self.io_model.snapshot()
+
+    def total_bytes(self) -> int:
+        """Total nominal storage footprint of all tables."""
+        return self.catalog.total_bytes()
+
+    def describe(self) -> str:
+        return self.catalog.describe()

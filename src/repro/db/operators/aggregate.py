@@ -1,0 +1,189 @@
+"""Group-by / aggregate operator.
+
+Supports the aggregate functions the paper's queries and the TPC-DS-lite
+benchmark need: COUNT, COUNT(*), SUM, AVG, MIN, MAX, STDDEV and VAR.
+Grouping is hash-based on the python values of the key columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.db.column import Column
+from repro.db.expressions import ColumnRef, Expression
+from repro.db.operators.base import Operator
+from repro.db.schema import ColumnDef, Schema
+from repro.db.table import Table
+from repro.db.types import DataType
+from repro.errors import ExecutionError
+
+__all__ = ["AggregateSpec", "Aggregate", "SUPPORTED_AGGREGATES", "compute_aggregate"]
+
+SUPPORTED_AGGREGATES = {"count", "sum", "avg", "min", "max", "stddev", "var"}
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output: function, input expression (None for COUNT(*)), alias."""
+
+    function: str
+    expression: Expression | None
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.function.lower() not in SUPPORTED_AGGREGATES:
+            raise ExecutionError(
+                f"unsupported aggregate function {self.function!r}; "
+                f"supported: {sorted(SUPPORTED_AGGREGATES)}"
+            )
+
+    @property
+    def name(self) -> str:
+        if self.alias is not None:
+            return self.alias
+        arg = "*" if self.expression is None else self.expression.output_name()
+        return f"{self.function.lower()}({arg})"
+
+    @property
+    def output_dtype(self) -> DataType:
+        if self.function.lower() == "count":
+            return DataType.INT64
+        return DataType.FLOAT64
+
+
+def compute_aggregate(function: str, values: np.ndarray) -> Any:
+    """Compute a single aggregate over non-NULL float values."""
+    function = function.lower()
+    if function == "count":
+        return int(len(values))
+    if len(values) == 0:
+        return None
+    if function == "sum":
+        return float(np.sum(values))
+    if function == "avg":
+        return float(np.mean(values))
+    if function == "min":
+        return float(np.min(values))
+    if function == "max":
+        return float(np.max(values))
+    if function == "stddev":
+        return float(np.std(values, ddof=1)) if len(values) > 1 else 0.0
+    if function == "var":
+        return float(np.var(values, ddof=1)) if len(values) > 1 else 0.0
+    raise ExecutionError(f"unsupported aggregate function {function!r}")
+
+
+class Aggregate(Operator):
+    """Hash aggregation with optional grouping keys."""
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: list[Expression],
+        aggregates: list[AggregateSpec],
+    ) -> None:
+        self.child = child
+        self.group_by = group_by
+        self.aggregates = aggregates
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(str(e) for e in self.group_by)
+        aggs = ", ".join(a.name for a in self.aggregates)
+        return f"Aggregate(group_by=[{keys}], aggregates=[{aggs}])"
+
+    def execute(self) -> Table:
+        table = self.child.execute()
+        return self.apply(table)
+
+    def apply(self, table: Table) -> Table:
+        """Aggregate an already-materialised table (shared with the AQP engine)."""
+        key_columns = [expr.evaluate(table) for expr in self.group_by]
+        agg_inputs: list[Column | None] = []
+        for spec in self.aggregates:
+            if spec.expression is None:
+                agg_inputs.append(None)
+            else:
+                agg_inputs.append(spec.expression.evaluate(table))
+
+        if not self.group_by:
+            return self._global_aggregate(table, agg_inputs)
+        return self._grouped_aggregate(table, key_columns, agg_inputs)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _output_schema(self) -> Schema:
+        defs = []
+        for expr in self.group_by:
+            name = expr.output_name() if not isinstance(expr, ColumnRef) else expr.name
+            # dtype is resolved at execute time; placeholder is FLOAT64 and fixed below.
+            defs.append(ColumnDef(name, DataType.FLOAT64))
+        for spec in self.aggregates:
+            defs.append(ColumnDef(spec.name, spec.output_dtype))
+        return Schema(defs)
+
+    def _global_aggregate(self, table: Table, agg_inputs: list[Column | None]) -> Table:
+        values: dict[str, list[Any]] = {}
+        defs: list[ColumnDef] = []
+        for spec, column in zip(self.aggregates, agg_inputs):
+            result = self._aggregate_one(spec, column, table.num_rows)
+            values[spec.name] = [result]
+            defs.append(ColumnDef(spec.name, spec.output_dtype))
+        columns = {
+            name: Column.from_values(next(d.dtype for d in defs if d.name == name), vals)
+            for name, vals in values.items()
+        }
+        return Table("aggregate", Schema(defs), columns)
+
+    def _grouped_aggregate(
+        self, table: Table, key_columns: list[Column], agg_inputs: list[Column | None]
+    ) -> Table:
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        key_lists = [column.to_pylist() for column in key_columns]
+        for row_index in range(table.num_rows):
+            key = tuple(key_list[row_index] for key_list in key_lists)
+            groups.setdefault(key, []).append(row_index)
+
+        key_names = []
+        for expr in self.group_by:
+            key_names.append(expr.name if isinstance(expr, ColumnRef) else expr.output_name())
+
+        out_values: dict[str, list[Any]] = {name: [] for name in key_names}
+        for spec in self.aggregates:
+            out_values[spec.name] = []
+
+        for key, indices in groups.items():
+            for name, key_value in zip(key_names, key):
+                out_values[name].append(key_value)
+            row_indices = np.array(indices, dtype=np.int64)
+            for spec, column in zip(self.aggregates, agg_inputs):
+                subset = column.take(row_indices) if column is not None else None
+                out_values[spec.name].append(self._aggregate_one(spec, subset, len(indices)))
+
+        defs = []
+        columns = {}
+        for name, key_column in zip(key_names, key_columns):
+            columns[name] = Column.from_values(key_column.dtype, out_values[name])
+            defs.append(ColumnDef(name, key_column.dtype))
+        for spec in self.aggregates:
+            columns[spec.name] = Column.from_values(spec.output_dtype, out_values[spec.name])
+            defs.append(ColumnDef(spec.name, spec.output_dtype))
+        return Table("aggregate", Schema(defs), columns)
+
+    @staticmethod
+    def _aggregate_one(spec: AggregateSpec, column: Column | None, group_size: int) -> Any:
+        function = spec.function.lower()
+        if column is None:
+            if function != "count":
+                raise ExecutionError(f"aggregate {function!r} requires an argument")
+            return group_size
+        if function == "count":
+            return group_size - column.null_count
+        if not column.dtype.is_numeric:
+            raise ExecutionError(f"aggregate {function!r} requires a numeric argument")
+        return compute_aggregate(function, column.nonnull_numpy().astype(np.float64))

@@ -1,0 +1,36 @@
+"""Operator base class."""
+
+from __future__ import annotations
+
+from repro.db.table import Table
+
+__all__ = ["Operator"]
+
+
+class Operator:
+    """A node in a physical query plan.
+
+    Operators are pull-based at table granularity: calling :meth:`execute`
+    recursively executes the children and returns the full result table.
+    This is the simplest execution model that still lets the benchmarks
+    measure per-query IO and CPU, which is all the paper's experiments need.
+    """
+
+    def execute(self) -> Table:
+        """Execute this operator (and its subtree) and return the result."""
+        raise NotImplementedError
+
+    def children(self) -> list["Operator"]:
+        """Child operators, for plan display and rewriting."""
+        return []
+
+    def explain(self, indent: int = 0) -> str:
+        """Render the plan subtree as indented text."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        return type(self).__name__

@@ -1,0 +1,89 @@
+"""Hash join operator (inner equi-join)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.operators.base import Operator
+from repro.db.schema import ColumnDef, Schema
+from repro.db.table import Table
+from repro.errors import ExecutionError
+
+__all__ = ["HashJoin"]
+
+
+class HashJoin(Operator):
+    """Inner equi-join on one or more key column pairs.
+
+    The right (build) side is hashed; the left (probe) side streams through.
+    Output columns are the left columns followed by the right columns; when a
+    name collides, the right column is prefixed with ``<right_table>.``.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: list[str],
+        right_keys: list[str],
+    ) -> None:
+        if len(left_keys) != len(right_keys):
+            raise ExecutionError("join requires the same number of left and right keys")
+        if not left_keys:
+            raise ExecutionError("join requires at least one key column")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+
+    def children(self) -> list[Operator]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        conditions = ", ".join(f"{l} = {r}" for l, r in zip(self.left_keys, self.right_keys))
+        return f"HashJoin({conditions})"
+
+    def execute(self) -> Table:
+        left_table = self.left.execute()
+        right_table = self.right.execute()
+
+        # Build phase: hash the right side on its key values.
+        build: dict[tuple, list[int]] = {}
+        right_key_lists = [right_table.column(k).to_pylist() for k in self.right_keys]
+        for row_index in range(right_table.num_rows):
+            key = tuple(key_list[row_index] for key_list in right_key_lists)
+            if any(part is None for part in key):
+                continue  # NULL keys never match in an inner join
+            build.setdefault(key, []).append(row_index)
+
+        # Probe phase.
+        left_indices: list[int] = []
+        right_indices: list[int] = []
+        left_key_lists = [left_table.column(k).to_pylist() for k in self.left_keys]
+        for row_index in range(left_table.num_rows):
+            key = tuple(key_list[row_index] for key_list in left_key_lists)
+            if any(part is None for part in key):
+                continue
+            for match in build.get(key, ()):
+                left_indices.append(row_index)
+                right_indices.append(match)
+
+        left_result = left_table.take(np.array(left_indices, dtype=np.int64))
+        right_result = right_table.take(np.array(right_indices, dtype=np.int64))
+
+        # Stitch the two sides together, disambiguating clashing names.
+        defs: list[ColumnDef] = list(left_result.schema.columns)
+        columns = left_result.columns()
+        existing = set(left_result.schema.names)
+        for col_def in right_result.schema:
+            out_name = col_def.name
+            if out_name in existing:
+                out_name = f"{right_table.name}.{col_def.name}"
+            if out_name in existing:
+                raise ExecutionError(f"cannot disambiguate join output column {col_def.name!r}")
+            defs.append(ColumnDef(out_name, col_def.dtype, col_def.nullable))
+            columns[out_name] = right_result.column(col_def.name)
+            existing.add(out_name)
+
+        name = f"{left_table.name}_join_{right_table.name}"
+        return Table(name, Schema(defs), columns)

@@ -1,0 +1,57 @@
+"""Leaf operators: base-table scans and pre-materialised inputs."""
+
+from __future__ import annotations
+
+from repro.db.io_model import IOModel
+from repro.db.operators.base import Operator
+from repro.db.table import Table
+
+__all__ = ["TableScan", "MaterializedInput"]
+
+
+class TableScan(Operator):
+    """Scan a base table, charging the simulated IO model for the bytes read.
+
+    ``projected_columns`` narrows the scan to the columns a query actually
+    touches (columnar storage means unread columns cost no IO), which is what
+    makes the zero-IO comparison honest: the raw-scan side is charged only
+    for the columns it needs.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        io_model: IOModel | None = None,
+        projected_columns: list[str] | None = None,
+    ) -> None:
+        self.table = table
+        self.io_model = io_model
+        self.projected_columns = projected_columns
+
+    def execute(self) -> Table:
+        if self.io_model is not None:
+            self.io_model.charge_scan(self.table, self.projected_columns)
+        if self.projected_columns is not None:
+            return self.table.select(self.projected_columns)
+        return self.table
+
+    def describe(self) -> str:
+        cols = "*" if self.projected_columns is None else ", ".join(self.projected_columns)
+        return f"TableScan({self.table.name}, columns=[{cols}])"
+
+
+class MaterializedInput(Operator):
+    """Wrap an already-materialised table (no IO charged).
+
+    Used for intermediate results, model-generated tables (the zero-IO path)
+    and test fixtures.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def execute(self) -> Table:
+        return self.table
+
+    def describe(self) -> str:
+        return f"MaterializedInput({self.table.name}, rows={self.table.num_rows})"

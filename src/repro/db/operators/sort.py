@@ -1,0 +1,27 @@
+"""Sort operator (ORDER BY)."""
+
+from __future__ import annotations
+
+from repro.db.operators.base import Operator
+from repro.db.table import Table
+
+__all__ = ["Sort"]
+
+
+class Sort(Operator):
+    """Stable multi-key sort; keys are ``(column_name, ascending)`` pairs."""
+
+    def __init__(self, child: Operator, keys: list[tuple[str, bool]]) -> None:
+        self.child = child
+        self.keys = keys
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def describe(self) -> str:
+        rendered = ", ".join(f"{name} {'ASC' if asc else 'DESC'}" for name, asc in self.keys)
+        return f"Sort({rendered})"
+
+    def execute(self) -> Table:
+        table = self.child.execute()
+        return table.sort_by(self.keys)

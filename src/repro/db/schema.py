@@ -1,0 +1,127 @@
+"""Table schemas: ordered, typed column definitions.
+
+A :class:`Schema` is an immutable description of a table's columns.  It is
+shared by base tables, intermediate operator results and query results, so
+everything in the engine that produces rows carries one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.db.types import DataType
+from repro.errors import SchemaError
+
+__all__ = ["ColumnDef", "Schema"]
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A single column definition: name, type and nullability."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.dtype, DataType):
+            raise SchemaError(f"column {self.name!r}: dtype must be a DataType, got {self.dtype!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        null = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.dtype.value.upper()}{null}"
+
+
+class Schema:
+    """An ordered collection of :class:`ColumnDef` with unique names."""
+
+    def __init__(self, columns: Iterable[ColumnDef]) -> None:
+        self._columns: tuple[ColumnDef, ...] = tuple(columns)
+        names = [c.name for c in self._columns]
+        if len(names) != len(set(names)):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names in schema: {duplicates}")
+        self._index = {c.name: i for i, c in enumerate(self._columns)}
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def of(cls, **columns: DataType) -> "Schema":
+        """Build a schema from keyword arguments: ``Schema.of(a=DataType.INT64)``."""
+        return cls(ColumnDef(name, dtype) for name, dtype in columns.items())
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[str, DataType]]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs."""
+        return cls(ColumnDef(name, dtype) for name, dtype in pairs)
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[ColumnDef, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[ColumnDef]:
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def column(self, name: str) -> ColumnDef:
+        """Return the definition of column ``name`` (raises SchemaError if absent)."""
+        try:
+            return self._columns[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}; available: {self.names}") from None
+
+    def index_of(self, name: str) -> int:
+        """Return the ordinal position of column ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}; available: {self.names}") from None
+
+    def dtype_of(self, name: str) -> DataType:
+        return self.column(name).dtype
+
+    # -- derivation ---------------------------------------------------------
+
+    def select(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema(self.column(name) for name in names)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """A new schema with columns renamed according to ``mapping``."""
+        return Schema(
+            ColumnDef(mapping.get(c.name, c.name), c.dtype, c.nullable) for c in self._columns
+        )
+
+    def concat(self, other: "Schema") -> "Schema":
+        """A new schema with this schema's columns followed by ``other``'s."""
+        return Schema(list(self._columns) + list(other.columns))
+
+    def row_byte_width(self) -> int:
+        """Nominal width of one row in bytes (used by the IO model)."""
+        return sum(c.dtype.byte_width for c in self._columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(str(c) for c in self._columns)
+        return f"Schema({cols})"

@@ -1,0 +1,19 @@
+"""SQL front-end: lexer, parser, logical AST, planner and executor.
+
+The supported dialect is a deliberately small subset of SQL — enough to
+express every query in the paper and in the benchmark suite:
+
+* ``SELECT`` lists with expressions, aliases, ``*`` and aggregate functions,
+* ``FROM`` with inner ``JOIN ... ON`` equi-joins,
+* ``WHERE`` with arithmetic, comparisons, ``AND``/``OR``/``NOT``,
+  ``BETWEEN``, ``IN`` and ``IS [NOT] NULL``,
+* ``GROUP BY``, ``HAVING``, ``ORDER BY``, ``LIMIT``/``OFFSET``,
+* ``CREATE TABLE`` and ``INSERT INTO ... VALUES``.
+"""
+
+from repro.db.sql.lexer import tokenize, Token, TokenType
+from repro.db.sql.parser import parse
+from repro.db.sql.planner import plan_select
+from repro.db.sql.executor import SQLExecutor
+
+__all__ = ["tokenize", "Token", "TokenType", "parse", "plan_select", "SQLExecutor"]

@@ -1,0 +1,109 @@
+"""SQL statement executor: ties the parser, planner and operators together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.db.catalog import Catalog
+from repro.db.io_model import IOModel
+from repro.db.schema import ColumnDef, Schema
+from repro.db.sql.ast import CreateTableStatement, InsertStatement, SelectStatement
+from repro.db.sql.parser import parse
+from repro.db.sql.planner import plan_select
+from repro.db.table import Table
+from repro.errors import SQLPlanningError, UnsupportedSQLError
+
+__all__ = ["QueryResult", "SQLExecutor"]
+
+
+@dataclass
+class QueryResult:
+    """The result of executing one SQL statement."""
+
+    table: Table
+    statement_type: str
+    elapsed_seconds: float
+    io: dict[str, float] = field(default_factory=dict)
+    plan_text: str = ""
+
+    def rows(self) -> list[tuple]:
+        return self.table.to_rows()
+
+    def scalar(self):
+        """Return the single value of a 1x1 result (raises otherwise)."""
+        if self.table.num_rows != 1 or self.table.num_columns != 1:
+            raise SQLPlanningError(
+                f"scalar() requires a 1x1 result, got {self.table.num_rows}x{self.table.num_columns}"
+            )
+        return self.table.row(0)[0]
+
+
+class SQLExecutor:
+    """Execute SQL statements against a catalog, charging the IO model."""
+
+    def __init__(self, catalog: Catalog, io_model: IOModel | None = None) -> None:
+        self.catalog = catalog
+        self.io_model = io_model or IOModel()
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute one SQL statement."""
+        statement = parse(sql)
+        started = perf_counter()
+        io_before = self.io_model.snapshot()
+
+        if isinstance(statement, CreateTableStatement):
+            table = self._execute_create(statement)
+            kind = "create"
+            plan_text = f"CreateTable({statement.name})"
+        elif isinstance(statement, InsertStatement):
+            table = self._execute_insert(statement)
+            kind = "insert"
+            plan_text = f"Insert({statement.name}, rows={len(statement.rows)})"
+        elif isinstance(statement, SelectStatement):
+            planned = plan_select(statement, self.catalog, self.io_model)
+            plan_text = planned.root.explain()
+            table = planned.root.execute()
+            kind = "select"
+        else:  # pragma: no cover - parser only produces the three kinds above
+            raise UnsupportedSQLError(f"unsupported statement type {type(statement).__name__}")
+
+        elapsed = perf_counter() - started
+        io_after = self.io_model.snapshot()
+        io_delta = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
+        return QueryResult(table=table, statement_type=kind, elapsed_seconds=elapsed, io=io_delta, plan_text=plan_text)
+
+    def explain(self, sql: str) -> str:
+        """Return the physical plan for a SELECT without executing it."""
+        statement = parse(sql)
+        if not isinstance(statement, SelectStatement):
+            raise UnsupportedSQLError("EXPLAIN is only supported for SELECT statements")
+        planned = plan_select(statement, self.catalog, self.io_model)
+        return planned.root.explain()
+
+    # -- DDL / DML ------------------------------------------------------------
+
+    def _execute_create(self, statement: CreateTableStatement) -> Table:
+        schema = Schema(ColumnDef(name, dtype) for name, dtype in statement.columns)
+        return self.catalog.create_table(statement.name, schema)
+
+    def _execute_insert(self, statement: InsertStatement) -> Table:
+        table = self.catalog.table(statement.name)
+        if statement.columns is None:
+            table.append_rows(statement.rows)
+        else:
+            names = table.schema.names
+            unknown = [c for c in statement.columns if c not in names]
+            if unknown:
+                raise SQLPlanningError(f"INSERT references unknown columns {unknown} of table {statement.name!r}")
+            reordered = []
+            for row in statement.rows:
+                if len(row) != len(statement.columns):
+                    raise SQLPlanningError(
+                        f"INSERT row has {len(row)} values but {len(statement.columns)} columns were named"
+                    )
+                mapping = dict(zip(statement.columns, row))
+                reordered.append(tuple(mapping.get(name) for name in names))
+            table.append_rows(reordered)
+        self.catalog.mark_dirty(statement.name)
+        return table

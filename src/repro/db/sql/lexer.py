@@ -1,0 +1,154 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects.  Keywords are recognised
+case-insensitively; identifiers keep their original spelling (the engine is
+case-sensitive about table and column names, like most columnar research
+prototypes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit", "offset",
+    "as", "and", "or", "not", "in", "is", "null", "between", "like", "asc", "desc",
+    "join", "inner", "left", "on", "create", "table", "insert", "into", "values",
+    "distinct", "true", "false", "case", "when", "then", "else", "end",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise ``text`` into a list of tokens terminated by an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+
+        if ch.isspace():
+            i += 1
+            continue
+
+        # Line comments
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+
+        # String literal
+        if ch == "'":
+            end = i + 1
+            parts = []
+            while True:
+                if end >= n:
+                    raise SQLSyntaxError("unterminated string literal", i)
+                if text[end] == "'":
+                    if end + 1 < n and text[end + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        end += 2
+                        continue
+                    break
+                parts.append(text[end])
+                end += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = end + 1
+            continue
+
+        # Number literal (integer, float, scientific)
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            end = i
+            seen_dot = False
+            seen_exp = False
+            while end < n:
+                c = text[end]
+                if c.isdigit():
+                    end += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif c in "eE" and not seen_exp and end > i:
+                    seen_exp = True
+                    end += 1
+                    if end < n and text[end] in "+-":
+                        end += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[i:end], i))
+            i = end
+            continue
+
+        # Identifier or keyword
+        if ch.isalpha() or ch == "_" or ch == '"':
+            if ch == '"':
+                end = text.find('"', i + 1)
+                if end == -1:
+                    raise SQLSyntaxError("unterminated quoted identifier", i)
+                tokens.append(Token(TokenType.IDENTIFIER, text[i + 1 : end], i))
+                i = end + 1
+                continue
+            end = i
+            while end < n and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[i:end]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = end
+            continue
+
+        # Operators (longest match first)
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                value = "!=" if op == "<>" else op
+                tokens.append(Token(TokenType.OPERATOR, value, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,489 @@
+"""Recursive-descent parser for the supported SQL subset."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.db.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.db.sql.ast import (
+    CreateTableStatement,
+    InsertStatement,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    Statement,
+    TableRef,
+)
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.db.types import DataType
+from repro.errors import SQLSyntaxError, UnsupportedSQLError
+
+__all__ = ["parse", "parse_expression"]
+
+_TYPE_NAMES = {
+    "int": DataType.INT64,
+    "integer": DataType.INT64,
+    "bigint": DataType.INT64,
+    "int64": DataType.INT64,
+    "float": DataType.FLOAT64,
+    "double": DataType.FLOAT64,
+    "real": DataType.FLOAT64,
+    "float64": DataType.FLOAT64,
+    "text": DataType.STRING,
+    "varchar": DataType.STRING,
+    "string": DataType.STRING,
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+}
+
+
+def parse(sql: str) -> Statement:
+    """Parse a single SQL statement and return its AST."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone scalar expression (used by tests and the formula API)."""
+    parser = _Parser(tokenize(text))
+    expr = parser._parse_expression()
+    parser._expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *names: str) -> bool:
+        return self._peek().is_keyword(*names)
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._check_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, name: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(name):
+            raise SQLSyntaxError(f"expected {name.upper()}, found {token.value!r}", token.position)
+        return self._advance()
+
+    def _accept_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.PUNCTUATION or token.value != value:
+            raise SQLSyntaxError(f"expected {value!r}, found {token.value!r}", token.position)
+        return self._advance()
+
+    def _accept_operator(self, *values: str) -> Token | None:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in values:
+            return self._advance()
+        return None
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise SQLSyntaxError(f"expected an identifier, found {token.value!r}", token.position)
+        self._advance()
+        return token.value
+
+    def _expect_eof(self) -> None:
+        self._accept_punct(";")
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise SQLSyntaxError(f"unexpected trailing input {token.value!r}", token.position)
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self._check_keyword("select"):
+            statement = self._parse_select()
+        elif self._check_keyword("create"):
+            statement = self._parse_create_table()
+        elif self._check_keyword("insert"):
+            statement = self._parse_insert()
+        else:
+            token = self._peek()
+            raise UnsupportedSQLError(f"unsupported statement starting with {token.value!r}")
+        self._expect_eof()
+        return statement
+
+    def _parse_create_table(self) -> CreateTableStatement:
+        self._expect_keyword("create")
+        self._expect_keyword("table")
+        name = self._expect_identifier()
+        self._expect_punct("(")
+        columns: list[tuple[str, DataType]] = []
+        while True:
+            col_name = self._expect_identifier()
+            type_token = self._peek()
+            if type_token.type is not TokenType.IDENTIFIER:
+                raise SQLSyntaxError(f"expected a type name, found {type_token.value!r}", type_token.position)
+            self._advance()
+            type_name = type_token.value.lower()
+            if type_name not in _TYPE_NAMES:
+                raise UnsupportedSQLError(f"unsupported column type {type_token.value!r}")
+            columns.append((col_name, _TYPE_NAMES[type_name]))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return CreateTableStatement(name=name, columns=columns)
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        name = self._expect_identifier()
+        columns: list[str] | None = None
+        if self._accept_punct("("):
+            columns = [self._expect_identifier()]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier())
+            self._expect_punct(")")
+        self._expect_keyword("values")
+        rows: list[list[Any]] = []
+        while True:
+            self._expect_punct("(")
+            row = [self._parse_literal_value()]
+            while self._accept_punct(","):
+                row.append(self._parse_literal_value())
+            self._expect_punct(")")
+            rows.append(row)
+            if not self._accept_punct(","):
+                break
+        return InsertStatement(name=name, columns=columns, rows=rows)
+
+    def _parse_literal_value(self) -> Any:
+        expr = self._parse_expression()
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, UnaryOp) and expr.op == "-" and isinstance(expr.operand, Literal):
+            return -expr.operand.value
+        raise UnsupportedSQLError("INSERT VALUES must be literal constants")
+
+    # -- SELECT -------------------------------------------------------------------
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+
+        table: TableRef | None = None
+        joins: list[JoinClause] = []
+        if self._accept_keyword("from"):
+            table = self._parse_table_ref()
+            joins = self._parse_joins()
+
+        where = self._parse_expression() if self._accept_keyword("where") else None
+
+        group_by: list[Expression] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_expression())
+            while self._accept_punct(","):
+                group_by.append(self._parse_expression())
+
+        having = self._parse_expression() if self._accept_keyword("having") else None
+
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit: int | None = None
+        offset = 0
+        if self._accept_keyword("limit"):
+            limit = self._parse_nonnegative_int("LIMIT")
+            if self._accept_keyword("offset"):
+                offset = self._parse_nonnegative_int("OFFSET")
+
+        return SelectStatement(
+            items=items,
+            table=table,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        token = self._peek()
+        if token.type is not TokenType.NUMBER:
+            raise SQLSyntaxError(f"{clause} requires an integer", token.position)
+        self._advance()
+        try:
+            value = int(token.value)
+        except ValueError:
+            raise SQLSyntaxError(f"{clause} requires an integer, got {token.value!r}", token.position) from None
+        if value < 0:
+            raise SQLSyntaxError(f"{clause} must be non-negative", token.position)
+        return value
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return SelectItem(expression=Star())
+        # Qualified star: ident.*
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self._peek(1).type is TokenType.PUNCTUATION
+            and self._peek(1).value == "."
+            and self._peek(2).type is TokenType.OPERATOR
+            and self._peek(2).value == "*"
+        ):
+            qualifier = self._expect_identifier()
+            self._advance()  # .
+            self._advance()  # *
+            return SelectItem(expression=Star(qualifier=qualifier))
+
+        expression = self._parse_expression()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return SelectItem(expression=expression, alias=alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_identifier()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return TableRef(name=name, alias=alias)
+
+    def _parse_joins(self) -> list[JoinClause]:
+        joins: list[JoinClause] = []
+        while True:
+            if self._accept_keyword("inner"):
+                self._expect_keyword("join")
+            elif self._check_keyword("join"):
+                self._advance()
+            elif self._check_keyword("left"):
+                raise UnsupportedSQLError("only inner joins are supported")
+            else:
+                break
+            table = self._parse_table_ref()
+            self._expect_keyword("on")
+            left_keys, right_keys = self._parse_join_condition()
+            joins.append(JoinClause(table=table, left_keys=tuple(left_keys), right_keys=tuple(right_keys)))
+        return joins
+
+    def _parse_join_condition(self) -> tuple[list[str], list[str]]:
+        left_keys: list[str] = []
+        right_keys: list[str] = []
+        while True:
+            left = self._parse_qualified_name()
+            operator = self._accept_operator("=")
+            if operator is None:
+                raise UnsupportedSQLError("JOIN ... ON only supports equality conditions")
+            right = self._parse_qualified_name()
+            left_keys.append(left)
+            right_keys.append(right)
+            if not self._accept_keyword("and"):
+                break
+        return left_keys, right_keys
+
+    def _parse_qualified_name(self) -> str:
+        name = self._expect_identifier()
+        while self._accept_punct("."):
+            name = f"{name}.{self._expect_identifier()}"
+        return name
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self._parse_expression()
+        ascending = True
+        if self._accept_keyword("asc"):
+            ascending = True
+        elif self._accept_keyword("desc"):
+            ascending = False
+        return OrderItem(expression=expression, ascending=ascending)
+
+    # -- expressions -----------------------------------------------------------------
+    # Precedence (low to high): OR, AND, NOT, comparison, additive, multiplicative, unary, primary.
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            right = self._parse_and()
+            left = BinaryOp("or", left, right)
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            right = self._parse_not()
+            left = BinaryOp("and", left, right)
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+
+        if self._accept_keyword("is"):
+            negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return IsNull(left, negated=negated)
+
+        if self._accept_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return Between(left, low, high)
+
+        if self._check_keyword("not") and self._peek(1).is_keyword("in"):
+            self._advance()
+            self._advance()
+            return UnaryOp("not", self._parse_in_list(left))
+
+        if self._accept_keyword("in"):
+            return self._parse_in_list(left)
+
+        operator = self._accept_operator("=", "!=", "<", "<=", ">", ">=")
+        if operator is not None:
+            right = self._parse_additive()
+            return BinaryOp(operator.value, left, right)
+        return left
+
+    def _parse_in_list(self, operand: Expression) -> InList:
+        self._expect_punct("(")
+        values = [self._parse_expression()]
+        while self._accept_punct(","):
+            values.append(self._parse_expression())
+        self._expect_punct(")")
+        return InList(operand, values)
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            operator = self._accept_operator("+", "-")
+            if operator is None:
+                return left
+            right = self._parse_multiplicative()
+            left = BinaryOp(operator.value, left, right)
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            operator = self._accept_operator("*", "/", "%")
+            if operator is None:
+                return left
+            right = self._parse_unary()
+            left = BinaryOp(operator.value, left, right)
+
+    def _parse_unary(self) -> Expression:
+        operator = self._accept_operator("-", "+")
+        if operator is not None:
+            operand = self._parse_unary()
+            if operator.value == "-":
+                if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                    return Literal(-operand.value)
+                return UnaryOp("-", operand)
+            return operand
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            if "." in text or "e" in text.lower():
+                return Literal(float(text))
+            return Literal(int(text))
+
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            self._advance()
+            expression = self._parse_expression()
+            self._expect_punct(")")
+            return expression
+
+        if token.type is TokenType.IDENTIFIER:
+            # Function call?
+            if self._peek(1).type is TokenType.PUNCTUATION and self._peek(1).value == "(":
+                return self._parse_function_call()
+            name = self._parse_qualified_name()
+            return ColumnRef(name)
+
+        raise SQLSyntaxError(f"unexpected token {token.value!r} in expression", token.position)
+
+    def _parse_function_call(self) -> Expression:
+        name = self._expect_identifier()
+        self._expect_punct("(")
+        args: list[Expression] = []
+        if self._accept_punct(")"):
+            return FunctionCall(name, tuple(args))
+        # COUNT(*) has a bare star argument.
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            self._expect_punct(")")
+            return FunctionCall(name, tuple())
+        args.append(self._parse_expression())
+        while self._accept_punct(","):
+            args.append(self._parse_expression())
+        self._expect_punct(")")
+        return FunctionCall(name, tuple(args))

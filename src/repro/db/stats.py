@@ -1,0 +1,171 @@
+"""Per-column statistics.
+
+The engine keeps lightweight statistics for every base-table column:
+min/max, null count, distinct-value estimate and, for low-cardinality
+columns, the full domain.  These statistics feed three consumers:
+
+* the query planner (selectivity guesses for filter ordering),
+* the model harvester (deciding whether a column is *enumerable* for the
+  parameter-space enumeration of §4.2 of the paper), and
+* the synopsis baselines (histogram bucket boundaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.db.column import Column
+from repro.db.table import Table
+from repro.db.types import DataType
+
+__all__ = ["ColumnStats", "TableStats", "compute_column_stats", "compute_table_stats"]
+
+#: Columns with at most this many distinct values are considered enumerable
+#: and have their full domain materialised in the statistics.
+ENUMERABLE_DISTINCT_LIMIT = 4096
+
+
+@dataclass
+class ColumnStats:
+    """Summary statistics for one column."""
+
+    name: str
+    dtype: DataType
+    row_count: int
+    null_count: int
+    distinct_count: int
+    min_value: Any = None
+    max_value: Any = None
+    mean: float | None = None
+    std: float | None = None
+    #: Full sorted domain for low-cardinality columns, else None.
+    domain: list[Any] | None = None
+
+    @property
+    def is_enumerable(self) -> bool:
+        """True when the column's full domain is known (few distinct values).
+
+        This is the machine notion of the paper's "enumerable column": a
+        column (such as the LOFAR observation frequency, which only takes
+        values in {0.12, 0.15, 0.16, 0.18}) whose values can be regenerated
+        without touching the stored data.
+        """
+        return self.domain is not None
+
+    @property
+    def null_fraction(self) -> float:
+        return self.null_count / self.row_count if self.row_count else 0.0
+
+    def selectivity_equals(self, value: Any) -> float:
+        """Estimated selectivity of ``column = value`` under uniformity."""
+        if self.row_count == 0 or self.distinct_count == 0:
+            return 0.0
+        if self.domain is not None and value not in self.domain:
+            return 0.0
+        return 1.0 / self.distinct_count
+
+    def selectivity_range(self, low: Any | None, high: Any | None) -> float:
+        """Estimated selectivity of a range predicate, assuming uniformity."""
+        if self.row_count == 0:
+            return 0.0
+        if not self.dtype.is_numeric or self.min_value is None or self.max_value is None:
+            return 0.3  # classic textbook default for unsupported predicates
+        lo = float(self.min_value) if low is None else float(low)
+        hi = float(self.max_value) if high is None else float(high)
+        span = float(self.max_value) - float(self.min_value)
+        if span <= 0:
+            return 1.0 if lo <= float(self.min_value) <= hi else 0.0
+        overlap = max(0.0, min(hi, float(self.max_value)) - max(lo, float(self.min_value)))
+        return min(1.0, overlap / span)
+
+
+@dataclass
+class TableStats:
+    """Statistics for a whole table."""
+
+    table_name: str
+    row_count: int
+    byte_size: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats:
+        return self.columns[name]
+
+
+def compute_column_stats(name: str, column: Column) -> ColumnStats:
+    """Compute :class:`ColumnStats` for a column by scanning it once."""
+    row_count = len(column)
+    null_count = column.null_count
+    data = column.nonnull_numpy()
+
+    if column.dtype is DataType.STRING:
+        distinct = set(data.tolist())
+        distinct_count = len(distinct)
+        domain = sorted(distinct) if distinct_count <= ENUMERABLE_DISTINCT_LIMIT else None
+        return ColumnStats(
+            name=name,
+            dtype=column.dtype,
+            row_count=row_count,
+            null_count=null_count,
+            distinct_count=distinct_count,
+            min_value=min(distinct) if distinct else None,
+            max_value=max(distinct) if distinct else None,
+            domain=domain,
+        )
+
+    if len(data) == 0:
+        return ColumnStats(
+            name=name,
+            dtype=column.dtype,
+            row_count=row_count,
+            null_count=null_count,
+            distinct_count=0,
+        )
+
+    unique = np.unique(data)
+    distinct_count = len(unique)
+    domain = None
+    if distinct_count <= ENUMERABLE_DISTINCT_LIMIT:
+        if column.dtype is DataType.INT64:
+            domain = [int(v) for v in unique]
+        elif column.dtype is DataType.BOOL:
+            domain = [bool(v) for v in unique]
+        else:
+            domain = [float(v) for v in unique]
+
+    mean = None
+    std = None
+    min_value: Any = None
+    max_value: Any = None
+    if column.dtype.is_numeric:
+        mean = float(np.mean(data))
+        std = float(np.std(data))
+        min_value = column.min()
+        max_value = column.max()
+    elif column.dtype is DataType.BOOL:
+        min_value = bool(unique.min())
+        max_value = bool(unique.max())
+
+    return ColumnStats(
+        name=name,
+        dtype=column.dtype,
+        row_count=row_count,
+        null_count=null_count,
+        distinct_count=distinct_count,
+        min_value=min_value,
+        max_value=max_value,
+        mean=mean,
+        std=std,
+        domain=domain,
+    )
+
+
+def compute_table_stats(table: Table) -> TableStats:
+    """Compute statistics for every column of ``table``."""
+    stats = TableStats(table_name=table.name, row_count=table.num_rows, byte_size=table.byte_size())
+    for col_name in table.schema.names:
+        stats.columns[col_name] = compute_column_stats(col_name, table.column(col_name))
+    return stats

@@ -1,0 +1,122 @@
+"""In-database user-defined functions — the "embedded statistical environment".
+
+The paper relies on databases that embed a statistical environment (R in
+Oracle / SAP HANA / MonetDB) so that model fitting runs *inside* the engine
+and can therefore be intercepted.  This module is that embedding for the
+reproduction: users register Python callables as scalar or table UDFs, and
+the special :func:`fit_udf` factory wraps a model-fitting routine so the
+database sees which table, columns and model family were involved — exactly
+the hook the harvester (:mod:`repro.core.harvester`) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import ExecutionError
+
+__all__ = ["UDFRegistry", "ScalarUDF", "TableUDF", "FitInvocation"]
+
+
+@dataclass(frozen=True)
+class ScalarUDF:
+    """A registered scalar function: vectorised ``f(*arrays) -> array``."""
+
+    name: str
+    function: Callable[..., np.ndarray]
+    arity: int
+
+    def __call__(self, *arrays: np.ndarray) -> np.ndarray:
+        if len(arrays) != self.arity:
+            raise ExecutionError(f"UDF {self.name!r} expects {self.arity} arguments, got {len(arrays)}")
+        return np.asarray(self.function(*arrays))
+
+
+@dataclass(frozen=True)
+class TableUDF:
+    """A registered table function: ``f(table, **params) -> Table``."""
+
+    name: str
+    function: Callable[..., Table]
+
+    def __call__(self, table: Table, **params: Any) -> Table:
+        return self.function(table, **params)
+
+
+@dataclass
+class FitInvocation:
+    """A record of one in-database fitting call, as seen by the engine.
+
+    This is the raw material the harvester consumes: which table was fitted,
+    which columns played the role of inputs and output, which model family /
+    callable was used, optional grouping keys, and the result the statistical
+    routine returned to the user.
+    """
+
+    table_name: str
+    input_columns: list[str]
+    output_column: str
+    model_name: str
+    group_by: list[str] = field(default_factory=list)
+    parameters: dict[str, Any] = field(default_factory=dict)
+    result: Any = None
+
+
+class UDFRegistry:
+    """Registry of scalar and table UDFs plus the fit-invocation log."""
+
+    def __init__(self) -> None:
+        self._scalars: dict[str, ScalarUDF] = {}
+        self._tables: dict[str, TableUDF] = {}
+        self._fit_log: list[FitInvocation] = []
+        self._fit_listeners: list[Callable[[FitInvocation], None]] = []
+
+    # -- registration ----------------------------------------------------------
+
+    def register_scalar(self, name: str, function: Callable[..., np.ndarray], arity: int) -> ScalarUDF:
+        udf = ScalarUDF(name=name.lower(), function=function, arity=arity)
+        self._scalars[udf.name] = udf
+        return udf
+
+    def register_table(self, name: str, function: Callable[..., Table]) -> TableUDF:
+        udf = TableUDF(name=name.lower(), function=function)
+        self._tables[udf.name] = udf
+        return udf
+
+    def scalar(self, name: str) -> ScalarUDF:
+        try:
+            return self._scalars[name.lower()]
+        except KeyError:
+            raise ExecutionError(f"unknown scalar UDF {name!r}") from None
+
+    def table_function(self, name: str) -> TableUDF:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise ExecutionError(f"unknown table UDF {name!r}") from None
+
+    def has_scalar(self, name: str) -> bool:
+        return name.lower() in self._scalars
+
+    # -- fit interception ---------------------------------------------------------
+
+    def add_fit_listener(self, listener: Callable[[FitInvocation], None]) -> None:
+        """Register a callback invoked for every in-database fit (the harvester)."""
+        self._fit_listeners.append(listener)
+
+    def record_fit(self, invocation: FitInvocation) -> None:
+        """Log a fit invocation and notify listeners."""
+        self._fit_log.append(invocation)
+        for listener in self._fit_listeners:
+            listener(invocation)
+
+    @property
+    def fit_log(self) -> list[FitInvocation]:
+        return list(self._fit_log)
+
+    def clear_fit_log(self) -> None:
+        self._fit_log.clear()

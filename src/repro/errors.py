@@ -1,0 +1,119 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing unrelated
+bugs.  Sub-hierarchies mirror the package layout: database errors, SQL
+errors, fitting errors and model-harvesting errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Database substrate
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the relational engine."""
+
+
+class CatalogError(DatabaseError):
+    """A table, column or other catalog object is missing or duplicated."""
+
+
+class SchemaError(DatabaseError):
+    """A schema definition is inconsistent (bad type, duplicate column, ...)."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value does not match the declared column type."""
+
+
+class ExecutionError(DatabaseError):
+    """Runtime failure while executing a query plan."""
+
+
+# ---------------------------------------------------------------------------
+# SQL front-end
+# ---------------------------------------------------------------------------
+
+
+class SQLError(DatabaseError):
+    """Base class for SQL front-end failures."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class SQLPlanningError(SQLError):
+    """The parsed statement cannot be turned into an executable plan."""
+
+
+class UnsupportedSQLError(SQLError):
+    """The statement uses a SQL feature outside the supported subset."""
+
+
+# ---------------------------------------------------------------------------
+# Model fitting
+# ---------------------------------------------------------------------------
+
+
+class FittingError(ReproError):
+    """Base class for model-fitting failures."""
+
+
+class ConvergenceError(FittingError):
+    """An iterative optimiser did not converge within its iteration budget."""
+
+    def __init__(self, message: str, iterations: int | None = None) -> None:
+        self.iterations = iterations
+        super().__init__(message)
+
+
+class InsufficientDataError(FittingError):
+    """Fewer observations than free parameters (or empty input)."""
+
+
+class FormulaError(FittingError):
+    """A model formula string could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Model harvesting / approximate query answering
+# ---------------------------------------------------------------------------
+
+
+class HarvestError(ReproError):
+    """Base class for model-capture failures."""
+
+
+class ModelNotFoundError(HarvestError):
+    """No captured model covers the requested table/columns/predicate."""
+
+
+class ModelQualityError(HarvestError):
+    """A captured model does not meet the configured quality gate."""
+
+
+class ApproximationError(ReproError):
+    """An approximate query could not be answered from captured models."""
+
+
+class EnumerationError(ApproximationError):
+    """A required input column is not enumerable, so tuples cannot be regenerated."""
+
+
+class CompressionError(ReproError):
+    """Model-based compression or decompression failed."""

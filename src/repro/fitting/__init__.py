@@ -1,0 +1,77 @@
+"""Statistical model-fitting substrate.
+
+Implements the two fitting regimes §3 of the paper describes — analytic
+ordinary least squares for linear models and Gauss-Newton / Levenberg-
+Marquardt for the general non-linear case — plus model families, formulas,
+grouped (per-key) fitting, robust fitting, piecewise polynomials and the
+goodness-of-fit metrics used to judge captured models.
+"""
+
+from repro.fitting.families import (
+    Constant,
+    Exponential,
+    LinearModel,
+    Logistic,
+    Polynomial,
+    PowerLaw,
+    Sinusoid,
+    family_by_name,
+)
+from repro.fitting.fit import fit_model
+from repro.fitting.formulas import ParsedFormula, parse_formula
+from repro.fitting.grouped import GroupedFitResult, GroupedFitter, fit_grouped
+from repro.fitting.linear import fit_ols, fit_linear_family, solve_normal_equations
+from repro.fitting.metrics import (
+    FTestResult,
+    adjusted_r_squared,
+    aic,
+    bic,
+    f_test_against_constant,
+    f_test_nested,
+    r_squared,
+    residual_standard_error,
+)
+from repro.fitting.model import FitResult, ModelFamily
+from repro.fitting.nonlinear import fit_nonlinear_family, gauss_newton, levenberg_marquardt
+from repro.fitting.piecewise import PiecewisePolynomial, Segment, fit_piecewise
+from repro.fitting.predict import PredictionInterval, predict_interval
+from repro.fitting.robust import fit_robust
+
+__all__ = [
+    "Constant",
+    "Exponential",
+    "FTestResult",
+    "FitResult",
+    "GroupedFitResult",
+    "GroupedFitter",
+    "LinearModel",
+    "Logistic",
+    "ModelFamily",
+    "ParsedFormula",
+    "PiecewisePolynomial",
+    "Polynomial",
+    "PowerLaw",
+    "PredictionInterval",
+    "Segment",
+    "Sinusoid",
+    "adjusted_r_squared",
+    "aic",
+    "bic",
+    "f_test_against_constant",
+    "f_test_nested",
+    "family_by_name",
+    "fit_grouped",
+    "fit_linear_family",
+    "fit_model",
+    "fit_nonlinear_family",
+    "fit_ols",
+    "fit_piecewise",
+    "fit_robust",
+    "gauss_newton",
+    "levenberg_marquardt",
+    "parse_formula",
+    "predict_interval",
+    "r_squared",
+    "residual_standard_error",
+    "solve_normal_equations",
+]

@@ -1,0 +1,102 @@
+"""Unified fitting entry point.
+
+:func:`fit_model` dispatches to the analytic OLS solver for linear-in-
+parameters families and to Levenberg-Marquardt / Gauss-Newton otherwise,
+so callers (the harvester, the grouped fitter, the baselines) never need to
+care which algorithm applies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.fitting.linear import fit_linear_family
+from repro.fitting.model import FitResult, ModelFamily
+from repro.fitting.nonlinear import fit_nonlinear_family
+
+__all__ = ["fit_model", "clean_observations"]
+
+
+def clean_observations(
+    inputs: Mapping[str, np.ndarray], y: np.ndarray
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """Drop observations where any input or the output is NaN / non-finite.
+
+    Real measurement tables (and our synthetic LOFAR data) contain NULLs and
+    interference spikes encoded as NaN; the fitting process simply ignores
+    those rows, matching what every statistical environment does by default.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    mask = np.isfinite(y)
+    arrays = {name: np.asarray(values, dtype=np.float64) for name, values in inputs.items()}
+    for values in arrays.values():
+        mask &= np.isfinite(values)
+    return {name: values[mask] for name, values in arrays.items()}, y[mask]
+
+
+def fit_model(
+    family: ModelFamily,
+    inputs: Mapping[str, np.ndarray] | np.ndarray,
+    y: np.ndarray,
+    output_name: str = "y",
+    weights: np.ndarray | None = None,
+    method: str = "lm",
+    initial_params: np.ndarray | None = None,
+    drop_nonfinite: bool = True,
+) -> FitResult:
+    """Fit ``family`` to the observations, choosing the right algorithm.
+
+    Parameters
+    ----------
+    family:
+        The model family to fit.
+    inputs:
+        Mapping of input-column name to 1-D array (or a bare array for
+        single-input families).
+    y:
+        Observed outputs.
+    output_name:
+        Name of the output column (recorded in the FitResult).
+    weights:
+        Optional per-observation weights (linear families only).
+    method:
+        ``"lm"`` or ``"gn"`` for non-linear families.
+    initial_params:
+        Optional starting point for non-linear optimisation.
+    drop_nonfinite:
+        Silently drop rows with NaN/inf values before fitting.
+    """
+    if isinstance(inputs, np.ndarray):
+        array = np.asarray(inputs, dtype=np.float64)
+        if array.ndim == 1:
+            inputs = {family.input_names[0]: array}
+        else:
+            inputs = {name: array[:, i] for i, name in enumerate(family.input_names)}
+
+    if drop_nonfinite:
+        cleaned_inputs, cleaned_y = clean_observations(inputs, y)
+        if weights is not None:
+            # Recompute the mask to subset the weights consistently.
+            y_arr = np.asarray(y, dtype=np.float64)
+            mask = np.isfinite(y_arr)
+            for values in inputs.values():
+                mask &= np.isfinite(np.asarray(values, dtype=np.float64))
+            weights = np.asarray(weights, dtype=np.float64)[mask]
+        inputs, y = cleaned_inputs, cleaned_y
+
+    if len(np.asarray(y)) == 0:
+        raise InsufficientDataError("no finite observations left to fit")
+
+    if family.is_linear:
+        return fit_linear_family(family, inputs, y, output_name=output_name, weights=weights)
+    return fit_nonlinear_family(
+        family,
+        inputs,
+        y,
+        output_name=output_name,
+        initial_params=initial_params,
+        method=method,
+    )

@@ -1,0 +1,128 @@
+"""Ordinary least squares for families that are linear in their parameters.
+
+§3 of the paper: "In the simpler case of linear models (y = Xβ + ε), we can
+use the ordinary least squares method to find an analytical solution for the
+unknown parameters β ... by solving the linear equation system
+β̂ = (XᵀX)⁻¹Xᵀy."  This module solves that system (via QR-based ``lstsq``
+for numerical robustness, which is algebraically equivalent) and packages
+the result with the quality metrics the paper stores alongside captured
+models.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import FittingError, InsufficientDataError
+from repro.fitting.metrics import adjusted_r_squared, r_squared, residual_standard_error
+from repro.fitting.model import FitResult, ModelFamily
+
+__all__ = ["fit_ols", "solve_normal_equations", "fit_linear_family"]
+
+
+def solve_normal_equations(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Solve β̂ = (XᵀX)⁻¹Xᵀy directly (textbook form, used by tests as an oracle)."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    gram = X.T @ X
+    try:
+        return np.linalg.solve(gram, X.T @ y)
+    except np.linalg.LinAlgError as exc:
+        raise FittingError("normal equations are singular; the design matrix is rank-deficient") from exc
+
+
+def fit_ols(X: np.ndarray, y: np.ndarray, weights: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Least-squares fit of ``y = X @ beta``.
+
+    Returns ``(beta, covariance, residuals)``.  When ``weights`` is given the
+    problem is solved in the whitened space (weighted least squares).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2:
+        raise FittingError(f"design matrix must be 2-D, got shape {X.shape}")
+    n, k = X.shape
+    if len(y) != n:
+        raise FittingError(f"y has {len(y)} observations but X has {n} rows")
+    if n < k:
+        raise InsufficientDataError(f"need at least {k} observations to fit {k} parameters, got {n}")
+
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if len(weights) != n:
+            raise FittingError("weights must have one entry per observation")
+        if np.any(weights < 0):
+            raise FittingError("weights must be non-negative")
+        sqrt_w = np.sqrt(weights)
+        Xw = X * sqrt_w[:, None]
+        yw = y * sqrt_w
+    else:
+        Xw, yw = X, y
+
+    beta, _, rank, _ = np.linalg.lstsq(Xw, yw, rcond=None)
+    if rank < k:
+        # Rank deficiency: lstsq already returned the minimum-norm solution;
+        # flag it through a large covariance rather than failing, because
+        # grouped fits over degenerate groups (e.g. a single frequency) are
+        # expected in the LOFAR workload.
+        covariance = np.full((k, k), np.inf)
+        residuals = y - X @ beta
+        return beta, covariance, residuals
+
+    residuals = y - X @ beta
+    dof = n - k
+    if dof > 0:
+        if weights is not None:
+            sigma2 = float(np.sum(weights * residuals**2) / dof)
+        else:
+            sigma2 = float(np.sum(residuals**2) / dof)
+        try:
+            covariance = sigma2 * np.linalg.inv(Xw.T @ Xw)
+        except np.linalg.LinAlgError:
+            covariance = np.full((k, k), np.inf)
+    else:
+        covariance = np.zeros((k, k))
+    return beta, covariance, residuals
+
+
+def fit_linear_family(
+    family: ModelFamily,
+    inputs: Mapping[str, np.ndarray] | np.ndarray,
+    y: np.ndarray,
+    output_name: str = "y",
+    weights: np.ndarray | None = None,
+) -> FitResult:
+    """Fit a linear-in-parameters family analytically and package a FitResult."""
+    if not family.is_linear:
+        raise FittingError(f"family {family.name!r} is not linear; use the non-linear fitter")
+    y = np.asarray(y, dtype=np.float64)
+    X = family.design_matrix(inputs)
+    beta, covariance, residuals = fit_ols(X, y, weights=weights)
+    predictions = X @ beta
+
+    input_names = _input_names(family, inputs)
+    return FitResult(
+        family=family,
+        params=beta,
+        input_names=input_names,
+        output_name=output_name,
+        n_observations=len(y),
+        residual_standard_error=residual_standard_error(residuals, family.num_params),
+        r_squared=r_squared(y, predictions),
+        adjusted_r_squared=adjusted_r_squared(y, predictions, family.num_params),
+        sum_squared_residuals=float(np.sum(residuals**2)),
+        covariance=covariance,
+        iterations=0,
+        converged=True,
+    )
+
+
+def _input_names(family: ModelFamily, inputs: Mapping[str, np.ndarray] | np.ndarray) -> tuple[str, ...]:
+    if isinstance(inputs, np.ndarray):
+        return tuple(family.input_names)
+    names = tuple(family.input_names)
+    if all(name in inputs for name in names):
+        return names
+    return tuple(inputs)

@@ -1,0 +1,229 @@
+"""Iterative least-squares optimisers for non-linear model families.
+
+§3 of the paper describes the Gauss-Newton iteration
+``β(s+1) = β(s) − (JᵀJ)⁻¹ Jᵀ r(β(s))`` and notes that convergence depends on
+the starting parameters and may hit local extrema.  This module implements
+plain Gauss-Newton as described, plus Levenberg-Marquardt (a damped variant
+that is far more robust on noisy astronomical data) which is the default
+used by the harvester.  Jacobians come from the family when available and
+fall back to forward finite differences otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ConvergenceError, FittingError, InsufficientDataError
+from repro.fitting.metrics import adjusted_r_squared, r_squared, residual_standard_error
+from repro.fitting.model import FitResult, ModelFamily
+
+__all__ = ["gauss_newton", "levenberg_marquardt", "fit_nonlinear_family", "numeric_jacobian"]
+
+
+def numeric_jacobian(
+    residual_fn: Callable[[np.ndarray], np.ndarray],
+    params: np.ndarray,
+    epsilon: float = 1e-7,
+) -> np.ndarray:
+    """Forward-difference Jacobian of a residual function."""
+    params = np.asarray(params, dtype=np.float64)
+    base = residual_fn(params)
+    jacobian = np.zeros((len(base), len(params)))
+    for j in range(len(params)):
+        step = epsilon * max(abs(params[j]), 1.0)
+        perturbed = params.copy()
+        perturbed[j] += step
+        jacobian[:, j] = (residual_fn(perturbed) - base) / step
+    return jacobian
+
+
+def gauss_newton(
+    residual_fn: Callable[[np.ndarray], np.ndarray],
+    initial_params: np.ndarray,
+    jacobian_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+) -> tuple[np.ndarray, int, bool]:
+    """Plain Gauss-Newton iteration as written in the paper.
+
+    Returns ``(params, iterations, converged)``.  Raises
+    :class:`ConvergenceError` when the normal equations become singular and
+    no progress can be made.
+    """
+    params = np.asarray(initial_params, dtype=np.float64).copy()
+    if jacobian_fn is None:
+        jacobian_fn = lambda p: numeric_jacobian(residual_fn, p)  # noqa: E731
+
+    previous_cost = float(np.sum(residual_fn(params) ** 2))
+    for iteration in range(1, max_iterations + 1):
+        residuals = residual_fn(params)
+        jacobian = jacobian_fn(params)
+        if not np.all(np.isfinite(jacobian)) or not np.all(np.isfinite(residuals)):
+            raise ConvergenceError("Gauss-Newton produced non-finite residuals or Jacobian", iteration)
+        gram = jacobian.T @ jacobian
+        gradient = jacobian.T @ residuals
+        try:
+            step = np.linalg.solve(gram, gradient)
+        except np.linalg.LinAlgError:
+            step, *_ = np.linalg.lstsq(gram, gradient, rcond=None)
+        params = params - step
+        cost = float(np.sum(residual_fn(params) ** 2))
+        if not np.isfinite(cost):
+            raise ConvergenceError("Gauss-Newton diverged to a non-finite cost", iteration)
+        if abs(previous_cost - cost) <= tolerance * max(previous_cost, 1e-30):
+            return params, iteration, True
+        previous_cost = cost
+    return params, max_iterations, False
+
+
+def levenberg_marquardt(
+    residual_fn: Callable[[np.ndarray], np.ndarray],
+    initial_params: np.ndarray,
+    jacobian_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-12,
+    initial_damping: float = 1e-3,
+) -> tuple[np.ndarray, int, bool]:
+    """Levenberg-Marquardt: damped Gauss-Newton with adaptive damping.
+
+    Returns ``(params, iterations, converged)``.
+    """
+    params = np.asarray(initial_params, dtype=np.float64).copy()
+    if jacobian_fn is None:
+        jacobian_fn = lambda p: numeric_jacobian(residual_fn, p)  # noqa: E731
+
+    damping = initial_damping
+    residuals = residual_fn(params)
+    if not np.all(np.isfinite(residuals)):
+        raise ConvergenceError("initial parameters give non-finite residuals", 0)
+    cost = float(np.sum(residuals**2))
+
+    for iteration in range(1, max_iterations + 1):
+        jacobian = jacobian_fn(params)
+        if not np.all(np.isfinite(jacobian)):
+            raise ConvergenceError("Levenberg-Marquardt produced a non-finite Jacobian", iteration)
+        gram = jacobian.T @ jacobian
+        gradient = jacobian.T @ residuals
+
+        improved = False
+        for _ in range(50):  # inner damping adjustment loop
+            damped = gram + damping * np.diag(np.clip(np.diag(gram), 1e-12, None))
+            try:
+                step = np.linalg.solve(damped, gradient)
+            except np.linalg.LinAlgError:
+                damping *= 10.0
+                continue
+            candidate = params - step
+            candidate_residuals = residual_fn(candidate)
+            if not np.all(np.isfinite(candidate_residuals)):
+                damping *= 10.0
+                continue
+            candidate_cost = float(np.sum(candidate_residuals**2))
+            if candidate_cost < cost:
+                improvement = cost - candidate_cost
+                params = candidate
+                residuals = candidate_residuals
+                cost = candidate_cost
+                damping = max(damping / 10.0, 1e-12)
+                improved = True
+                if improvement <= tolerance * max(cost, 1e-30):
+                    return params, iteration, True
+                break
+            damping *= 10.0
+        if not improved:
+            # Damping exhausted without improvement: treat as converged to a
+            # (possibly local) minimum, per the paper's observation that the
+            # user owns convergence concerns.
+            return params, iteration, True
+    return params, max_iterations, False
+
+
+def fit_nonlinear_family(
+    family: ModelFamily,
+    inputs: Mapping[str, np.ndarray] | np.ndarray,
+    y: np.ndarray,
+    output_name: str = "y",
+    initial_params: np.ndarray | None = None,
+    method: str = "lm",
+    max_iterations: int = 200,
+) -> FitResult:
+    """Fit any model family by iterative least squares.
+
+    ``method`` is ``"lm"`` (Levenberg-Marquardt, default) or ``"gn"``
+    (plain Gauss-Newton, as written in the paper).
+    """
+    y = np.asarray(y, dtype=np.float64)
+    if len(y) <= family.num_params:
+        raise InsufficientDataError(
+            f"need more than {family.num_params} observations to fit {family.name!r}, got {len(y)}"
+        )
+
+    def residual_fn(params: np.ndarray) -> np.ndarray:
+        return family.predict(inputs, params) - y
+
+    jacobian_fn = None
+    if family.jacobian(inputs, family.initial_guess(inputs, y)) is not None:
+        jacobian_fn = lambda params: family.jacobian(inputs, params)  # noqa: E731
+
+    start = np.asarray(initial_params, dtype=np.float64) if initial_params is not None else family.initial_guess(inputs, y)
+    if len(start) != family.num_params:
+        raise FittingError(
+            f"initial parameter vector has {len(start)} entries, family {family.name!r} needs {family.num_params}"
+        )
+
+    if method == "gn":
+        params, iterations, converged = gauss_newton(
+            residual_fn, start, jacobian_fn, max_iterations=max_iterations
+        )
+    elif method == "lm":
+        params, iterations, converged = levenberg_marquardt(
+            residual_fn, start, jacobian_fn, max_iterations=max_iterations
+        )
+    else:
+        raise FittingError(f"unknown optimisation method {method!r}; use 'lm' or 'gn'")
+
+    predictions = family.predict(inputs, params)
+    residuals = y - predictions
+    covariance = _covariance_from_jacobian(family, inputs, params, residuals)
+
+    input_names = tuple(family.input_names) if isinstance(inputs, np.ndarray) else tuple(inputs)
+    return FitResult(
+        family=family,
+        params=params,
+        input_names=input_names,
+        output_name=output_name,
+        n_observations=len(y),
+        residual_standard_error=residual_standard_error(residuals, family.num_params),
+        r_squared=r_squared(y, predictions),
+        adjusted_r_squared=adjusted_r_squared(y, predictions, family.num_params),
+        sum_squared_residuals=float(np.sum(residuals**2)),
+        covariance=covariance,
+        iterations=iterations,
+        converged=converged,
+        extra={"method": method},
+    )
+
+
+def _covariance_from_jacobian(
+    family: ModelFamily,
+    inputs: Mapping[str, np.ndarray] | np.ndarray,
+    params: np.ndarray,
+    residuals: np.ndarray,
+) -> np.ndarray | None:
+    """Estimate the parameter covariance as sigma^2 (JᵀJ)⁻¹ at the optimum."""
+    jacobian = family.jacobian(inputs, params)
+    if jacobian is None:
+        def residual_fn(p: np.ndarray) -> np.ndarray:
+            return family.predict(inputs, p)
+
+        jacobian = numeric_jacobian(residual_fn, params)
+    dof = len(residuals) - family.num_params
+    if dof <= 0:
+        return None
+    sigma2 = float(np.sum(residuals**2) / dof)
+    try:
+        return sigma2 * np.linalg.inv(jacobian.T @ jacobian)
+    except np.linalg.LinAlgError:
+        return None

@@ -1,0 +1,164 @@
+"""Piecewise polynomial fitting.
+
+FunctionDB (Thiagarajan & Madden, SIGMOD'08), one of the systems the paper
+compares itself against, represents data as *piecewise polynomial functions*.
+This module provides that representation both as a baseline
+(:mod:`repro.baselines.functiondb`) and as an extra model family available
+to the harvester for data with regime changes (e.g. sources with spectral
+turn-overs).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import FittingError, InsufficientDataError
+from repro.fitting.metrics import adjusted_r_squared, r_squared, residual_standard_error
+from repro.fitting.model import FitResult, ModelFamily
+
+__all__ = ["Segment", "PiecewisePolynomial", "fit_piecewise"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One polynomial piece over ``[lower, upper)`` of the input domain."""
+
+    lower: float
+    upper: float
+    coefficients: tuple[float, ...]  # c0 + c1*x + c2*x^2 + ...
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        result = np.zeros_like(x)
+        for power, coefficient in enumerate(self.coefficients):
+            result += coefficient * x**power
+        return result
+
+    def contains(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return (x >= self.lower) & (x < self.upper)
+
+
+class PiecewisePolynomial(ModelFamily):
+    """A fitted piecewise polynomial over one input variable.
+
+    Unlike the other families this one carries its fitted segments directly
+    (the parameter vector is the concatenation of all segment coefficients);
+    it is produced by :func:`fit_piecewise` rather than the generic fitters.
+    """
+
+    name = "piecewise"
+
+    def __init__(self, segments: list[Segment], degree: int) -> None:
+        if not segments:
+            raise FittingError("a piecewise model needs at least one segment")
+        self.segments = sorted(segments, key=lambda s: s.lower)
+        self.degree = degree
+        self.param_names = tuple(
+            f"seg{i}_c{j}" for i in range(len(self.segments)) for j in range(degree + 1)
+        )
+
+    def predict(self, inputs, params=None):  # params ignored: segments hold the coefficients
+        x = _input_array(inputs)
+        result = np.full(len(x), np.nan)
+        for segment in self.segments:
+            mask = segment.contains(x)
+            result[mask] = segment.evaluate(x[mask])
+        # Points beyond the last boundary use the nearest segment (constant extrapolation).
+        below = x < self.segments[0].lower
+        above = x >= self.segments[-1].upper
+        result[below] = self.segments[0].evaluate(x[below])
+        result[above] = self.segments[-1].evaluate(x[above])
+        return result
+
+    @property
+    def flat_params(self) -> np.ndarray:
+        return np.array(
+            [coefficient for segment in self.segments for coefficient in segment.coefficients]
+        )
+
+    def describe(self) -> str:
+        return f"piecewise degree-{self.degree} polynomial with {len(self.segments)} segments"
+
+    def byte_size(self) -> int:
+        """Nominal storage cost: boundaries + coefficients, 8 bytes each."""
+        return len(self.segments) * (2 + self.degree + 1) * 8
+
+
+def _input_array(inputs: Mapping[str, np.ndarray] | np.ndarray) -> np.ndarray:
+    if isinstance(inputs, np.ndarray):
+        array = np.asarray(inputs, dtype=np.float64)
+        return array[:, 0] if array.ndim > 1 else array
+    return np.asarray(next(iter(inputs.values())), dtype=np.float64)
+
+
+def fit_piecewise(
+    x: np.ndarray,
+    y: np.ndarray,
+    num_segments: int = 4,
+    degree: int = 1,
+    output_name: str = "y",
+    input_name: str = "x",
+) -> FitResult:
+    """Fit a piecewise polynomial with equi-width segments over the x-range."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    mask = np.isfinite(x) & np.isfinite(y)
+    x, y = x[mask], y[mask]
+    if len(x) < (degree + 1) * num_segments:
+        raise InsufficientDataError(
+            f"need at least {(degree + 1) * num_segments} observations for "
+            f"{num_segments} degree-{degree} segments, got {len(x)}"
+        )
+    if num_segments < 1:
+        raise FittingError("num_segments must be at least 1")
+
+    lo, hi = float(np.min(x)), float(np.max(x))
+    if hi <= lo:
+        hi = lo + 1.0
+    boundaries = np.linspace(lo, hi, num_segments + 1)
+    boundaries[-1] = np.nextafter(boundaries[-1], np.inf)  # make the last segment right-inclusive
+
+    segments: list[Segment] = []
+    for i in range(num_segments):
+        lower, upper = float(boundaries[i]), float(boundaries[i + 1])
+        in_segment = (x >= lower) & (x < upper)
+        xs, ys = x[in_segment], y[in_segment]
+        if len(np.unique(xs)) >= degree + 1:
+            with warnings.catch_warnings():
+                # Segments with few distinct x values are expected (e.g. the
+                # four LOFAR frequency bands); polyfit handles them but warns.
+                warnings.simplefilter("ignore")
+                coefficients = np.polyfit(xs, ys, degree)[::-1]  # ascending powers
+        elif len(xs) > 0:
+            coefficients = np.zeros(degree + 1)
+            coefficients[0] = float(np.mean(ys))
+        else:
+            coefficients = np.zeros(degree + 1)
+            coefficients[0] = float(np.mean(y))
+        segments.append(Segment(lower=lower, upper=upper, coefficients=tuple(float(c) for c in coefficients)))
+
+    family = PiecewisePolynomial(segments, degree)
+    predictions = family.predict(x)
+    residuals = y - predictions
+    num_params = family.num_params
+
+    return FitResult(
+        family=family,
+        params=family.flat_params,
+        input_names=(input_name,),
+        output_name=output_name,
+        n_observations=len(y),
+        residual_standard_error=residual_standard_error(residuals, num_params),
+        r_squared=r_squared(y, predictions),
+        adjusted_r_squared=adjusted_r_squared(y, predictions, num_params),
+        sum_squared_residuals=float(np.sum(residuals**2)),
+        covariance=None,
+        iterations=0,
+        converged=True,
+        extra={"num_segments": num_segments, "degree": degree},
+    )

@@ -1,0 +1,242 @@
+"""Tests for the related-work baselines: sampling, histograms, gzip,
+MauveDB-style views, FunctionDB-style function tables and SPARTAN-style
+predictive compression."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import functiondb, gzip_baseline, histogram, mauvedb, sampling, spartan
+from repro.db.table import Table
+from repro.errors import ApproximationError, InsufficientDataError
+
+
+@pytest.fixture(scope="module")
+def numeric_table():
+    rng = np.random.default_rng(42)
+    n = 4000
+    x = rng.uniform(0, 100, n)
+    return Table.from_dict(
+        "t",
+        {
+            "g": [int(v) for v in rng.integers(1, 21, n)],
+            "x": x,
+            "y": (3.0 + 0.5 * x + rng.normal(0, 0.5, n)),
+        },
+    )
+
+
+class TestUniformSampling:
+    def test_avg_estimate_close(self, numeric_table):
+        sampler = sampling.UniformSampler(numeric_table, fraction=0.1, seed=1)
+        exact = float(np.mean(numeric_table.column("y").to_numpy()))
+        estimate = sampler.estimate("avg", "y")
+        assert estimate.value == pytest.approx(exact, rel=0.05)
+        assert abs(estimate.value - exact) < 4 * estimate.standard_error
+
+    def test_sum_estimate_scales_up(self, numeric_table):
+        sampler = sampling.UniformSampler(numeric_table, fraction=0.2, seed=2)
+        exact = float(np.sum(numeric_table.column("y").to_numpy()))
+        estimate = sampler.estimate("sum", "y")
+        assert estimate.value == pytest.approx(exact, rel=0.1)
+
+    def test_count_estimate(self, numeric_table):
+        sampler = sampling.UniformSampler(numeric_table, fraction=0.25, seed=3)
+        estimate = sampler.estimate("count", "y")
+        assert estimate.value == pytest.approx(numeric_table.num_rows, rel=0.05)
+
+    def test_min_max_biased_inward(self, numeric_table):
+        sampler = sampling.UniformSampler(numeric_table, fraction=0.05, seed=4)
+        exact_min = float(np.min(numeric_table.column("y").to_numpy()))
+        exact_max = float(np.max(numeric_table.column("y").to_numpy()))
+        assert sampler.estimate("min", "y").value >= exact_min
+        assert sampler.estimate("max", "y").value <= exact_max
+
+    def test_error_shrinks_with_larger_sample(self, numeric_table):
+        small = sampling.UniformSampler(numeric_table, fraction=0.02, seed=5).estimate("avg", "y")
+        large = sampling.UniformSampler(numeric_table, fraction=0.5, seed=5).estimate("avg", "y")
+        assert large.standard_error < small.standard_error
+
+    def test_sample_bytes_proportional_to_fraction(self, numeric_table):
+        sampler = sampling.UniformSampler(numeric_table, fraction=0.1, seed=6)
+        assert sampler.sample_bytes() == pytest.approx(0.1 * numeric_table.byte_size(), rel=0.05)
+
+    def test_invalid_fraction(self, numeric_table):
+        with pytest.raises(ApproximationError):
+            sampling.UniformSampler(numeric_table, fraction=0.0)
+
+    def test_unsupported_estimator(self, numeric_table):
+        sampler = sampling.UniformSampler(numeric_table, fraction=0.1)
+        with pytest.raises(ApproximationError):
+            sampler.estimate("median", "y")
+
+    def test_predicate_mask_restriction(self, numeric_table):
+        sampler = sampling.UniformSampler(numeric_table, fraction=0.3, seed=7)
+        mask = sampler.sample.column("x").to_numpy() > 50
+        estimate = sampler.estimate("avg", "y", predicate_mask=mask)
+        exact_rows = numeric_table.column("x").to_numpy() > 50
+        exact = float(np.mean(numeric_table.column("y").to_numpy()[exact_rows]))
+        assert estimate.value == pytest.approx(exact, rel=0.05)
+
+
+class TestStratifiedSampling:
+    def test_every_group_represented(self, numeric_table):
+        sampler = sampling.StratifiedSampler(numeric_table, "g", rows_per_group=10, seed=1)
+        groups = set(sampler.sample.column("g").to_pylist())
+        assert groups == set(numeric_table.column("g").to_pylist())
+
+    def test_group_averages_close(self, numeric_table):
+        sampler = sampling.StratifiedSampler(numeric_table, "g", rows_per_group=40, seed=2)
+        estimates = sampler.estimate_group_avg("y")
+        g = np.array(numeric_table.column("g").to_pylist())
+        y = numeric_table.column("y").to_numpy()
+        for key, estimate in list(estimates.items())[:5]:
+            exact = float(np.mean(y[g == key]))
+            assert estimate == pytest.approx(exact, rel=0.15)
+
+    def test_rows_per_group_validation(self, numeric_table):
+        with pytest.raises(ApproximationError):
+            sampling.StratifiedSampler(numeric_table, "g", rows_per_group=0)
+
+
+class TestHistograms:
+    def test_equi_width_counts_sum_to_total(self, numeric_table):
+        hist = histogram.build_equi_width(numeric_table.column("y"), 32, "y")
+        assert sum(b.count for b in hist.buckets) == numeric_table.num_rows
+
+    def test_avg_estimate_close(self, numeric_table):
+        hist = histogram.build_equi_depth(numeric_table.column("y"), 64, "y")
+        exact = float(np.mean(numeric_table.column("y").to_numpy()))
+        assert hist.estimate("avg") == pytest.approx(exact, rel=0.05)
+
+    def test_range_count_estimate(self, numeric_table):
+        hist = histogram.build_equi_depth(numeric_table.column("x"), 64, "x")
+        estimated = hist.estimate("count", low=25.0, high=75.0)
+        exact = int(np.sum((numeric_table.column("x").to_numpy() >= 25) & (numeric_table.column("x").to_numpy() <= 75)))
+        assert estimated == pytest.approx(exact, rel=0.1)
+
+    def test_selectivity_bounded(self, numeric_table):
+        hist = histogram.build_equi_width(numeric_table.column("x"), 16, "x")
+        assert 0.0 <= hist.selectivity(10.0, 20.0) <= 1.0
+        assert hist.selectivity(hist.min_value, hist.max_value) == pytest.approx(1.0)
+
+    def test_min_max_estimates(self, numeric_table):
+        hist = histogram.build_equi_width(numeric_table.column("x"), 16, "x")
+        assert hist.estimate("min") == pytest.approx(0.0, abs=10.0)
+        assert hist.estimate("max") == pytest.approx(100.0, abs=10.0)
+
+    def test_byte_size_much_smaller_than_column(self, numeric_table):
+        hist = histogram.build_equi_width(numeric_table.column("y"), 32, "y")
+        assert hist.byte_size() < numeric_table.column("y").byte_size() / 10
+
+    def test_empty_column(self):
+        from repro.db.column import Column
+        from repro.db.types import DataType
+
+        hist = histogram.build_equi_width(Column.empty(DataType.FLOAT64), 8)
+        assert hist.total_count == 0
+
+    def test_unsupported_estimator(self, numeric_table):
+        hist = histogram.build_equi_width(numeric_table.column("y"), 8)
+        with pytest.raises(ApproximationError):
+            hist.estimate("stddev")
+
+
+class TestGzipBaseline:
+    def test_compression_reduces_size(self, numeric_table):
+        result = gzip_baseline.compress_table(numeric_table)
+        assert 0 < result.compressed_bytes < result.raw_bytes
+        assert result.ratio < 1.0
+        assert set(result.per_column_bytes) == {"g", "x", "y"}
+
+    def test_roundtrip_byte_count(self, numeric_table):
+        assert gzip_baseline.decompress_column_count(numeric_table) == numeric_table.num_rows * 8
+
+    def test_string_columns_supported(self):
+        table = Table.from_dict("t", {"s": ["aaa", "bbb", None, "aaa"] * 100})
+        result = gzip_baseline.compress_table(table)
+        assert result.compressed_bytes > 0
+
+    def test_summary_renders(self, numeric_table):
+        assert "zlib" in gzip_baseline.compress_table(numeric_table).summary()
+
+
+class TestSpartan:
+    def test_predicts_linearly_dependent_column(self, numeric_table):
+        result = spartan.compress_table(numeric_table, error_tolerance=0.10)
+        assert "y" in result.predicted_columns
+        assert result.stored_bytes < result.raw_bytes
+
+    def test_reports_outliers(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 10, 1000)
+        y = 2.0 * x
+        y[:50] += 100.0
+        table = Table.from_dict("t", {"x": x, "y": y})
+        result = spartan.compress_table(table, error_tolerance=0.05)
+        plan = next(p for p in result.plans if p.column == "y")
+        if plan.predicted:
+            assert plan.outlier_count >= 50
+
+    def test_unpredictable_data_kept_verbatim(self):
+        rng = np.random.default_rng(2)
+        table = Table.from_dict("t", {"a": rng.normal(0, 1, 500), "b": rng.normal(0, 1, 500)})
+        result = spartan.compress_table(table)
+        assert result.predicted_columns == []
+        assert result.stored_bytes == result.raw_bytes
+
+    def test_negative_tolerance_rejected(self, numeric_table):
+        from repro.errors import CompressionError
+
+        with pytest.raises(CompressionError):
+            spartan.compress_table(numeric_table, error_tolerance=-0.1)
+
+
+class TestMauveDB:
+    def test_gridded_view_lookup_close_to_truth(self, numeric_table):
+        view = mauvedb.build_regression_view(numeric_table, "x", "y", grid_points=32, degree=1)
+        assert view.lookup(50.0) == pytest.approx(3.0 + 0.5 * 50.0, rel=0.05)
+
+    def test_grouped_view_has_group_entries(self, numeric_table):
+        view = mauvedb.build_regression_view(numeric_table, "x", "y", group_column="g", grid_points=8, degree=1)
+        assert len(view.gridded_values) == 20
+        table = view.to_table()
+        assert table.num_rows == 20 * 8
+
+    def test_view_byte_size_accounts_grid(self, numeric_table):
+        small = mauvedb.build_regression_view(numeric_table, "x", "y", grid_points=4).byte_size()
+        large = mauvedb.build_regression_view(numeric_table, "x", "y", grid_points=64).byte_size()
+        assert large > small
+
+    def test_missing_group_lookup_raises(self, numeric_table):
+        view = mauvedb.build_regression_view(numeric_table, "x", "y", group_column="g", grid_points=4)
+        with pytest.raises(ApproximationError):
+            view.lookup(10.0, group_key=999)
+
+
+class TestFunctionDB:
+    def test_point_lookup_close_to_truth(self, numeric_table):
+        table = functiondb.build_function_table(numeric_table, "x", "y", num_segments=4, degree=1)
+        assert table.point(40.0) == pytest.approx(3.0 + 0.5 * 40.0, rel=0.05)
+
+    def test_grouped_function_table(self, numeric_table):
+        table = functiondb.build_function_table(
+            numeric_table, "x", "y", group_column="g", num_segments=2, degree=1
+        )
+        assert table.num_groups == 20
+        assert table.byte_size() > 0
+
+    def test_aggregate_over_grid(self, numeric_table):
+        table = functiondb.build_function_table(numeric_table, "x", "y", num_segments=4, degree=1)
+        xs = np.linspace(0, 100, 200)
+        assert table.aggregate("avg", xs) == pytest.approx(3.0 + 0.5 * 50.0, rel=0.1)
+        assert table.aggregate("max", xs) > table.aggregate("min", xs)
+
+    def test_unknown_group_raises(self, numeric_table):
+        table = functiondb.build_function_table(numeric_table, "x", "y", group_column="g", num_segments=2)
+        with pytest.raises(ApproximationError):
+            table.point(1.0, group_key=12345)
+
+    def test_insufficient_data(self):
+        tiny = Table.from_dict("t", {"x": [1.0, 2.0], "y": [1.0, 2.0]})
+        with pytest.raises(InsufficientDataError):
+            functiondb.build_function_table(tiny, "x", "y", num_segments=4, degree=2)

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (a LOFAR dataset with a captured grouped model, a
+TPC-DS-lite database with captured linear models) are session-scoped so the
+several dozen tests that exercise the approximate query engine, compression
+and anomaly detection all reuse the same fitted models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LawsDatabase
+from repro.datasets import lofar, sensors, tpcds_lite
+from repro.db import Database
+
+
+@pytest.fixture(scope="session")
+def lofar_dataset():
+    """A small but realistic synthetic LOFAR dataset (120 sources)."""
+    return lofar.generate(num_sources=120, observations_per_source=32, seed=11)
+
+
+@pytest.fixture(scope="session")
+def lofar_db(lofar_dataset):
+    """A LawsDatabase with the LOFAR table loaded and the power law captured."""
+    db = LawsDatabase()
+    db.register_table(lofar_dataset.to_table("measurements"))
+    report = db.fit("measurements", "intensity ~ powerlaw(frequency)", group_by="source")
+    assert report.accepted, "fixture model must pass the quality gate"
+    return db
+
+
+@pytest.fixture(scope="session")
+def lofar_model(lofar_db):
+    """The captured grouped power-law model of the LOFAR fixture."""
+    return lofar_db.best_model("measurements", "intensity")
+
+
+@pytest.fixture(scope="session")
+def tpcds_dataset():
+    """A small TPC-DS-lite star schema."""
+    return tpcds_lite.generate(num_items=60, num_stores=6, num_days=90, sales_per_day_per_store=6, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tpcds_db(tpcds_dataset):
+    """A LawsDatabase with the TPC-DS-lite tables and a captured linear model."""
+    db = LawsDatabase()
+    tpcds_lite.load_into(db.database, tpcds_dataset)
+    report = db.fit("store_sales", "sales_price ~ linear(list_price)")
+    assert report.accepted
+    return db
+
+
+@pytest.fixture(scope="session")
+def sensor_dataset():
+    return sensors.generate(num_sensors=8, num_hours=24 * 5, seed=9)
+
+
+@pytest.fixture()
+def simple_db():
+    """A plain relational database with two small joinable tables."""
+    db = Database()
+    db.load_dict(
+        "orders",
+        {
+            "order_id": [1, 2, 3, 4, 5, 6],
+            "customer": [10, 20, 10, 30, 20, 10],
+            "amount": [5.0, 7.5, 2.5, 10.0, 1.0, 4.0],
+            "region": ["eu", "us", "eu", "us", "eu", "eu"],
+        },
+    )
+    db.load_dict(
+        "customers",
+        {"customer": [10, 20, 30], "name": ["alice", "bob", "carol"]},
+    )
+    return db

@@ -1,0 +1,101 @@
+"""Tests for columnar storage."""
+
+import numpy as np
+import pytest
+
+from repro.db.column import Column
+from repro.db.types import DataType
+from repro.errors import TypeMismatchError
+
+
+class TestConstruction:
+    def test_from_values_roundtrip(self):
+        column = Column.from_values(DataType.INT64, [1, 2, None, 4])
+        assert column.to_pylist() == [1, 2, None, 4]
+
+    def test_from_values_infers_nulls(self):
+        column = Column.from_values(DataType.FLOAT64, [1.0, None])
+        assert column.null_count == 1
+        assert column.has_nulls
+
+    def test_from_numpy_nan_becomes_null(self):
+        column = Column.from_numpy(DataType.FLOAT64, np.array([1.0, np.nan, 3.0]))
+        assert column.to_pylist() == [1.0, None, 3.0]
+
+    def test_infer_builds_common_type(self):
+        column = Column.infer([1, 2.5, None])
+        assert column.dtype is DataType.FLOAT64
+
+    def test_empty_column(self):
+        column = Column.empty(DataType.STRING)
+        assert len(column) == 0
+        assert column.to_pylist() == []
+
+    def test_validity_length_mismatch_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column(DataType.INT64, np.array([1, 2]), np.array([True]))
+
+
+class TestDerivation:
+    @pytest.fixture()
+    def column(self):
+        return Column.from_values(DataType.FLOAT64, [1.0, 2.0, None, 4.0, 5.0])
+
+    def test_take(self, column):
+        assert column.take(np.array([4, 0])).to_pylist() == [5.0, 1.0]
+
+    def test_filter(self, column):
+        mask = np.array([True, False, True, False, True])
+        assert column.filter(mask).to_pylist() == [1.0, None, 5.0]
+
+    def test_slice(self, column):
+        assert column.slice(1, 3).to_pylist() == [2.0, None]
+
+    def test_concat(self, column):
+        combined = column.concat(Column.from_values(DataType.FLOAT64, [9.0]))
+        assert combined.to_pylist()[-1] == 9.0
+        assert len(combined) == 6
+
+    def test_concat_type_mismatch(self, column):
+        with pytest.raises(TypeMismatchError):
+            column.concat(Column.from_values(DataType.INT64, [1]))
+
+    def test_append_value(self, column):
+        appended = column.append_value(None)
+        assert appended.to_pylist()[-1] is None
+        assert len(appended) == 6
+        # original untouched
+        assert len(column) == 5
+
+
+class TestStatisticsHelpers:
+    def test_min_max_skip_nulls(self):
+        column = Column.from_values(DataType.FLOAT64, [None, 3.0, 1.0, 2.0])
+        assert column.min() == 1.0
+        assert column.max() == 3.0
+
+    def test_min_of_all_null_is_none(self):
+        column = Column.from_values(DataType.FLOAT64, [None, None])
+        assert column.min() is None
+
+    def test_distinct_values_sorted(self):
+        column = Column.from_values(DataType.INT64, [3, 1, 2, 1, None])
+        assert column.distinct_values() == [1, 2, 3]
+
+    def test_string_min_max(self):
+        column = Column.from_values(DataType.STRING, ["pear", "apple"])
+        assert column.min() == "apple"
+        assert column.max() == "pear"
+
+    def test_byte_size(self):
+        column = Column.from_values(DataType.INT64, [1, 2, 3])
+        assert column.byte_size() == 24
+
+    def test_nonnull_numpy(self):
+        column = Column.from_values(DataType.FLOAT64, [1.0, None, 2.0])
+        assert list(column.nonnull_numpy()) == [1.0, 2.0]
+
+    def test_equality(self):
+        a = Column.from_values(DataType.INT64, [1, None])
+        b = Column.from_values(DataType.INT64, [1, None])
+        assert a == b

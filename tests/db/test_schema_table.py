@@ -1,0 +1,160 @@
+"""Tests for schemas and tables."""
+
+import numpy as np
+import pytest
+
+from repro.db.column import Column
+from repro.db.schema import ColumnDef, Schema
+from repro.db.table import Table
+from repro.db.types import DataType
+from repro.errors import ExecutionError, SchemaError, TypeMismatchError
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnDef("a", DataType.INT64), ColumnDef("a", DataType.FLOAT64)])
+
+    def test_of_constructor(self):
+        schema = Schema.of(a=DataType.INT64, b=DataType.STRING)
+        assert schema.names == ["a", "b"]
+
+    def test_column_lookup(self):
+        schema = Schema.of(a=DataType.INT64)
+        assert schema.column("a").dtype is DataType.INT64
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_index_of(self):
+        schema = Schema.of(a=DataType.INT64, b=DataType.FLOAT64)
+        assert schema.index_of("b") == 1
+
+    def test_select_and_rename(self):
+        schema = Schema.of(a=DataType.INT64, b=DataType.FLOAT64, c=DataType.STRING)
+        assert schema.select(["c", "a"]).names == ["c", "a"]
+        assert schema.rename({"a": "x"}).names == ["x", "b", "c"]
+
+    def test_concat(self):
+        left = Schema.of(a=DataType.INT64)
+        right = Schema.of(b=DataType.FLOAT64)
+        assert left.concat(right).names == ["a", "b"]
+
+    def test_row_byte_width(self):
+        schema = Schema.of(a=DataType.INT64, b=DataType.FLOAT64, s=DataType.STRING)
+        assert schema.row_byte_width() == 8 + 8 + 16
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("", DataType.INT64)
+
+
+class TestTableConstruction:
+    def test_from_rows(self):
+        schema = Schema.of(a=DataType.INT64, b=DataType.STRING)
+        table = Table.from_rows("t", schema, [(1, "x"), (2, "y")])
+        assert table.num_rows == 2
+        assert table.row(1) == (2, "y")
+
+    def test_from_dict_infers_types(self):
+        table = Table.from_dict("t", {"a": [1, 2], "b": [1.5, None]})
+        assert table.schema.dtype_of("a") is DataType.INT64
+        assert table.schema.dtype_of("b") is DataType.FLOAT64
+
+    def test_column_length_mismatch(self):
+        schema = Schema.of(a=DataType.INT64, b=DataType.INT64)
+        columns = {
+            "a": Column.from_values(DataType.INT64, [1, 2]),
+            "b": Column.from_values(DataType.INT64, [1]),
+        }
+        with pytest.raises(SchemaError):
+            Table("t", schema, columns)
+
+    def test_wrong_dtype_rejected(self):
+        schema = Schema.of(a=DataType.INT64)
+        columns = {"a": Column.from_values(DataType.FLOAT64, [1.0])}
+        with pytest.raises(TypeMismatchError):
+            Table("t", schema, columns)
+
+    def test_from_numpy(self):
+        schema = Schema.of(x=DataType.FLOAT64)
+        table = Table.from_numpy("t", schema, {"x": np.array([1.0, np.nan])})
+        assert table.column("x").to_pylist() == [1.0, None]
+
+
+class TestTableOperations:
+    @pytest.fixture()
+    def table(self):
+        return Table.from_dict(
+            "t",
+            {"a": [3, 1, 2, None], "b": [30.0, 10.0, 20.0, 40.0], "s": ["x", "y", "x", "z"]},
+        )
+
+    def test_append_rows(self, table):
+        table.append_rows([(5, 50.0, "w")])
+        assert table.num_rows == 5
+        assert table.row(4) == (5, 50.0, "w")
+
+    def test_append_rejects_wrong_width(self, table):
+        with pytest.raises(SchemaError):
+            table.append_rows([(1, 2.0)])
+
+    def test_append_dicts_missing_key_is_null(self, table):
+        table.append_dicts([{"a": 9}])
+        assert table.row(table.num_rows - 1) == (9, None, None)
+
+    def test_select_projects_columns(self, table):
+        projected = table.select(["b", "a"])
+        assert projected.schema.names == ["b", "a"]
+        assert projected.row(0) == (30.0, 3)
+
+    def test_filter(self, table):
+        filtered = table.filter(np.array([True, False, True, False]))
+        assert filtered.num_rows == 2
+        assert filtered.column("a").to_pylist() == [3, 2]
+
+    def test_take(self, table):
+        taken = table.take(np.array([2, 0]))
+        assert taken.column("a").to_pylist() == [2, 3]
+
+    def test_slice_and_head(self, table):
+        assert table.slice(1, 3).num_rows == 2
+        assert table.head(2).num_rows == 2
+
+    def test_sort_by_ascending(self, table):
+        result = table.sort_by([("b", True)])
+        assert result.column("b").to_pylist() == [10.0, 20.0, 30.0, 40.0]
+
+    def test_sort_by_descending_nulls_last(self, table):
+        result = table.sort_by([("a", False)])
+        assert result.column("a").to_pylist() == [3, 2, 1, None]
+
+    def test_sort_multi_key_is_stable(self):
+        table = Table.from_dict("t", {"k": ["b", "a", "a"], "v": [1, 2, 1]})
+        result = table.sort_by([("k", True), ("v", True)])
+        assert result.to_rows() == [("a", 1), ("a", 2), ("b", 1)]
+
+    def test_with_column(self, table):
+        extended = table.with_column("c", Column.from_values(DataType.INT64, [1, 2, 3, 4]))
+        assert "c" in extended.schema
+        assert extended.column("c").to_pylist() == [1, 2, 3, 4]
+
+    def test_concat_requires_same_schema(self, table):
+        other = Table.from_dict("t2", {"a": [1]})
+        with pytest.raises(SchemaError):
+            table.concat(other)
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(ExecutionError):
+            table.row(10)
+
+    def test_byte_size(self, table):
+        # 4 rows * (8 + 8 + 16) bytes
+        assert table.byte_size() == 4 * 32
+
+    def test_to_text_contains_header(self, table):
+        text = table.to_text()
+        assert "a" in text and "NULL" in text
+
+    def test_iter_dicts(self, table):
+        first = next(table.iter_dicts())
+        assert first == {"a": 3, "b": 30.0, "s": "x"}

@@ -1,0 +1,174 @@
+"""End-to-end SQL execution tests against the Database façade."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import CatalogError, SQLPlanningError, UnsupportedSQLError
+
+
+class TestBasicSelect:
+    def test_projection_and_expression(self, simple_db):
+        result = simple_db.query("SELECT order_id, amount * 2 AS double_amount FROM orders")
+        assert result.schema.names == ["order_id", "double_amount"]
+        assert result.column("double_amount").to_pylist()[0] == 10.0
+
+    def test_where_filter(self, simple_db):
+        result = simple_db.query("SELECT order_id FROM orders WHERE amount > 4.5")
+        assert result.column("order_id").to_pylist() == [1, 2, 4]
+
+    def test_where_with_string(self, simple_db):
+        result = simple_db.query("SELECT count(*) AS n FROM orders WHERE region = 'eu'")
+        assert result.row(0) == (4,)
+
+    def test_select_star(self, simple_db):
+        result = simple_db.query("SELECT * FROM orders")
+        assert set(result.schema.names) == {"order_id", "customer", "amount", "region"}
+        assert result.num_rows == 6
+
+    def test_order_by_and_limit(self, simple_db):
+        result = simple_db.query("SELECT order_id FROM orders ORDER BY amount DESC LIMIT 2")
+        assert result.column("order_id").to_pylist() == [4, 2]
+
+    def test_order_by_ordinal(self, simple_db):
+        result = simple_db.query("SELECT order_id, amount FROM orders ORDER BY 2 ASC LIMIT 1")
+        assert result.row(0) == (5, 1.0)
+
+    def test_limit_offset(self, simple_db):
+        result = simple_db.query("SELECT order_id FROM orders ORDER BY order_id LIMIT 2 OFFSET 4")
+        assert result.column("order_id").to_pylist() == [5, 6]
+
+    def test_distinct(self, simple_db):
+        result = simple_db.query("SELECT DISTINCT customer FROM orders ORDER BY customer")
+        assert result.column("customer").to_pylist() == [10, 20, 30]
+
+    def test_between_and_in(self, simple_db):
+        result = simple_db.query(
+            "SELECT order_id FROM orders WHERE amount BETWEEN 2 AND 8 AND customer IN (10, 20)"
+        )
+        assert result.column("order_id").to_pylist() == [1, 2, 3, 6]
+
+    def test_unknown_column_raises(self, simple_db):
+        with pytest.raises(SQLPlanningError):
+            simple_db.query("SELECT nope FROM orders")
+
+    def test_unknown_table_raises(self, simple_db):
+        with pytest.raises(CatalogError):
+            simple_db.query("SELECT a FROM missing")
+
+    def test_select_without_from_unsupported(self, simple_db):
+        with pytest.raises(UnsupportedSQLError):
+            simple_db.query("SELECT 1")
+
+
+class TestAggregation:
+    def test_global_aggregates(self, simple_db):
+        result = simple_db.query(
+            "SELECT count(*) AS n, sum(amount) AS total, avg(amount) AS mean, "
+            "min(amount) AS lo, max(amount) AS hi FROM orders"
+        )
+        assert result.row(0) == (6, 30.0, 5.0, 1.0, 10.0)
+
+    def test_group_by(self, simple_db):
+        result = simple_db.query(
+            "SELECT customer, sum(amount) AS total FROM orders GROUP BY customer ORDER BY customer"
+        )
+        assert result.to_rows() == [(10, 11.5), (20, 8.5), (30, 10.0)]
+
+    def test_group_by_with_having(self, simple_db):
+        result = simple_db.query(
+            "SELECT customer, count(*) AS n FROM orders GROUP BY customer HAVING count(*) > 1 ORDER BY customer"
+        )
+        assert result.to_rows() == [(10, 3), (20, 2)]
+
+    def test_group_by_string_key(self, simple_db):
+        result = simple_db.query(
+            "SELECT region, avg(amount) AS mean FROM orders GROUP BY region ORDER BY region"
+        )
+        rows = dict(result.to_rows())
+        assert rows["eu"] == pytest.approx(12.5 / 4)
+        assert rows["us"] == pytest.approx(8.75)
+
+    def test_count_column_skips_nulls(self):
+        db = Database()
+        db.load_dict("t", {"x": [1.0, None, 3.0]})
+        assert db.query("SELECT count(x) AS n FROM t").row(0) == (2,)
+
+    def test_stddev_and_var(self, simple_db):
+        result = simple_db.query("SELECT stddev(amount) AS s, var(amount) AS v FROM orders")
+        s, v = result.row(0)
+        assert s == pytest.approx(v**0.5)
+
+    def test_aggregate_in_expression(self, simple_db):
+        result = simple_db.query("SELECT sum(amount) / count(*) AS mean FROM orders")
+        assert result.row(0)[0] == pytest.approx(5.0)
+
+    def test_empty_group_result(self, simple_db):
+        result = simple_db.query("SELECT customer, sum(amount) AS s FROM orders WHERE amount > 100 GROUP BY customer")
+        assert result.num_rows == 0
+
+
+class TestJoins:
+    def test_inner_join(self, simple_db):
+        result = simple_db.query(
+            "SELECT o.order_id, c.name FROM orders o JOIN customers c ON o.customer = c.customer "
+            "ORDER BY o.order_id"
+        )
+        assert result.num_rows == 6
+        assert result.row(0) == (1, "alice")
+        assert result.row(3) == (4, "carol")
+
+    def test_join_with_aggregation(self, simple_db):
+        result = simple_db.query(
+            "SELECT c.name AS name, sum(o.amount) AS total FROM orders o "
+            "JOIN customers c ON o.customer = c.customer GROUP BY c.name ORDER BY name"
+        )
+        assert result.to_rows() == [("alice", 11.5), ("bob", 8.5), ("carol", 10.0)]
+
+    def test_join_filters_non_matching(self):
+        db = Database()
+        db.load_dict("a", {"k": [1, 2, 3], "v": [10, 20, 30]})
+        db.load_dict("b", {"k": [2, 3, 4], "w": [200, 300, 400]})
+        result = db.query("SELECT a.k, w FROM a JOIN b ON a.k = b.k ORDER BY a.k")
+        assert result.to_rows() == [(2, 200), (3, 300)]
+
+    def test_join_null_keys_never_match(self):
+        db = Database()
+        db.load_dict("a", {"k": [1, None], "v": [10, 20]})
+        db.load_dict("b", {"k": [1, None], "w": [100, 200]})
+        result = db.query("SELECT v, w FROM a JOIN b ON a.k = b.k")
+        assert result.to_rows() == [(10, 100)]
+
+
+class TestDDLAndInsert:
+    def test_create_insert_select_roundtrip(self):
+        db = Database()
+        db.sql("CREATE TABLE m (source INT, frequency DOUBLE, intensity DOUBLE)")
+        db.sql("INSERT INTO m VALUES (1, 0.12, 2.5), (1, 0.15, 2.1), (2, 0.18, 3.3)")
+        result = db.query("SELECT count(*) AS n, max(intensity) AS hi FROM m")
+        assert result.row(0) == (3, 3.3)
+
+    def test_insert_with_column_list_reorders(self):
+        db = Database()
+        db.sql("CREATE TABLE t (a INT, b DOUBLE)")
+        db.sql("INSERT INTO t (b, a) VALUES (1.5, 7)")
+        assert db.query("SELECT a, b FROM t").row(0) == (7, 1.5)
+
+    def test_explain_returns_plan(self, simple_db):
+        plan = simple_db.explain("SELECT customer, sum(amount) FROM orders GROUP BY customer")
+        assert "Aggregate" in plan and "TableScan" in plan
+
+    def test_query_result_metadata(self, simple_db):
+        result = simple_db.sql("SELECT count(*) FROM orders")
+        assert result.statement_type == "select"
+        assert result.elapsed_seconds >= 0
+        assert result.io["pages_read"] >= 1
+        assert result.scalar() == 6
+
+    def test_io_charged_only_for_referenced_columns(self, simple_db):
+        simple_db.reset_io()
+        simple_db.query("SELECT order_id FROM orders")
+        narrow = simple_db.io_snapshot()["bytes_read"]
+        simple_db.reset_io()
+        simple_db.query("SELECT * FROM orders")
+        wide = simple_db.io_snapshot()["bytes_read"]
+        assert narrow < wide

@@ -1,0 +1,110 @@
+"""Tests for column statistics and the simulated IO model."""
+
+import pytest
+
+from repro.db.io_model import IOModel, IOParameters
+from repro.db.stats import ENUMERABLE_DISTINCT_LIMIT, compute_column_stats, compute_table_stats
+from repro.db.table import Table
+from repro.db.column import Column
+from repro.db.types import DataType
+
+
+class TestColumnStats:
+    def test_basic_numeric_stats(self):
+        column = Column.from_values(DataType.FLOAT64, [1.0, 2.0, 3.0, None])
+        stats = compute_column_stats("x", column)
+        assert stats.row_count == 4
+        assert stats.null_count == 1
+        assert stats.distinct_count == 3
+        assert stats.min_value == 1.0
+        assert stats.max_value == 3.0
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_enumerable_domain(self):
+        column = Column.from_values(DataType.FLOAT64, [0.12, 0.15, 0.16, 0.18, 0.12])
+        stats = compute_column_stats("frequency", column)
+        assert stats.is_enumerable
+        assert stats.domain == [0.12, 0.15, 0.16, 0.18]
+
+    def test_high_cardinality_not_enumerable(self):
+        values = [float(i) for i in range(ENUMERABLE_DISTINCT_LIMIT + 10)]
+        stats = compute_column_stats("x", Column.from_values(DataType.FLOAT64, values))
+        assert not stats.is_enumerable
+
+    def test_string_stats(self):
+        column = Column.from_values(DataType.STRING, ["b", "a", "b", None])
+        stats = compute_column_stats("s", column)
+        assert stats.distinct_count == 2
+        assert stats.domain == ["a", "b"]
+        assert stats.min_value == "a"
+
+    def test_empty_column(self):
+        stats = compute_column_stats("x", Column.empty(DataType.FLOAT64))
+        assert stats.row_count == 0
+        assert stats.distinct_count == 0
+
+    def test_selectivity_equals(self):
+        column = Column.from_values(DataType.INT64, [1, 2, 3, 4])
+        stats = compute_column_stats("x", column)
+        assert stats.selectivity_equals(2) == pytest.approx(0.25)
+        assert stats.selectivity_equals(99) == 0.0
+
+    def test_selectivity_range(self):
+        column = Column.from_values(DataType.FLOAT64, [0.0, 10.0])
+        stats = compute_column_stats("x", column)
+        assert stats.selectivity_range(0.0, 5.0) == pytest.approx(0.5)
+        assert stats.selectivity_range(None, None) == pytest.approx(1.0)
+
+    def test_table_stats(self):
+        table = Table.from_dict("t", {"a": [1, 2], "b": ["x", "y"]})
+        stats = compute_table_stats(table)
+        assert stats.row_count == 2
+        assert set(stats.columns) == {"a", "b"}
+        assert stats.byte_size == table.byte_size()
+
+    def test_null_fraction(self):
+        column = Column.from_values(DataType.FLOAT64, [1.0, None])
+        assert compute_column_stats("x", column).null_fraction == pytest.approx(0.5)
+
+
+class TestIOModel:
+    def test_pages_for_bytes(self):
+        params = IOParameters(page_size_bytes=1000)
+        assert params.pages_for_bytes(0) == 0
+        assert params.pages_for_bytes(1) == 1
+        assert params.pages_for_bytes(1000) == 1
+        assert params.pages_for_bytes(1001) == 2
+
+    def test_charge_scan_accumulates(self):
+        io = IOModel(IOParameters(page_size_bytes=100))
+        table = Table.from_dict("t", {"a": list(range(100))})  # 800 bytes
+        charged = io.charge_scan(table)
+        assert charged == 800
+        assert io.snapshot()["pages_read"] == 8
+        assert io.snapshot()["virtual_io_seconds"] > 0
+
+    def test_projected_scan_charges_less(self):
+        io = IOModel()
+        table = Table.from_dict("t", {"a": list(range(1000)), "b": [float(i) for i in range(1000)]})
+        full = io.column_bytes(table)
+        partial = io.column_bytes(table, ["a"])
+        assert partial == full / 2
+
+    def test_point_lookup_charges_random_reads(self):
+        io = IOModel()
+        table = Table.from_dict("t", {"a": [1, 2, 3]})
+        io.charge_point_lookup(table, ["a"])
+        snap = io.snapshot()
+        assert snap["random_reads"] == 1
+        assert snap["pages_read"] >= 1
+
+    def test_reset(self):
+        io = IOModel()
+        table = Table.from_dict("t", {"a": [1, 2, 3]})
+        io.charge_scan(table)
+        io.reset()
+        assert io.snapshot()["pages_read"] == 0
+
+    def test_sequential_faster_than_random_per_page(self):
+        params = IOParameters()
+        assert params.sequential_read_time(10) < params.random_read_time(10)

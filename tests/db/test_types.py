@@ -1,0 +1,109 @@
+"""Tests for the column type system."""
+
+import numpy as np
+import pytest
+
+from repro.db.types import DataType, is_null, null_value, python_value
+from repro.errors import TypeMismatchError
+
+
+class TestInference:
+    def test_infer_int(self):
+        assert DataType.infer(3) is DataType.INT64
+
+    def test_infer_float(self):
+        assert DataType.infer(3.5) is DataType.FLOAT64
+
+    def test_infer_bool_not_int(self):
+        assert DataType.infer(True) is DataType.BOOL
+
+    def test_infer_string(self):
+        assert DataType.infer("x") is DataType.STRING
+
+    def test_infer_numpy_scalars(self):
+        assert DataType.infer(np.int64(4)) is DataType.INT64
+        assert DataType.infer(np.float64(4.5)) is DataType.FLOAT64
+        assert DataType.infer(np.bool_(True)) is DataType.BOOL
+
+    def test_infer_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.infer(object())
+
+    def test_infer_common_promotes_int_to_float(self):
+        assert DataType.infer_common([1, 2.5, None]) is DataType.FLOAT64
+
+    def test_infer_common_all_int(self):
+        assert DataType.infer_common([1, 2, 3]) is DataType.INT64
+
+    def test_infer_common_empty_defaults_to_float(self):
+        assert DataType.infer_common([None, None]) is DataType.FLOAT64
+
+    def test_infer_common_mixed_raises(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.infer_common([1, "a"])
+
+
+class TestCoercion:
+    def test_int_accepts_integral_float(self):
+        assert DataType.INT64.coerce(3.0) == 3
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.INT64.coerce(3.5)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.INT64.coerce(True)
+
+    def test_float_accepts_int(self):
+        assert DataType.FLOAT64.coerce(3) == 3.0
+
+    def test_string_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.STRING.coerce(3)
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.BOOL.coerce(1)
+
+    def test_none_passes_through(self):
+        assert DataType.INT64.coerce(None) is None
+
+
+class TestNullHandling:
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_null_value_is_null(self, dtype):
+        sentinel = null_value(dtype)
+        if dtype is DataType.BOOL:
+            # BOOL relies on the validity mask only.
+            assert python_value(dtype, sentinel, valid=False) is None
+        else:
+            assert is_null(dtype, sentinel)
+
+    def test_python_value_roundtrip(self):
+        assert python_value(DataType.INT64, np.int64(7)) == 7
+        assert python_value(DataType.FLOAT64, np.float64(7.5)) == 7.5
+        assert python_value(DataType.BOOL, np.bool_(True)) is True
+        assert python_value(DataType.STRING, "s") == "s"
+
+    def test_float_nan_is_null(self):
+        assert is_null(DataType.FLOAT64, float("nan"))
+
+    def test_regular_values_not_null(self):
+        assert not is_null(DataType.INT64, np.int64(0))
+        assert not is_null(DataType.FLOAT64, 0.0)
+
+
+class TestByteWidths:
+    def test_numeric_widths(self):
+        assert DataType.INT64.byte_width == 8
+        assert DataType.FLOAT64.byte_width == 8
+
+    def test_string_width_is_nominal(self):
+        assert DataType.STRING.byte_width == 16
+
+    def test_is_numeric(self):
+        assert DataType.INT64.is_numeric
+        assert DataType.FLOAT64.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BOOL.is_numeric

@@ -1,0 +1,107 @@
+"""Tests for the in-database UDF registry and the benchmark harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentResult, format_bytes, ratio, relative_error, repro_scale
+from repro.db.table import Table
+from repro.db.udf import FitInvocation, UDFRegistry
+from repro.errors import ExecutionError
+
+
+class TestUDFRegistry:
+    def test_scalar_udf_roundtrip(self):
+        registry = UDFRegistry()
+        registry.register_scalar("doubled", lambda x: x * 2, arity=1)
+        udf = registry.scalar("DOUBLED")  # lookup is case-insensitive
+        assert list(udf(np.array([1.0, 2.0]))) == [2.0, 4.0]
+        assert registry.has_scalar("doubled")
+
+    def test_scalar_udf_arity_checked(self):
+        registry = UDFRegistry()
+        registry.register_scalar("add", lambda a, b: a + b, arity=2)
+        with pytest.raises(ExecutionError):
+            registry.scalar("add")(np.array([1.0]))
+
+    def test_unknown_scalar_raises(self):
+        with pytest.raises(ExecutionError):
+            UDFRegistry().scalar("missing")
+
+    def test_table_udf(self):
+        registry = UDFRegistry()
+
+        def head(table: Table, n: int = 1) -> Table:
+            return table.head(n)
+
+        registry.register_table("head", head)
+        table = Table.from_dict("t", {"a": [1, 2, 3]})
+        assert registry.table_function("head")(table, n=2).num_rows == 2
+        with pytest.raises(ExecutionError):
+            registry.table_function("missing")
+
+    def test_fit_log_and_listeners(self):
+        registry = UDFRegistry()
+        seen = []
+        registry.add_fit_listener(seen.append)
+        invocation = FitInvocation(
+            table_name="m", input_columns=["x"], output_column="y", model_name="linear"
+        )
+        registry.record_fit(invocation)
+        assert registry.fit_log == [invocation]
+        assert seen == [invocation]
+        registry.clear_fit_log()
+        assert registry.fit_log == []
+
+
+class TestExperimentResult:
+    def test_rows_and_columns(self):
+        result = ExperimentResult(name="demo")
+        result.add_row(method="a", value=1.0)
+        result.add_row(method="b", value=2.0)
+        assert result.column("value") == [1.0, 2.0]
+        assert result.row_for(method="b")["value"] == 2.0
+        with pytest.raises(KeyError):
+            result.row_for(method="c")
+
+    def test_to_text_renders_all_columns(self):
+        result = ExperimentResult(name="demo", metadata={"scale": 0.02})
+        result.add_row(method="a", value=1.2345, note=None)
+        text = result.to_text()
+        assert "== demo ==" in text
+        assert "scale: 0.02" in text
+        assert "1.234" in text and "-" in text  # None renders as '-'
+
+    def test_empty_result_renders(self):
+        assert "(no rows)" in ExperimentResult(name="empty").to_text()
+
+    def test_ragged_rows_supported(self):
+        result = ExperimentResult(name="ragged")
+        result.add_row(a=1)
+        result.add_row(a=2, b=3)
+        text = result.to_text()
+        assert "b" in text
+
+
+class TestReportingHelpers:
+    def test_relative_error_basics(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(5.0, 0.0) == 5.0
+        assert relative_error(float("nan"), 1.0) == float("inf")
+
+    def test_format_bytes_units(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert "MiB" in format_bytes(5 * 1024 * 1024)
+
+    def test_ratio_guards_zero(self):
+        assert ratio(1, 0) == 0.0
+        assert ratio(3, 2) == 1.5
+
+    def test_repro_scale_clamps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "5.0")
+        assert repro_scale() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "not-a-number")
+        assert repro_scale(0.02) == 0.02
+        monkeypatch.delenv("REPRO_SCALE")
+        assert repro_scale(0.3) == 0.3

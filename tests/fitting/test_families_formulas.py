@@ -1,0 +1,133 @@
+"""Tests for model families and the formula language."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError, FormulaError
+from repro.fitting import (
+    Constant,
+    Exponential,
+    LinearModel,
+    Polynomial,
+    PowerLaw,
+    family_by_name,
+    parse_formula,
+)
+from repro.fitting.families import FAMILY_REGISTRY
+
+
+class TestFamilies:
+    def test_powerlaw_predict(self):
+        family = PowerLaw()
+        values = family.predict({"x": np.array([2.0, 4.0])}, np.array([3.0, 0.5]))
+        assert values == pytest.approx([3.0 * 2**0.5, 3.0 * 2.0])
+
+    def test_powerlaw_initial_guess_from_loglog(self):
+        x = np.array([0.12, 0.15, 0.16, 0.18])
+        y = 0.05 * x**-0.8
+        guess = PowerLaw().initial_guess({"x": x}, y)
+        assert guess[1] == pytest.approx(-0.8, abs=1e-6)
+
+    def test_powerlaw_jacobian_shape(self):
+        jac = PowerLaw().jacobian({"x": np.array([1.0, 2.0, 3.0])}, np.array([1.0, -0.5]))
+        assert jac.shape == (3, 2)
+
+    def test_linear_design_matrix_with_intercept(self):
+        family = LinearModel(("a", "b"))
+        X = family.design_matrix({"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])})
+        assert X.shape == (2, 3)
+        assert list(X[:, 0]) == [1.0, 1.0]
+
+    def test_linear_param_names(self):
+        assert LinearModel(("a", "b")).param_names == ("intercept", "beta_a", "beta_b")
+        assert LinearModel(("a",), intercept=False).param_names == ("beta_a",)
+
+    def test_polynomial_degree_zero_is_constant(self):
+        family = Polynomial(degree=0)
+        assert family.num_params == 1
+
+    def test_polynomial_negative_degree_rejected(self):
+        with pytest.raises(FittingError):
+            Polynomial(degree=-1)
+
+    def test_constant_family(self):
+        family = Constant()
+        guess = family.initial_guess({"x": np.array([1.0, 2.0])}, np.array([5.0, 7.0]))
+        assert guess[0] == pytest.approx(6.0)
+        assert family.predict({"x": np.array([1.0, 2.0])}, guess) == pytest.approx([6.0, 6.0])
+
+    def test_exponential_initial_guess(self):
+        x = np.linspace(0, 2, 50)
+        y = 3.0 * np.exp(0.5 * x)
+        guess = Exponential().initial_guess({"x": x}, y)
+        assert guess[0] == pytest.approx(3.0, rel=1e-3)
+        assert guess[1] == pytest.approx(0.5, rel=1e-3)
+
+    def test_family_registry_lookup(self):
+        assert isinstance(family_by_name("powerlaw"), PowerLaw)
+        assert isinstance(family_by_name("poly", degree=3), Polynomial)
+        with pytest.raises(FittingError):
+            family_by_name("does_not_exist")
+
+    def test_param_dict(self):
+        family = PowerLaw()
+        assert family.param_dict(np.array([1.5, -0.5])) == {"p": 1.5, "alpha": -0.5}
+
+    def test_every_registered_family_instantiates(self):
+        for name in FAMILY_REGISTRY:
+            family = family_by_name(name)
+            assert family.num_params >= 1
+
+
+class TestFormulas:
+    def test_basic_powerlaw_formula(self):
+        parsed = parse_formula("intensity ~ powerlaw(frequency)")
+        assert parsed.output == "intensity"
+        assert parsed.inputs == ("frequency",)
+        assert isinstance(parsed.build_family(), PowerLaw)
+
+    def test_linear_formula_multiple_inputs(self):
+        parsed = parse_formula("sales ~ linear(price, advertising)")
+        family = parsed.build_family()
+        assert isinstance(family, LinearModel)
+        assert family.input_names == ("price", "advertising")
+
+    def test_r_style_additive_shorthand(self):
+        parsed = parse_formula("y ~ x1 + x2")
+        assert parsed.family_name == "linear"
+        assert parsed.inputs == ("x1", "x2")
+
+    def test_polynomial_with_kwarg(self):
+        parsed = parse_formula("y ~ poly(x, degree=3)")
+        family = parsed.build_family()
+        assert isinstance(family, Polynomial)
+        assert family.degree == 3
+
+    def test_kwarg_literal_types(self):
+        parsed = parse_formula("y ~ linear(x, intercept=false)")
+        family = parsed.build_family()
+        assert family.intercept is False
+
+    def test_whitespace_tolerated(self):
+        parsed = parse_formula("  y   ~   powerlaw( x )  ")
+        assert parsed.inputs == ("x",)
+
+    def test_missing_tilde_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_formula("y = powerlaw(x)")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_formula("y ~ wavelet(x)")
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_formula("y ~ powerlaw()")
+
+    def test_bad_column_name_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_formula("y ~ powerlaw(1x)")
+
+    def test_qualified_column_names_allowed(self):
+        parsed = parse_formula("m.intensity ~ powerlaw(m.frequency)")
+        assert parsed.output == "m.intensity"

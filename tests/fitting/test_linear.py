@@ -1,0 +1,127 @@
+"""Tests for OLS / weighted least squares."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError, InsufficientDataError
+from repro.fitting import LinearModel, Polynomial, fit_linear_family, fit_ols, solve_normal_equations
+
+
+@pytest.fixture()
+def noisy_line():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(0, 10, 400)
+    y = 3.0 + 2.0 * x + rng.normal(0, 0.1, 400)
+    return x, y
+
+
+class TestOLS:
+    def test_exact_recovery_without_noise(self):
+        x = np.linspace(0, 1, 50)
+        X = np.column_stack([np.ones(50), x])
+        y = 5.0 - 2.0 * x
+        beta, cov, residuals = fit_ols(X, y)
+        assert beta == pytest.approx([5.0, -2.0], abs=1e-10)
+        assert np.max(np.abs(residuals)) < 1e-10
+
+    def test_matches_normal_equations(self, noisy_line):
+        x, y = noisy_line
+        X = np.column_stack([np.ones(len(x)), x])
+        beta_lstsq, _, _ = fit_ols(X, y)
+        beta_normal = solve_normal_equations(X, y)
+        assert beta_lstsq == pytest.approx(beta_normal, rel=1e-8)
+
+    def test_covariance_shrinks_with_more_data(self):
+        rng = np.random.default_rng(2)
+
+        def fit_with(n):
+            x = rng.uniform(0, 10, n)
+            X = np.column_stack([np.ones(n), x])
+            y = 1.0 + x + rng.normal(0, 1.0, n)
+            _, cov, _ = fit_ols(X, y)
+            return cov[1, 1]
+
+        assert fit_with(2000) < fit_with(50)
+
+    def test_insufficient_data(self):
+        X = np.ones((2, 3))
+        with pytest.raises(InsufficientDataError):
+            fit_ols(X, np.array([1.0, 2.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FittingError):
+            fit_ols(np.ones((5, 2)), np.ones(4))
+
+    def test_weights_must_be_nonnegative(self):
+        X = np.ones((3, 1))
+        with pytest.raises(FittingError):
+            fit_ols(X, np.ones(3), weights=np.array([1.0, -1.0, 1.0]))
+
+    def test_weighted_fit_downweights_outlier(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0, 10.0])
+        y = np.array([0.0, 1.0, 2.0, 3.0, 100.0])  # last point is an outlier
+        X = np.column_stack([np.ones(5), x])
+        unweighted, _, _ = fit_ols(X, y)
+        weights = np.array([1.0, 1.0, 1.0, 1.0, 1e-6])
+        weighted, _, _ = fit_ols(X, y, weights=weights)
+        assert abs(weighted[1] - 1.0) < abs(unweighted[1] - 1.0)
+
+    def test_rank_deficient_design_returns_solution(self):
+        # Two identical columns: rank deficient but lstsq still solves it.
+        X = np.column_stack([np.ones(10), np.ones(10)])
+        beta, cov, _ = fit_ols(X, np.full(10, 4.0))
+        assert np.isinf(cov).all()
+        assert X @ beta == pytest.approx(np.full(10, 4.0))
+
+
+class TestLinearFamilyFit:
+    def test_multivariate_recovery(self):
+        rng = np.random.default_rng(3)
+        x1 = rng.uniform(0, 1, 300)
+        x2 = rng.uniform(0, 1, 300)
+        y = 1.0 + 2.0 * x1 - 3.0 * x2
+        fit = fit_linear_family(LinearModel(("x1", "x2")), {"x1": x1, "x2": x2}, y)
+        assert fit.param_dict["intercept"] == pytest.approx(1.0, abs=1e-9)
+        assert fit.param_dict["beta_x1"] == pytest.approx(2.0, abs=1e-9)
+        assert fit.param_dict["beta_x2"] == pytest.approx(-3.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_no_intercept(self):
+        x = np.linspace(1, 10, 50)
+        fit = fit_linear_family(LinearModel(("x",), intercept=False), {"x": x}, 4.0 * x)
+        assert list(fit.param_dict) == ["beta_x"]
+        assert fit.param_dict["beta_x"] == pytest.approx(4.0)
+
+    def test_polynomial_fit(self):
+        x = np.linspace(-2, 2, 200)
+        y = 1.0 - 0.5 * x + 0.25 * x**2
+        fit = fit_linear_family(Polynomial(degree=2), {"x": x}, y)
+        assert fit.params == pytest.approx([1.0, -0.5, 0.25], abs=1e-9)
+
+    def test_metrics_populated(self, noisy_line):
+        x, y = noisy_line
+        fit = fit_linear_family(LinearModel(("x",)), {"x": x}, y, output_name="target")
+        assert fit.output_name == "target"
+        assert 0.99 < fit.r_squared <= 1.0
+        assert fit.residual_standard_error == pytest.approx(0.1, rel=0.2)
+        assert fit.adjusted_r_squared <= fit.r_squared + 1e-12
+        assert fit.degrees_of_freedom == len(x) - 2
+
+    def test_nonlinear_family_rejected(self, noisy_line):
+        from repro.fitting import PowerLaw
+
+        x, y = noisy_line
+        with pytest.raises(FittingError):
+            fit_linear_family(PowerLaw(), {"x": x}, y)
+
+    def test_predict_after_fit(self):
+        x = np.linspace(0, 1, 20)
+        fit = fit_linear_family(LinearModel(("x",)), {"x": x}, 2.0 + 3.0 * x)
+        assert fit.predict({"x": np.array([2.0])})[0] == pytest.approx(8.0)
+
+    def test_param_standard_errors(self, noisy_line):
+        x, y = noisy_line
+        fit = fit_linear_family(LinearModel(("x",)), {"x": x}, y)
+        ses = fit.param_standard_errors()
+        assert set(ses) == {"intercept", "beta_x"}
+        assert all(se > 0 for se in ses.values())

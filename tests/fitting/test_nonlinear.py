@@ -1,0 +1,137 @@
+"""Tests for Gauss-Newton and Levenberg-Marquardt optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError, InsufficientDataError
+from repro.fitting import Exponential, Logistic, PowerLaw, Sinusoid, fit_model, fit_nonlinear_family
+from repro.fitting.nonlinear import gauss_newton, levenberg_marquardt, numeric_jacobian
+
+
+@pytest.fixture()
+def powerlaw_data():
+    rng = np.random.default_rng(7)
+    x = rng.uniform(0.1, 0.2, 500)
+    y = 0.06 * x**-0.7 * np.exp(rng.normal(0, 0.02, 500))
+    return x, y
+
+
+class TestOptimisers:
+    def test_gauss_newton_solves_quadratic_residual(self):
+        # Fit y = a*x + b to exact data; residuals are linear in params so GN converges in one step.
+        x = np.linspace(0, 1, 30)
+        y = 2.0 * x + 1.0
+
+        def residual(params):
+            return params[0] * x + params[1] - y
+
+        params, iterations, converged = gauss_newton(residual, np.array([0.0, 0.0]))
+        assert converged
+        assert params == pytest.approx([2.0, 1.0], abs=1e-8)
+        assert iterations <= 3
+
+    def test_levenberg_marquardt_powerlaw(self, powerlaw_data):
+        x, y = powerlaw_data
+
+        def residual(params):
+            return params[0] * x ** params[1] - y
+
+        params, _, converged = levenberg_marquardt(residual, np.array([1.0, -1.0]))
+        assert converged
+        assert params[1] == pytest.approx(-0.7, abs=0.05)
+
+    def test_numeric_jacobian_matches_analytic(self):
+        x = np.linspace(1, 2, 10)
+
+        def residual(params):
+            return params[0] * np.exp(params[1] * x)
+
+        params = np.array([1.5, 0.3])
+        numeric = numeric_jacobian(residual, params)
+        analytic = np.column_stack([np.exp(0.3 * x), 1.5 * x * np.exp(0.3 * x)])
+        assert numeric == pytest.approx(analytic, rel=1e-4)
+
+    def test_gauss_newton_nonfinite_raises(self):
+        from repro.errors import ConvergenceError
+
+        def residual(params):
+            return np.array([np.inf, np.inf])
+
+        with pytest.raises(ConvergenceError):
+            gauss_newton(residual, np.array([1.0]))
+
+
+class TestFamilyFits:
+    def test_powerlaw_recovery_lm(self, powerlaw_data):
+        x, y = powerlaw_data
+        fit = fit_nonlinear_family(PowerLaw(), {"frequency": x}, y, method="lm")
+        assert fit.param_dict["alpha"] == pytest.approx(-0.7, abs=0.03)
+        assert fit.param_dict["p"] == pytest.approx(0.06, rel=0.1)
+        assert fit.converged
+        assert fit.r_squared > 0.9
+
+    def test_powerlaw_recovery_gn(self, powerlaw_data):
+        x, y = powerlaw_data
+        fit = fit_nonlinear_family(PowerLaw(), {"frequency": x}, y, method="gn")
+        assert fit.param_dict["alpha"] == pytest.approx(-0.7, abs=0.05)
+
+    def test_exponential_recovery(self):
+        rng = np.random.default_rng(8)
+        x = np.linspace(0, 3, 200)
+        y = 2.0 * np.exp(-1.2 * x) + rng.normal(0, 0.01, 200)
+        fit = fit_model(Exponential(), {"x": x}, y)
+        assert fit.param_dict["a"] == pytest.approx(2.0, rel=0.05)
+        assert fit.param_dict["b"] == pytest.approx(-1.2, rel=0.05)
+
+    def test_logistic_recovery(self):
+        rng = np.random.default_rng(9)
+        x = np.linspace(-5, 5, 300)
+        y = 4.0 / (1.0 + np.exp(-1.5 * (x - 0.5))) + rng.normal(0, 0.02, 300)
+        fit = fit_model(Logistic(), {"x": x}, y)
+        assert fit.param_dict["L"] == pytest.approx(4.0, rel=0.05)
+        assert fit.param_dict["x0"] == pytest.approx(0.5, abs=0.1)
+
+    def test_sinusoid_recovery(self):
+        x = np.linspace(0, 4 * np.pi, 400)
+        y = 2.0 * np.sin(1.0 * x + 0.0) + 5.0
+        fit = fit_model(Sinusoid(), {"x": x}, y)
+        assert fit.r_squared > 0.99
+
+    def test_custom_initial_params(self, powerlaw_data):
+        x, y = powerlaw_data
+        fit = fit_nonlinear_family(
+            PowerLaw(), {"x": x}, y, initial_params=np.array([0.05, -0.5])
+        )
+        assert fit.param_dict["alpha"] == pytest.approx(-0.7, abs=0.05)
+
+    def test_wrong_initial_param_length(self, powerlaw_data):
+        x, y = powerlaw_data
+        with pytest.raises(FittingError):
+            fit_nonlinear_family(PowerLaw(), {"x": x}, y, initial_params=np.array([1.0]))
+
+    def test_insufficient_data(self):
+        with pytest.raises(InsufficientDataError):
+            fit_nonlinear_family(PowerLaw(), {"x": np.array([1.0, 2.0])}, np.array([1.0, 2.0]))
+
+    def test_unknown_method(self, powerlaw_data):
+        x, y = powerlaw_data
+        with pytest.raises(FittingError):
+            fit_nonlinear_family(PowerLaw(), {"x": x}, y, method="sgd")
+
+    def test_covariance_present(self, powerlaw_data):
+        x, y = powerlaw_data
+        fit = fit_nonlinear_family(PowerLaw(), {"x": x}, y)
+        assert fit.covariance is not None
+        assert fit.covariance.shape == (2, 2)
+
+    def test_fit_model_dispatches_nonlinear(self, powerlaw_data):
+        x, y = powerlaw_data
+        fit = fit_model(PowerLaw(), {"x": x}, y)
+        assert fit.extra.get("method") == "lm"
+
+    def test_fit_model_drops_nan_rows(self, powerlaw_data):
+        x, y = powerlaw_data
+        y = y.copy()
+        y[:10] = np.nan
+        fit = fit_model(PowerLaw(), {"x": x}, y)
+        assert fit.n_observations == len(y) - 10

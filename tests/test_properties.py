@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.approx.legal import BloomFilter
+from repro.db.column import Column
+from repro.db.table import Table
+from repro.db.types import DataType
+from repro.fitting.linear import fit_ols, solve_normal_equations
+from repro.fitting.metrics import r_squared, residual_standard_error
+from repro.baselines.histogram import build_equi_depth, build_equi_width
+
+# Keep example counts moderate: the full suite should stay fast.
+SETTINGS = settings(max_examples=60, deadline=None)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6)
+optional_floats = st.one_of(st.none(), finite_floats)
+optional_ints = st.one_of(st.none(), st.integers(min_value=-10**9, max_value=10**9))
+
+
+class TestColumnProperties:
+    @SETTINGS
+    @given(st.lists(optional_floats, max_size=200))
+    def test_float_column_roundtrip(self, values):
+        column = Column.from_values(DataType.FLOAT64, values)
+        assert column.to_pylist() == values
+        assert column.null_count == sum(1 for v in values if v is None)
+
+    @SETTINGS
+    @given(st.lists(optional_ints, max_size=200))
+    def test_int_column_roundtrip(self, values):
+        column = Column.from_values(DataType.INT64, values)
+        assert column.to_pylist() == values
+
+    @SETTINGS
+    @given(st.lists(optional_floats, min_size=1, max_size=100), st.data())
+    def test_filter_then_concat_preserves_values(self, values, data):
+        column = Column.from_values(DataType.FLOAT64, values)
+        mask = np.array(data.draw(st.lists(st.booleans(), min_size=len(values), max_size=len(values))))
+        kept = column.filter(mask)
+        dropped = column.filter(~mask)
+        assert sorted(
+            (v for v in kept.to_pylist() + dropped.to_pylist() if v is not None)
+        ) == sorted(v for v in values if v is not None)
+
+    @SETTINGS
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_min_max_bound_all_values(self, values):
+        column = Column.from_values(DataType.FLOAT64, values)
+        assert column.min() == min(values)
+        assert column.max() == max(values)
+
+
+class TestTableProperties:
+    @SETTINGS
+    @given(st.lists(st.tuples(st.integers(-1000, 1000), finite_floats), min_size=1, max_size=100))
+    def test_sort_is_a_permutation_and_ordered(self, rows):
+        table = Table.from_dict("t", {"k": [r[0] for r in rows], "v": [r[1] for r in rows]})
+        result = table.sort_by([("k", True)])
+        keys = result.column("k").to_pylist()
+        assert keys == sorted(keys)
+        assert sorted(result.to_rows()) == sorted(table.to_rows())
+
+    @SETTINGS
+    @given(st.lists(finite_floats, min_size=1, max_size=100), st.integers(0, 120), st.integers(0, 120))
+    def test_slice_matches_python_semantics(self, values, start, stop):
+        table = Table.from_dict("t", {"v": values})
+        assert table.slice(start, stop).column("v").to_pylist() == values[start:stop]
+
+
+class TestBloomFilterProperties:
+    @SETTINGS
+    @given(st.sets(st.tuples(st.integers(0, 10**6), st.integers(0, 10**6)), min_size=1, max_size=300))
+    def test_no_false_negatives_ever(self, items):
+        bloom = BloomFilter(expected_items=len(items), false_positive_rate=0.01)
+        bloom.add_many(items)
+        assert all(item in bloom for item in items)
+
+    @SETTINGS
+    @given(st.integers(1, 10_000), st.floats(0.001, 0.2))
+    def test_sizing_monotone_in_items(self, items, rate):
+        small = BloomFilter(expected_items=items, false_positive_rate=rate)
+        large = BloomFilter(expected_items=items * 2, false_positive_rate=rate)
+        assert large.num_bits >= small.num_bits
+
+
+class TestFittingProperties:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+            min_size=5,
+            max_size=100,
+        ),
+        st.floats(-5, 5),
+        st.floats(-5, 5),
+    )
+    def test_ols_residuals_orthogonal_to_design(self, points, intercept, slope):
+        x = np.array([p[0] for p in points])
+        noise = np.array([p[1] for p in points]) * 0.01
+        y = intercept + slope * x + noise
+        X = np.column_stack([np.ones(len(x)), x])
+        beta, _, residuals = fit_ols(X, y)
+        # Normal equations: X^T residuals == 0 (within numerical tolerance).
+        assert np.allclose(X.T @ residuals, 0.0, atol=1e-6 * max(1.0, np.abs(y).max()))
+
+    @SETTINGS
+    @given(
+        st.lists(st.floats(-50, 50), min_size=6, max_size=80),
+        st.floats(-3, 3),
+        st.floats(-3, 3),
+    )
+    def test_lstsq_matches_normal_equations(self, xs, intercept, slope):
+        x = np.array(xs)
+        if len(np.unique(x)) < 3:
+            return  # degenerate design, covered by rank-deficiency unit tests
+        y = intercept + slope * x
+        X = np.column_stack([np.ones(len(x)), x])
+        beta_a, _, _ = fit_ols(X, y)
+        beta_b = solve_normal_equations(X, y)
+        assert np.allclose(beta_a, beta_b, atol=1e-6)
+
+    @SETTINGS
+    @given(st.lists(finite_floats, min_size=3, max_size=100))
+    def test_r_squared_of_perfect_prediction_is_one(self, values):
+        y = np.array(values)
+        assert r_squared(y, y) == 1.0
+
+    @SETTINGS
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=100), st.integers(1, 3))
+    def test_rse_nonnegative(self, residuals, num_params):
+        assert residual_standard_error(np.array(residuals), num_params) >= 0.0
+
+
+class TestHistogramProperties:
+    @SETTINGS
+    @given(st.lists(st.floats(-1000, 1000), min_size=1, max_size=300), st.integers(1, 64))
+    def test_bucket_counts_conserve_rows(self, values, buckets):
+        column = Column.from_values(DataType.FLOAT64, values)
+        for hist in (build_equi_width(column, buckets), build_equi_depth(column, buckets)):
+            assert sum(b.count for b in hist.buckets) == len(values)
+
+    @SETTINGS
+    @given(st.lists(st.floats(0, 1000), min_size=2, max_size=300))
+    def test_full_range_sum_matches_exact(self, values):
+        column = Column.from_values(DataType.FLOAT64, values)
+        hist = build_equi_width(column, 32)
+        assert hist.estimate("sum") == np.sum(np.array(values)) or abs(
+            hist.estimate("sum") - float(np.sum(np.array(values)))
+        ) <= 1e-6 * max(1.0, abs(float(np.sum(np.array(values)))))

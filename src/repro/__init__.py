@@ -10,6 +10,8 @@ The package is organised as:
   store, approximate query answering and model-based physical storage.
 * :mod:`repro.baselines` — comparators from the related work the paper cites
   (sampling, histogram synopses, gzip, MauveDB, FunctionDB, SPARTAN).
+* :mod:`repro.streaming` — streaming ingestion and online model maintenance
+  (drift detection, multiscale change-point segmentation, refit/supersede).
 * :mod:`repro.datasets` — synthetic data generators (LOFAR transients,
   TPC-DS-lite, sensor networks, generic time series).
 * :mod:`repro.bench` — the experiment harness used by the benchmark suite.

@@ -8,7 +8,8 @@
 * :mod:`repro.core.storage` — semantic compression, zero-IO scans and model
   lifecycle management (§4.1).
 * :mod:`repro.core.system` — the :class:`~repro.core.system.LawsDatabase`
-  façade tying everything together.
+  façade tying everything together, including the streaming ingestion and
+  online maintenance loop of :mod:`repro.streaming`.
 """
 
 from repro.core.captured_model import CapturedModel, ModelCoverage

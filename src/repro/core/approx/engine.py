@@ -115,6 +115,7 @@ class ApproximateQueryEngine:
         io_before = self.database.io_snapshot()
         try:
             answer = self._answer_from_models(sql)
+            self._note_staleness(answer)
         except (ApproximationError, EnumerationError, ModelNotFoundError) as exc:
             if not allow_fallback:
                 raise
@@ -190,9 +191,17 @@ class ApproximateQueryEngine:
         return self._virtual_table_route(sql, statement, model, pinned)
 
     def _select_model(self, table_name: str, referenced: set[str]) -> CapturedModel:
-        """Pick the captured model whose output the query needs."""
+        """Pick the captured model whose output the query needs.
+
+        Stale models are admitted (``include_stale``) but ranked behind any
+        active one: during continuous ingestion every append briefly marks
+        models stale, and falling back to exact execution for that window
+        would defeat the purpose of answering from models.
+        """
         candidate_outputs = [
-            column for column in referenced if self.store.has_model_for(table_name, column)
+            column
+            for column in referenced
+            if self.store.has_model_for(table_name, column, include_stale=True)
         ]
         if not candidate_outputs:
             raise ModelNotFoundError(
@@ -203,7 +212,7 @@ class ApproximateQueryEngine:
         best_score = -1
         for output in candidate_outputs:
             try:
-                model = self.store.best_model(table_name, output)
+                model = self.store.best_model(table_name, output, include_stale=True)
             except ModelNotFoundError:
                 continue
             covered = set(model.group_columns) | set(model.input_columns) | {model.output_column}
@@ -351,6 +360,18 @@ class ApproximateQueryEngine:
         )
 
     # -- helpers -------------------------------------------------------------------------
+
+    def _note_staleness(self, answer: ApproximateAnswer) -> None:
+        """Flag answers served by stale models so callers can tell a fresh
+        answer from one awaiting the maintenance loop."""
+        stale_ids = [
+            model_id
+            for model_id in answer.used_model_ids
+            if self.store.get(model_id).status == "stale"
+        ]
+        if stale_ids:
+            note = f"served by stale model(s) {stale_ids} pending maintenance"
+            answer.reason = f"{answer.reason}; {note}" if answer.reason else note
 
     def _legal_filter_for(self, model: CapturedModel) -> LegalCombinationFilter:
         key_columns = tuple(list(model.group_columns) + list(model.input_columns))

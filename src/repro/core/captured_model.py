@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -68,7 +68,7 @@ class CapturedModel:
     fitted_row_count: int = 0
     #: Free-form extras (optimiser method, robustness, notes).
     metadata: dict[str, Any] = field(default_factory=dict)
-    #: Lifecycle status: "active", "stale" or "retired".
+    #: Lifecycle status: "active", "stale", "retired" or "superseded".
     status: str = "active"
 
     # -- classification ----------------------------------------------------------
@@ -133,6 +133,43 @@ class CapturedModel:
             return self.result_for_group(group_key).predict(arrays)
         return self.fit.predict(arrays)  # type: ignore[union-attr]
 
+    def predict_rows(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        group_key_lists: Sequence[Sequence[Any]] | None = None,
+    ) -> np.ndarray:
+        """Per-row predictions over aligned column arrays.
+
+        For grouped models ``group_key_lists`` holds one value list per group
+        column (aligned with the input arrays); rows whose group has no
+        fitted parameters come back NaN instead of raising — callers scoring
+        a model against data (revalidation, drift monitoring) skip them.
+        """
+        arrays = {
+            name: np.asarray(values, dtype=np.float64) for name, values in inputs.items()
+        }
+        if not self.is_grouped:
+            return np.asarray(self.fit.predict(arrays), dtype=np.float64)
+        if group_key_lists is None:
+            raise ModelNotFoundError(
+                f"model {self.model_id} is grouped by {self.group_columns}; "
+                "per-row group keys are required"
+            )
+        num_rows = len(next(iter(arrays.values()))) if arrays else len(group_key_lists[0])
+        predictions = np.full(num_rows, np.nan)
+        group_rows: dict[tuple[Any, ...], list[int]] = {}
+        for row_index in range(num_rows):
+            key = tuple(keys[row_index] for keys in group_key_lists)
+            group_rows.setdefault(key, []).append(row_index)
+        for key, rows in group_rows.items():
+            fit = self.fit.result_for(key)  # type: ignore[union-attr]
+            if fit is None:
+                continue
+            indices = np.asarray(rows, dtype=np.int64)
+            group_inputs = {name: values[indices] for name, values in arrays.items()}
+            predictions[indices] = fit.predict(group_inputs)
+        return predictions
+
     def prediction_error(self, group_key: tuple[Any, ...] | Any | None = None) -> float:
         """The residual standard error to attach to approximate answers."""
         if self.is_grouped and group_key is not None:
@@ -170,6 +207,12 @@ class CapturedModel:
     @property
     def is_usable(self) -> bool:
         return self.accepted and self.status == "active"
+
+    @property
+    def is_servable(self) -> bool:
+        """Usable *or* merely stale: still the best available answer while
+        the maintenance loop catches up with appended data."""
+        return self.accepted and self.status in ("active", "stale")
 
     def describe(self) -> str:
         grouped = f" per {list(self.group_columns)}" if self.is_grouped else ""

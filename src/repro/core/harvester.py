@@ -140,7 +140,7 @@ class ModelHarvester:
             quality=quality,
             accepted=accepted,
             group_fit_fraction=fraction,
-            fitted_row_count=self.database.table(table_name).num_rows,
+            fitted_row_count=table.num_rows,
             metadata={"robust": robust, "method": method},
         )
         self.store.add(model)

@@ -17,6 +17,11 @@ from repro.errors import ModelNotFoundError
 __all__ = ["ModelStore"]
 
 
+def _default_ranking(model: CapturedModel) -> tuple:
+    """Serving priority: active before stale, then fit quality, then recency."""
+    return (model.status == "active", model.quality.adjusted_r_squared, model.model_id)
+
+
 class ModelStore:
     """In-database registry of captured models."""
 
@@ -72,16 +77,23 @@ class ModelStore:
         output_column: str,
         required_inputs: Iterable[str] | None = None,
         require_whole_table: bool = True,
+        include_stale: bool = False,
     ) -> list[CapturedModel]:
         """Usable models that predict ``output_column`` of ``table_name``.
 
         ``required_inputs`` restricts to models whose input (plus group)
         columns are a subset of the columns the query can bind — the
         "parameter space enumeration" precondition of §4.2.
+
+        ``include_stale`` additionally admits accepted-but-stale models —
+        during continuous ingestion a stale model is still the best
+        available answer until the maintenance loop re-validates it; the
+        default ranking in :meth:`best_model` deprioritizes them behind any
+        active model.
         """
         key = (table_name, output_column)
         models = [self._models[model_id] for model_id in self._by_target.get(key, [])]
-        models = [m for m in models if m.is_usable]
+        models = [m for m in models if (m.is_servable if include_stale else m.is_usable)]
         if require_whole_table:
             models = [m for m in models if m.coverage.covers_whole_table]
         if required_inputs is not None:
@@ -99,25 +111,52 @@ class ModelStore:
         output_column: str,
         required_inputs: Iterable[str] | None = None,
         ranking: Callable[[CapturedModel], float] | None = None,
+        include_stale: bool = False,
     ) -> CapturedModel:
         """The best usable model for a target column.
 
         §4.1 ("Multiple, partial or grouped models ... it is not obvious how
-        to select the best model"): the default policy ranks by adjusted R²
-        and breaks ties with the newer capture.  A custom ``ranking``
-        callable can override this.
+        to select the best model"): the default policy ranks active models
+        first (stale ones are deprioritized, never preferred over a fresh
+        fit), then by adjusted R², breaking ties with the newer capture.  A
+        custom ``ranking`` callable can override this.
         """
-        candidates = self.candidates(table_name, output_column, required_inputs)
+        candidates = self.candidates(
+            table_name, output_column, required_inputs, include_stale=include_stale
+        )
         if not candidates:
             raise ModelNotFoundError(
                 f"no usable captured model predicts {output_column!r} of table {table_name!r}"
             )
         if ranking is None:
-            ranking = lambda m: (m.quality.adjusted_r_squared, m.model_id)  # noqa: E731
+            ranking = _default_ranking
         return max(candidates, key=ranking)
 
-    def has_model_for(self, table_name: str, output_column: str) -> bool:
-        return bool(self.candidates(table_name, output_column))
+    def best_model_for_table(
+        self, table_name: str, include_stale: bool = False
+    ) -> CapturedModel:
+        """The best serving model of a table across all output columns.
+
+        Whole-table models outrank partial (predicate-restricted) ones
+        regardless of fit quality: callers of this table-level pick
+        (compression, zero-IO scans, anomaly detection without a target
+        column) operate on all rows, which a single-regime segment model
+        does not describe.
+        """
+        models = [
+            m
+            for m in self._models.values()
+            if m.table_name == table_name
+            and (m.is_servable if include_stale else m.is_usable)
+        ]
+        if not models:
+            raise ModelNotFoundError(f"no usable captured model for table {table_name!r}")
+        return max(models, key=lambda m: (m.coverage.covers_whole_table, *_default_ranking(m)))
+
+    def has_model_for(
+        self, table_name: str, output_column: str, include_stale: bool = False
+    ) -> bool:
+        return bool(self.candidates(table_name, output_column, include_stale=include_stale))
 
     # -- lifecycle ----------------------------------------------------------------------
 
@@ -136,6 +175,23 @@ class ModelStore:
     def reactivate(self, model_id: int) -> None:
         """Reactivate a stale model (e.g. after re-validation against new data)."""
         self.get(model_id).status = "active"
+
+    def supersede(self, model_id: int, successor_id: int) -> CapturedModel:
+        """Replace ``model_id`` with ``successor_id`` in the serving rotation.
+
+        The maintenance loop calls this after refitting: the old model is
+        taken out of service permanently (unlike ``stale`` it cannot be
+        re-validated back) but kept for provenance, with metadata linking the
+        two so lineage across regime changes stays queryable.
+        """
+        old = self.get(model_id)
+        successor = self.get(successor_id)
+        if old.model_id == successor.model_id:
+            raise ValueError(f"model {model_id} cannot supersede itself")
+        old.status = "superseded"
+        old.metadata["superseded_by"] = successor.model_id
+        successor.metadata.setdefault("supersedes", []).append(old.model_id)
+        return old
 
     # -- accounting --------------------------------------------------------------------------
 

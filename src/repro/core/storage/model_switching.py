@@ -20,8 +20,6 @@ all previous models and switch when appropriate."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
-
 import numpy as np
 
 from repro.core.captured_model import CapturedModel
@@ -44,6 +42,8 @@ class RevalidationResult:
     current_r_squared: float
     information_criterion: float
     still_acceptable: bool
+    #: Rows in the model's covered subset at re-validation time.
+    covered_rows: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -72,41 +72,58 @@ class ModelLifecycleManager:
 
     # -- re-validation -----------------------------------------------------------------
 
-    def revalidate(self, table_name: str) -> list[RevalidationResult]:
+    def revalidate(
+        self, table_name: str, output_column: str | None = None
+    ) -> list[RevalidationResult]:
         """Re-score every captured model of a table against the current data.
 
         Models that still meet the harvest policy become active again;
         models that no longer do are left stale.  Previously *rejected*
         models that now fit well are re-activated — the paper's "a model with
-        a previously poor fit relevant again".
+        a previously poor fit relevant again".  Retired and superseded
+        models are out of the rotation for good and are never re-scored.
+
+        ``output_column`` restricts re-validation to one target (the
+        streaming maintenance loop re-validates only the column whose drift
+        monitor fired, not every model of the table).
         """
         results: list[RevalidationResult] = []
         models = self.store.models_for_table(table_name, include_unusable=True)
         for model in models:
-            if model.status == "retired":
+            if model.status in ("retired", "superseded"):
+                continue
+            if output_column is not None and model.output_column != output_column:
                 continue
             result = self._revalidate_model(model)
             results.append(result)
             if result.still_acceptable:
+                # A capture-time rejection stands until *new* data arrives:
+                # this pooled re-score is weaker than the harvest policy
+                # (no per-group pass fraction, no F-test), so without fresh
+                # evidence it must not overturn the harvester's verdict —
+                # e.g. a refit rejected seconds ago on this very data.
+                if not model.accepted and result.covered_rows <= model.fitted_row_count:
+                    continue
                 model.accepted = True
                 self.store.reactivate(model.model_id)
-                model.fitted_row_count = self.database.table(table_name).num_rows
+                model.fitted_row_count = result.covered_rows
             else:
                 model.mark_stale()
         self.history.extend(results)
         return results
 
     def _revalidate_model(self, model: CapturedModel) -> RevalidationResult:
-        table = self.database.table(model.table_name)
+        table = self.covered_data(model)
         y = table.column(model.output_column).to_numpy().astype(np.float64)
         inputs = {
             name: table.column(name).to_numpy().astype(np.float64) for name in model.input_columns
         }
 
         if model.is_grouped:
-            predictions = self._grouped_predictions(model, table, inputs)
+            key_lists = [table.column(name).to_pylist() for name in model.group_columns]
+            predictions = model.predict_rows(inputs, key_lists)
         else:
-            predictions = np.asarray(model.fit.predict(inputs), dtype=np.float64)
+            predictions = model.predict_rows(inputs)
 
         finite = np.isfinite(y) & np.isfinite(predictions)
         current_r2 = r_squared(y[finite], predictions[finite]) if finite.any() else 0.0
@@ -121,25 +138,37 @@ class ModelLifecycleManager:
             current_r_squared=float(current_r2),
             information_criterion=float(criterion_value),
             still_acceptable=acceptable,
+            covered_rows=table.num_rows,
         )
 
-    def _grouped_predictions(
-        self, model: CapturedModel, table, inputs: dict[str, np.ndarray]
-    ) -> np.ndarray:
-        predictions = np.full(table.num_rows, np.nan)
-        key_lists = [table.column(name).to_pylist() for name in model.group_columns]
-        group_rows: dict[tuple[Any, ...], list[int]] = {}
-        for row_index in range(table.num_rows):
-            key = tuple(key_list[row_index] for key_list in key_lists)
-            group_rows.setdefault(key, []).append(row_index)
-        for key, rows in group_rows.items():
-            fit = model.fit.result_for(key)  # type: ignore[union-attr]
-            if fit is None:
-                continue
-            indices = np.asarray(rows, dtype=np.int64)
-            group_inputs = {name: values[indices] for name, values in inputs.items()}
-            predictions[indices] = fit.predict(group_inputs)
-        return predictions
+    def covered_data(self, model: CapturedModel, extra_columns: list[str] | None = None):
+        """The model's table restricted to the subset its coverage describes.
+
+        Partial models (a WHERE-restricted fit, e.g. one regime segment of a
+        streamed table) must be judged on their own subset — scoring them
+        against the whole table would condemn every segment model as soon as
+        a second regime exists.  ``extra_columns`` requests additional
+        columns in the projection (the maintenance loop needs the arrival-
+        order column alongside the modelled ones).
+        """
+        table = self.database.table(model.table_name)
+        predicate = model.coverage.predicate_sql
+        if predicate is None:
+            return table
+        needed = list(
+            dict.fromkeys(
+                [
+                    *model.group_columns,
+                    *model.input_columns,
+                    model.output_column,
+                    *(extra_columns or []),
+                ]
+            )
+        )
+        projected = ", ".join(needed)
+        return self.database.query(
+            f"SELECT {projected} FROM {model.table_name} WHERE {predicate}"
+        )
 
     @staticmethod
     def _effective_num_params(model: CapturedModel) -> int:
@@ -190,7 +219,9 @@ class ModelLifecycleManager:
             candidates = [
                 model
                 for model in self.store.models_for_table(table_name, include_unusable=True)
-                if model.output_column == output_column and model.status != "retired" and model.accepted
+                if model.output_column == output_column
+                and model.status not in ("retired", "superseded")
+                and model.accepted
             ]
             if not candidates:
                 raise

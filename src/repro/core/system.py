@@ -27,7 +27,8 @@ from repro.db.io_model import IOParameters
 from repro.db.schema import Schema
 from repro.db.sql.executor import QueryResult
 from repro.db.table import Table
-from repro.errors import ModelNotFoundError
+from repro.streaming.ingest import IngestBatch, IngestStats, StreamIngestor
+from repro.streaming.maintenance import MaintenanceReport, ModelMaintenancePolicy, WatchTarget
 
 __all__ = ["LawsDatabase"]
 
@@ -40,6 +41,7 @@ class LawsDatabase:
         quality_policy: QualityPolicy | None = None,
         io_parameters: IOParameters | None = None,
         use_legal_filter: bool = False,
+        ingest_batch_size: int = 512,
     ) -> None:
         self.database = Database(io_parameters)
         self.models = ModelStore()
@@ -49,6 +51,11 @@ class LawsDatabase:
         )
         self.lifecycle = ModelLifecycleManager(self.database, self.models, self.harvester)
         self.zero_io = ZeroIOScanner(self.database)
+        self.ingestor = StreamIngestor(self.database, batch_size=ingest_batch_size)
+        self.maintenance = ModelMaintenancePolicy(
+            self.database, self.models, self.harvester, self.lifecycle
+        )
+        self.ingestor.add_listener(self._on_ingest_batch)
 
     # -- data management (delegated to the substrate) -----------------------------
 
@@ -71,6 +78,50 @@ class LawsDatabase:
         """Append rows; captured models of the table become stale (§4.1)."""
         self.database.insert_rows(name, rows)
         self.lifecycle.on_data_changed(name)
+
+    # -- streaming ingestion & online maintenance -----------------------------------
+
+    def ingest(
+        self,
+        table_name: str,
+        rows: Sequence[Sequence[Any]] | Mapping[str, Sequence[Any]],
+        flush: bool = False,
+    ) -> list[IngestBatch]:
+        """Submit rows to the streaming append path.
+
+        Rows are buffered and appended in batches of ``ingest_batch_size``;
+        every flushed batch marks the table's models stale and feeds the
+        drift monitors registered with :meth:`watch`.  ``flush=True`` forces
+        any remainder out immediately.
+        """
+        batches = self.ingestor.submit(table_name, rows)
+        if flush:
+            batches.extend(self.ingestor.flush(table_name))
+        return batches
+
+    def flush_ingest(self, table_name: str | None = None) -> list[IngestBatch]:
+        """Flush buffered stream rows (one table, or all)."""
+        return self.ingestor.flush(table_name)
+
+    def ingest_stats(self, table_name: str) -> IngestStats:
+        """Per-table ingest throughput accounting."""
+        return self.ingestor.stats(table_name)
+
+    def watch(
+        self, table_name: str, output_column: str, order_column: str | None = None
+    ) -> WatchTarget:
+        """Monitor the captured model of a target column under ingestion."""
+        return self.maintenance.watch(table_name, output_column, order_column=order_column)
+
+    def maintain(self) -> MaintenanceReport:
+        """One online-maintenance tick: re-validate quiet models, segment and
+        refit drifted ones (change-point driven), superseding stale models in
+        the store instead of leaving them benched."""
+        return self.maintenance.maintain()
+
+    def _on_ingest_batch(self, batch: IngestBatch) -> None:
+        self.lifecycle.on_data_changed(batch.table_name)
+        self.maintenance.on_batch(batch)
 
     # -- SQL ------------------------------------------------------------------------
 
@@ -110,7 +161,10 @@ class LawsDatabase:
         return self.models.models_for_table(table_name, include_unusable=True)
 
     def best_model(self, table_name: str, output_column: str) -> CapturedModel:
-        return self.models.best_model(table_name, output_column)
+        # Stale models stay servable (deprioritized behind active ones) so
+        # the window between an ingest batch and the next maintain() tick
+        # does not break model-backed features.
+        return self.models.best_model(table_name, output_column, include_stale=True)
 
     # -- storage optimisation ------------------------------------------------------------------
 
@@ -130,7 +184,7 @@ class LawsDatabase:
     def compare_scan(self, table_name: str, output_column: str | None = None) -> ScanComparison:
         """Raw scan vs. zero-IO model scan for a modelled table (§4.1)."""
         model = (
-            self.models.best_model(table_name, output_column)
+            self.models.best_model(table_name, output_column, include_stale=True)
             if output_column is not None
             else self._any_model_for(table_name)
         )
@@ -145,7 +199,7 @@ class LawsDatabase:
     ) -> AnomalyReport:
         """Groups of a table that the captured model fails to explain (§4.2)."""
         model = (
-            self.models.best_model(table_name, output_column)
+            self.models.best_model(table_name, output_column, include_stale=True)
             if output_column is not None
             else self._any_model_for(table_name)
         )
@@ -174,7 +228,6 @@ class LawsDatabase:
     # -- internals ---------------------------------------------------------------------------------
 
     def _any_model_for(self, table_name: str) -> CapturedModel:
-        models = self.models.models_for_table(table_name)
-        if not models:
-            raise ModelNotFoundError(f"no usable captured model for table {table_name!r}")
-        return max(models, key=lambda m: (m.quality.adjusted_r_squared, m.model_id))
+        # include_stale: during continuous ingestion a stale (deprioritized)
+        # model still beats failing.
+        return self.models.best_model_for_table(table_name, include_stale=True)

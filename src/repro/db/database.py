@@ -53,6 +53,18 @@ class Database:
         self.catalog.table(name).append_rows(rows)
         self.catalog.mark_dirty(name)
 
+    def append_batch(self, name: str, rows: Sequence[Sequence[Any]]) -> tuple[int, int]:
+        """Append row tuples and return the half-open row range they occupy.
+
+        The streaming ingestor uses the returned ``(start, end)`` range to
+        tell downstream listeners (drift monitors, maintenance) exactly which
+        rows a batch contributed.
+        """
+        table = self.catalog.table(name)
+        start = table.num_rows
+        self.insert_rows(name, rows)
+        return start, table.num_rows
+
     # -- lookup ------------------------------------------------------------------
 
     def table(self, name: str) -> Table:

@@ -207,6 +207,10 @@ class Table:
     def head(self, n: int = 10) -> "Table":
         return self.slice(0, min(n, self.num_rows))
 
+    def tail(self, n: int = 10) -> "Table":
+        """The last ``n`` rows (the freshest data, in arrival order)."""
+        return self.slice(max(self.num_rows - n, 0), self.num_rows)
+
     def concat(self, other: "Table") -> "Table":
         if other.schema != self.schema:
             raise SchemaError(

@@ -117,3 +117,16 @@ class EnumerationError(ApproximationError):
 
 class CompressionError(ReproError):
     """Model-based compression or decompression failed."""
+
+
+# ---------------------------------------------------------------------------
+# Streaming ingestion / online maintenance
+# ---------------------------------------------------------------------------
+
+
+class StreamingError(ReproError):
+    """Base class for streaming-ingestion and model-maintenance failures."""
+
+
+class DriftMonitorError(StreamingError):
+    """A drift monitor could not be created or fed (e.g. no servable model)."""

@@ -1,0 +1,56 @@
+"""Streaming ingestion and online model maintenance.
+
+The batch system fits models once and benches them as soon as data changes.
+This subsystem turns the reproduction into the *continuously harvesting*
+database the paper envisions:
+
+* :mod:`repro.streaming.ingest` — batched append path with per-table
+  throughput statistics and batch listeners.
+* :mod:`repro.streaming.drift` — online residual drift detectors scoring
+  captured models on every arriving batch.
+* :mod:`repro.streaming.changepoint` — multiscale (SMUCE-flavoured)
+  change-point localisation over residual series.
+* :mod:`repro.streaming.maintenance` — the policy that re-validates quiet
+  models and segments + refits drifted ones, superseding them in the model
+  store so queries keep answering from fresh models.
+* :mod:`repro.streaming.windows` — shared windowed/online statistics.
+
+:class:`repro.LawsDatabase` wires these together: ``db.ingest(...)`` feeds
+the stream, ``db.watch(...)`` registers a monitor and ``db.maintain()``
+runs one maintenance tick.
+"""
+
+from repro.streaming.changepoint import (
+    ChangePoint,
+    ChangePointResult,
+    estimate_noise_sigma,
+    find_changepoints,
+)
+from repro.streaming.drift import DriftVerdict, PageHinkleyDetector, ResidualDriftDetector
+from repro.streaming.ingest import IngestBatch, IngestStats, StreamIngestor
+from repro.streaming.maintenance import (
+    MaintenanceAction,
+    MaintenanceReport,
+    ModelMaintenancePolicy,
+    WatchTarget,
+)
+from repro.streaming.windows import RollingStats, SlidingWindow
+
+__all__ = [
+    "ChangePoint",
+    "ChangePointResult",
+    "DriftVerdict",
+    "IngestBatch",
+    "IngestStats",
+    "MaintenanceAction",
+    "MaintenanceReport",
+    "ModelMaintenancePolicy",
+    "PageHinkleyDetector",
+    "ResidualDriftDetector",
+    "RollingStats",
+    "SlidingWindow",
+    "StreamIngestor",
+    "WatchTarget",
+    "estimate_noise_sigma",
+    "find_changepoints",
+]

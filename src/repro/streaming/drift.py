@@ -1,0 +1,191 @@
+"""Online drift detection for captured models.
+
+A captured model carries its residual standard error from fit time.  As
+batches stream in, the maintenance policy scores the model on each batch and
+feeds the residuals to a detector; when the recent residual scale is no
+longer explained by the fit-time error, the model has drifted and must be
+re-validated or re-fitted.
+
+Two detectors are provided:
+
+* :class:`ResidualDriftDetector` — compares the RMS residual over a sliding
+  window against a multiple of the model's fit-time RSE.  Robust, easy to
+  reason about, and directly tied to the quality judgement of §3.
+* :class:`PageHinkleyDetector` — the classic sequential Page-Hinkley test on
+  residual magnitudes, for callers that want a cumulative (windowless)
+  detector with its own sensitivity/threshold trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streaming.windows import RollingStats, SlidingWindow
+
+__all__ = ["DriftVerdict", "ResidualDriftDetector", "PageHinkleyDetector"]
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """Outcome of feeding one batch of residuals to a detector."""
+
+    drifted: bool
+    statistic: float
+    threshold: float
+    observations: int
+    detector: str
+    reason: str = ""
+
+    def describe(self) -> str:
+        state = "DRIFT" if self.drifted else "ok"
+        return (
+            f"[{self.detector}] {state}: statistic={self.statistic:.4g} "
+            f"threshold={self.threshold:.4g} ({self.reason})"
+        )
+
+
+class ResidualDriftDetector:
+    """Windowed RMS-residual test against the model's fit-time error.
+
+    Drift is declared after ``patience`` consecutive batches whose windowed
+    RMS residual exceeds ``multiplier`` times the reference RSE — the
+    patience requirement suppresses single-batch outliers (which the anomaly
+    detector, not the maintenance loop, should explain).
+    """
+
+    name = "residual-rms"
+
+    def __init__(
+        self,
+        reference_rse: float,
+        multiplier: float = 2.5,
+        window: int = 256,
+        min_observations: int = 16,
+        patience: int = 2,
+    ) -> None:
+        if reference_rse <= 0 or not np.isfinite(reference_rse):
+            raise ValueError(f"reference_rse must be positive and finite, got {reference_rse}")
+        self.reference_rse = float(reference_rse)
+        self.multiplier = float(multiplier)
+        self.min_observations = int(min_observations)
+        self.patience = int(patience)
+        self._window = SlidingWindow(window)
+        self._streak = 0
+        self.batches_observed = 0
+        self.last_verdict: DriftVerdict | None = None
+
+    @property
+    def threshold(self) -> float:
+        return self.multiplier * self.reference_rse
+
+    def observe(self, residuals: np.ndarray) -> DriftVerdict:
+        """Feed one batch of residuals; returns the current verdict."""
+        self.batches_observed += 1
+        residuals = np.atleast_1d(np.asarray(residuals, dtype=np.float64))
+        finite_count = int(np.isfinite(residuals).sum())
+        self._window.extend(residuals)
+        statistic = self._window.rms()
+        if len(self._window) < self.min_observations:
+            verdict = DriftVerdict(
+                drifted=False,
+                statistic=statistic,
+                threshold=self.threshold,
+                observations=len(self._window),
+                detector=self.name,
+                reason=f"warming up ({len(self._window)}/{self.min_observations} observations)",
+            )
+        elif finite_count == 0:
+            # No new evidence (e.g. a batch of only unseen group keys): the
+            # streak must not advance on a re-read of the same window.
+            verdict = DriftVerdict(
+                drifted=self._streak >= self.patience,
+                statistic=statistic,
+                threshold=self.threshold,
+                observations=len(self._window),
+                detector=self.name,
+                reason="batch added no finite residuals; evidence unchanged",
+            )
+        else:
+            if statistic > self.threshold:
+                self._streak += 1
+            else:
+                self._streak = 0
+            drifted = self._streak >= self.patience
+            reason = (
+                f"RMS residual above {self.multiplier:g}x fit-time RSE "
+                f"for {self._streak} consecutive batch(es)"
+                if self._streak
+                else "residuals within fit-time error"
+            )
+            verdict = DriftVerdict(
+                drifted=drifted,
+                statistic=statistic,
+                threshold=self.threshold,
+                observations=len(self._window),
+                detector=self.name,
+                reason=reason,
+            )
+        self.last_verdict = verdict
+        return verdict
+
+    def rebase(self, reference_rse: float) -> None:
+        """Point the detector at a freshly fitted model and clear all state."""
+        if reference_rse <= 0 or not np.isfinite(reference_rse):
+            raise ValueError(f"reference_rse must be positive and finite, got {reference_rse}")
+        self.reference_rse = float(reference_rse)
+        self.reset()
+
+    def reset(self) -> None:
+        self._window.reset()
+        self._streak = 0
+        self.last_verdict = None
+
+
+class PageHinkleyDetector:
+    """Sequential Page-Hinkley test on a stream of (residual) magnitudes.
+
+    Tracks the cumulative deviation of the observations from their running
+    mean (minus an allowed drift ``delta``) and signals when the deviation
+    exceeds its running minimum by more than ``threshold``.
+    """
+
+    name = "page-hinkley"
+
+    def __init__(self, delta: float = 0.005, threshold: float = 50.0) -> None:
+        self.delta = float(delta)
+        self.ph_threshold = float(threshold)
+        self._stats = RollingStats()
+        self._cumulative = 0.0
+        self._minimum = 0.0
+        self.last_verdict: DriftVerdict | None = None
+
+    def observe(self, values: np.ndarray) -> DriftVerdict:
+        values = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        magnitudes = np.abs(values[np.isfinite(values)])
+        for value in magnitudes:
+            self._stats.observe(value)
+            self._cumulative += value - self._stats.mean - self.delta
+            self._minimum = min(self._minimum, self._cumulative)
+        statistic = self._cumulative - self._minimum
+        drifted = statistic > self.ph_threshold
+        verdict = DriftVerdict(
+            drifted=drifted,
+            statistic=float(statistic),
+            threshold=self.ph_threshold,
+            observations=self._stats.count,
+            detector=self.name,
+            reason="cumulative deviation above threshold" if drifted else "within threshold",
+        )
+        self.last_verdict = verdict
+        return verdict
+
+    def rebase(self, reference_rse: float | None = None) -> None:  # signature parity
+        self.reset()
+
+    def reset(self) -> None:
+        self._stats.reset()
+        self._cumulative = 0.0
+        self._minimum = 0.0
+        self.last_verdict = None

@@ -1,0 +1,105 @@
+"""Windowed state for streaming monitors.
+
+The drift detectors and ingest statistics need two kinds of bounded state
+over an unbounded stream: exact statistics over the *recent* past (a sliding
+window of the last N observations) and cheap cumulative statistics over the
+*whole* past (Welford-style online moments).  Both live here so the
+streaming modules share one implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RollingStats", "SlidingWindow"]
+
+
+class RollingStats:
+    """Online count/mean/variance over everything observed so far (Welford)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def observe(self, values: np.ndarray | float) -> None:
+        for value in np.atleast_1d(np.asarray(values, dtype=np.float64)):
+            if not np.isfinite(value):
+                continue
+            self.count += 1
+            delta = value - self._mean
+            self._mean += delta / self.count
+            self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return float("nan")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        variance = self.variance
+        return float(np.sqrt(variance)) if np.isfinite(variance) else float("nan")
+
+    def reset(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+
+class SlidingWindow:
+    """A fixed-capacity ring buffer of the most recent float observations."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"window capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buffer = np.empty(capacity, dtype=np.float64)
+        self._next = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append observations, evicting the oldest beyond capacity."""
+        values = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        values = values[np.isfinite(values)]
+        if len(values) >= self.capacity:
+            # The batch alone fills the window: keep only its tail.
+            self._buffer[:] = values[-self.capacity :]
+            self._next = 0
+            self._size = self.capacity
+            return
+        for value in values:
+            self._buffer[self._next] = value
+            self._next = (self._next + 1) % self.capacity
+            self._size = min(self._size + 1, self.capacity)
+
+    def values(self) -> np.ndarray:
+        """The window contents in arrival order (oldest first)."""
+        if self._size < self.capacity:
+            return self._buffer[: self._size].copy()
+        return np.concatenate([self._buffer[self._next :], self._buffer[: self._next]])
+
+    def mean(self) -> float:
+        return float(np.mean(self.values())) if self._size else float("nan")
+
+    def rms(self) -> float:
+        """Root mean square of the window contents (drift statistic)."""
+        if not self._size:
+            return float("nan")
+        return float(np.sqrt(np.mean(self.values() ** 2)))
+
+    def reset(self) -> None:
+        self._next = 0
+        self._size = 0

@@ -147,6 +147,82 @@ class TestModelStore:
         assert "model#" in store.describe()
 
 
+class TestStaleDeprioritizationAndSupersede:
+    """The streaming maintenance loop's store APIs (stale serving, supersede)."""
+
+    def test_include_stale_admits_stale_models(self):
+        store = ModelStore()
+        model = store.add(_make_captured(0.1))
+        store.mark_table_stale("t")
+        assert not store.candidates("t", "y")
+        assert [m.model_id for m in store.candidates("t", "y", include_stale=True)] == [model.model_id]
+        assert store.has_model_for("t", "y", include_stale=True)
+        assert not store.has_model_for("t", "y")
+
+    def test_stale_deprioritized_behind_active(self):
+        store = ModelStore()
+        # The stale model fits better, but active wins the default ranking.
+        stale_better = store.add(_make_captured(0.05, model_id_seed=1))
+        stale_better.mark_stale()
+        active_worse = store.add(_make_captured(5.0, model_id_seed=2))
+        best = store.best_model("t", "y", include_stale=True)
+        assert best.model_id == active_worse.model_id
+
+    def test_stale_only_population_still_serves(self):
+        store = ModelStore()
+        model = store.add(_make_captured(0.1))
+        model.mark_stale()
+        assert store.best_model("t", "y", include_stale=True).model_id == model.model_id
+        with pytest.raises(ModelNotFoundError):
+            store.best_model("t", "y")
+
+    def test_supersede_links_lineage(self):
+        store = ModelStore()
+        old = store.add(_make_captured(0.1, model_id_seed=1))
+        new = store.add(_make_captured(0.1, model_id_seed=2))
+        returned = store.supersede(old.model_id, new.model_id)
+        assert returned is old
+        assert old.status == "superseded"
+        assert not old.is_servable  # unlike stale, superseded is out for good
+        assert old.metadata["superseded_by"] == new.model_id
+        assert new.metadata["supersedes"] == [old.model_id]
+        assert [m.model_id for m in store.candidates("t", "y", include_stale=True)] == [new.model_id]
+
+    def test_supersede_self_rejected(self):
+        store = ModelStore()
+        model = store.add(_make_captured(0.1))
+        with pytest.raises(ValueError):
+            store.supersede(model.model_id, model.model_id)
+        with pytest.raises(ModelNotFoundError):
+            store.supersede(model.model_id, 999)
+
+    def test_best_model_for_table_prefers_whole_table_coverage(self):
+        store = ModelStore()
+        fit, inputs, y = _make_fit(0.01, seed=3)
+        partial = CapturedModel(
+            coverage=ModelCoverage("t", ("x",), "y", predicate_sql="x >= 5"),
+            formula="y ~ linear(x)",
+            fit=fit,
+            quality=judge_fit(fit, y=y, inputs=inputs),
+            accepted=True,
+        )
+        store.add(partial)
+        whole = store.add(_make_captured(5.0, model_id_seed=4))  # worse fit, full coverage
+        # Table-level consumers (compression, zero-IO scans) need all rows:
+        # the whole-table model wins even against a better-fitting segment.
+        assert store.best_model_for_table("t").model_id == whole.model_id
+        store.remove(whole.model_id)
+        assert store.best_model_for_table("t").model_id == partial.model_id
+
+    def test_servable_property_matrix(self):
+        model = _make_captured(0.1)
+        assert model.is_servable and model.is_usable
+        model.mark_stale()
+        assert model.is_servable and not model.is_usable
+        model.retire()
+        assert not model.is_servable
+
+
 class TestCapturedModel:
     def test_parameter_table_single_model(self):
         model = _make_captured(0.1)

@@ -120,6 +120,12 @@ class TestTableOperations:
         assert table.slice(1, 3).num_rows == 2
         assert table.head(2).num_rows == 2
 
+    def test_tail(self, table):
+        tail = table.tail(2)
+        assert tail.num_rows == 2
+        assert tail.row(1) == table.row(table.num_rows - 1)
+        assert table.tail(100).num_rows == table.num_rows
+
     def test_sort_by_ascending(self, table):
         result = table.sort_by([("b", True)])
         assert result.column("b").to_pylist() == [10.0, 20.0, 30.0, 40.0]

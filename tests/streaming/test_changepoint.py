@@ -1,0 +1,101 @@
+"""Multiscale change-point detection: localisation, false positives, scales."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming import estimate_noise_sigma, find_changepoints
+
+
+def _step_series(rng, lengths, levels, noise=1.0):
+    parts = [rng.normal(level, noise, length) for length, level in zip(lengths, levels)]
+    return np.concatenate(parts)
+
+
+class TestNoiseEstimate:
+    def test_recovers_sigma_despite_jumps(self):
+        rng = np.random.default_rng(0)
+        series = _step_series(rng, [300, 300], [0.0, 50.0], noise=2.0)
+        sigma = estimate_noise_sigma(series)
+        # The single 50-unit jump must not inflate the estimate.
+        assert sigma == pytest.approx(2.0, rel=0.15)
+
+    def test_degenerate_series(self):
+        assert np.isnan(estimate_noise_sigma(np.array([1.0])))
+        assert estimate_noise_sigma(np.zeros(100)) > 0  # falls back, stays positive
+
+
+class TestFindChangepoints:
+    def test_single_changepoint_localised(self):
+        rng = np.random.default_rng(1)
+        series = _step_series(rng, [200, 200], [0.0, 5.0])
+        result = find_changepoints(series, min_segment=16)
+        assert len(result.changepoints) == 1
+        assert abs(result.changepoints[0].index - 200) <= 5
+        assert result.segments() == [(0, result.indices[0]), (result.indices[0], 400)]
+
+    def test_no_false_positive_on_pure_noise(self):
+        rng = np.random.default_rng(2)
+        for seed in range(5):
+            series = np.random.default_rng(seed).normal(0.0, 1.0, 500)
+            result = find_changepoints(series, min_segment=16)
+            assert result.changepoints == []
+        assert "no change points" in result.describe()
+
+    def test_two_changepoints(self):
+        rng = np.random.default_rng(3)
+        series = _step_series(rng, [150, 150, 150], [0.0, 6.0, -6.0])
+        result = find_changepoints(series, min_segment=16)
+        assert len(result.changepoints) == 2
+        assert abs(result.indices[0] - 150) <= 5
+        assert abs(result.indices[1] - 300) <= 5
+        means = result.segment_means(series)
+        assert means == pytest.approx([0.0, 6.0, -6.0], abs=0.5)
+
+    def test_min_segment_respected(self):
+        rng = np.random.default_rng(4)
+        series = _step_series(rng, [30, 500], [0.0, 4.0])
+        result = find_changepoints(series, min_segment=50)
+        # The true change at 30 is inside the forbidden margin; whatever is
+        # reported must respect the minimum segment length.
+        for start, stop in result.segments():
+            assert stop - start >= 50
+
+    def test_max_changepoints_keeps_strongest(self):
+        rng = np.random.default_rng(5)
+        series = _step_series(rng, [100] * 5, [0.0, 8.0, 0.0, 8.0, 0.0])
+        result = find_changepoints(series, min_segment=16, max_changepoints=2)
+        assert len(result.changepoints) == 2
+        assert result.indices == sorted(result.indices)
+
+    def test_short_series_returns_empty(self):
+        result = find_changepoints(np.arange(10.0), min_segment=16)
+        assert result.changepoints == []
+
+    def test_nonfinite_values_are_carried_forward(self):
+        rng = np.random.default_rng(6)
+        series = _step_series(rng, [200, 200], [0.0, 5.0])
+        series[50] = np.nan
+        series[250] = np.inf
+        result = find_changepoints(series, min_segment=16)
+        assert len(result.changepoints) == 1
+        assert abs(result.changepoints[0].index - 200) <= 5
+
+    def test_multiscale_penalty_demands_more_from_short_intervals(self):
+        # A small bump that would clear the base significance alone must be
+        # rejected once the sqrt(2 log(n/m)) term for its short scale applies.
+        rng = np.random.default_rng(7)
+        n = 2048
+        series = rng.normal(0.0, 1.0, n)
+        series[1000:1032] += 1.2  # weak, short anomaly, not a regime change
+        result = find_changepoints(series, min_segment=16, significance=2.5)
+        assert result.changepoints == []
+
+    def test_known_sigma_override(self):
+        rng = np.random.default_rng(8)
+        series = _step_series(rng, [200, 200], [0.0, 1.0], noise=0.2)
+        loose = find_changepoints(series, sigma=5.0)  # noise overstated -> blind
+        tight = find_changepoints(series, sigma=0.2)
+        assert loose.changepoints == []
+        assert len(tight.changepoints) == 1

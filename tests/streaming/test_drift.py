@@ -1,0 +1,148 @@
+"""Drift detectors: true positives on regime change, quiet on clean noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming import PageHinkleyDetector, ResidualDriftDetector, RollingStats, SlidingWindow
+
+
+class TestSlidingWindow:
+    def test_arrival_order_and_eviction(self):
+        window = SlidingWindow(4)
+        window.extend([1.0, 2.0])
+        assert list(window.values()) == [1.0, 2.0]
+        window.extend([3.0, 4.0, 5.0])
+        assert list(window.values()) == [2.0, 3.0, 4.0, 5.0]
+        assert window.is_full
+
+    def test_oversized_batch_keeps_tail(self):
+        window = SlidingWindow(3)
+        window.extend(np.arange(10.0))
+        assert list(window.values()) == [7.0, 8.0, 9.0]
+
+    def test_ignores_nonfinite(self):
+        window = SlidingWindow(4)
+        window.extend([1.0, np.nan, np.inf, 2.0])
+        assert list(window.values()) == [1.0, 2.0]
+
+    def test_rms(self):
+        window = SlidingWindow(4)
+        window.extend([3.0, -4.0])
+        assert window.rms() == pytest.approx(np.sqrt(12.5))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+class TestRollingStats:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(3.0, 2.0, 500)
+        stats = RollingStats()
+        stats.observe(values)
+        assert stats.mean == pytest.approx(float(np.mean(values)))
+        assert stats.variance == pytest.approx(float(np.var(values, ddof=1)))
+        stats.reset()
+        assert stats.count == 0
+
+
+class TestResidualDriftDetector:
+    def _clean_batches(self, rng, n_batches=10, batch=64, scale=1.0):
+        return [rng.normal(0.0, scale, batch) for _ in range(n_batches)]
+
+    def test_no_false_positive_on_in_distribution_noise(self):
+        rng = np.random.default_rng(1)
+        detector = ResidualDriftDetector(reference_rse=1.0, multiplier=2.5, patience=2)
+        verdicts = [detector.observe(batch) for batch in self._clean_batches(rng)]
+        assert not any(v.drifted for v in verdicts)
+
+    def test_true_positive_on_shifted_residuals(self):
+        rng = np.random.default_rng(2)
+        detector = ResidualDriftDetector(
+            reference_rse=1.0, multiplier=2.5, window=128, min_observations=16, patience=2
+        )
+        for batch in self._clean_batches(rng, n_batches=3):
+            detector.observe(batch)
+        # Regime change: residuals now centred at 10 sigma.
+        verdict = detector.observe(rng.normal(10.0, 1.0, 128))
+        assert not verdict.drifted  # patience: first hot batch is not enough
+        verdict = detector.observe(rng.normal(10.0, 1.0, 128))
+        assert verdict.drifted
+        assert verdict.statistic > verdict.threshold
+
+    def test_warmup_period_never_fires(self):
+        detector = ResidualDriftDetector(reference_rse=0.1, min_observations=32, patience=1)
+        verdict = detector.observe(np.full(8, 100.0))
+        assert not verdict.drifted
+        assert "warming up" in verdict.reason
+
+    def test_streak_resets_on_quiet_batch(self):
+        rng = np.random.default_rng(3)
+        detector = ResidualDriftDetector(
+            reference_rse=1.0, multiplier=2.0, window=64, min_observations=8, patience=2
+        )
+        detector.observe(rng.normal(0, 1.0, 64))
+        detector.observe(rng.normal(8.0, 1.0, 64))  # hot (streak 1)
+        detector.observe(rng.normal(0.0, 0.5, 64))  # window flushed by quiet batch
+        verdict = detector.observe(rng.normal(8.0, 1.0, 64))  # hot again (streak 1)
+        assert not verdict.drifted
+
+    def test_no_evidence_batch_does_not_advance_streak(self):
+        rng = np.random.default_rng(7)
+        detector = ResidualDriftDetector(
+            reference_rse=1.0, multiplier=2.0, window=64, min_observations=8, patience=2
+        )
+        detector.observe(rng.normal(8.0, 1.0, 64))  # hot (streak 1)
+        # A batch of only NaN residuals (e.g. rows of unseen groups) adds no
+        # evidence and must not push the streak to the patience limit.
+        verdict = detector.observe(np.full(32, np.nan))
+        assert not verdict.drifted
+        assert "no finite residuals" in verdict.reason
+        # Real hot evidence afterwards does complete the patience streak.
+        assert detector.observe(rng.normal(8.0, 1.0, 64)).drifted
+
+    def test_rebase_clears_state(self):
+        rng = np.random.default_rng(4)
+        detector = ResidualDriftDetector(reference_rse=1.0, min_observations=8, patience=1)
+        detector.observe(rng.normal(10.0, 1.0, 64))
+        detector.observe(rng.normal(10.0, 1.0, 64))
+        assert detector.last_verdict.drifted
+        detector.rebase(5.0)
+        assert detector.last_verdict is None
+        assert detector.reference_rse == 5.0
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(ValueError):
+            ResidualDriftDetector(reference_rse=0.0)
+        with pytest.raises(ValueError):
+            ResidualDriftDetector(reference_rse=float("nan"))
+
+
+class TestPageHinkley:
+    def test_quiet_on_stationary_stream(self):
+        rng = np.random.default_rng(5)
+        detector = PageHinkleyDetector(delta=0.05, threshold=50.0)
+        verdicts = [detector.observe(rng.normal(0, 1.0, 64)) for _ in range(10)]
+        assert not any(v.drifted for v in verdicts)
+
+    def test_fires_on_sustained_shift(self):
+        rng = np.random.default_rng(6)
+        detector = PageHinkleyDetector(delta=0.05, threshold=50.0)
+        for _ in range(5):
+            detector.observe(rng.normal(0, 1.0, 64))
+        drifted = False
+        for _ in range(10):
+            drifted = detector.observe(rng.normal(6.0, 1.0, 64)).drifted
+            if drifted:
+                break
+        assert drifted
+
+    def test_reset(self):
+        detector = PageHinkleyDetector(threshold=1.0)
+        detector.observe(np.full(100, 50.0))
+        detector.reset()
+        assert detector.last_verdict is None
+        assert not detector.observe(np.zeros(4)).drifted

@@ -4,11 +4,25 @@ from repro.core.approx.aggregates import AnalyticAggregate, analytic_aggregate, 
 from repro.core.approx.anomalies import AnomalyReport, GroupAnomaly, detect_anomalies, rank_groups_by_misfit
 from repro.core.approx.engine import ApproximateAnswer, ApproximateQueryEngine
 from repro.core.approx.enumeration import EnumerationPlan, build_enumeration_plan, generate_virtual_table
-from repro.core.approx.error_bounds import ErrorEstimate, aggregate_error, combine_independent
+from repro.core.approx.error_bounds import (
+    ErrorEstimate,
+    aggregate_error,
+    combine_independent,
+    extreme_value_error,
+)
 from repro.core.approx.exploration import InterestingRegion, explore_gradients, extreme_parameter_groups
 from repro.core.approx.legal import BloomFilter, LegalCombinationFilter
 from repro.core.approx.point import PointAnswer, answer_point_query
 from repro.core.approx.range_query import SelectionAnswer, answer_selection
+from repro.core.approx.routes import (
+    GroupedAnswer,
+    RangeAnswer,
+    RoutingPolicy,
+    answer_grouped,
+    answer_range,
+    extract_constraints,
+    plan_group_routing,
+)
 
 __all__ = [
     "AnalyticAggregate",
@@ -19,17 +33,25 @@ __all__ = [
     "EnumerationPlan",
     "ErrorEstimate",
     "GroupAnomaly",
+    "GroupedAnswer",
     "InterestingRegion",
     "LegalCombinationFilter",
     "PointAnswer",
+    "RangeAnswer",
+    "RoutingPolicy",
     "SelectionAnswer",
     "aggregate_error",
     "analytic_aggregate",
+    "answer_grouped",
     "answer_point_query",
+    "answer_range",
     "answer_selection",
     "build_enumeration_plan",
     "combine_independent",
     "detect_anomalies",
+    "extract_constraints",
+    "extreme_value_error",
+    "plan_group_routing",
     "explore_gradients",
     "extreme_parameter_groups",
     "generate_virtual_table",

@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.approx.error_bounds import ErrorEstimate, aggregate_error
 from repro.core.captured_model import CapturedModel
 from repro.errors import ApproximationError
-from repro.fitting.families import Exponential, LinearModel, Polynomial, PowerLaw
+from repro.fitting.families import Constant, Exponential, LinearModel, Polynomial, PowerLaw
 from repro.fitting.model import FitResult
 
 __all__ = ["AnalyticAggregate", "analytic_aggregate", "supports_analytic"]
@@ -114,9 +114,13 @@ def _extreme_value(
     input_ranges: Mapping[str, tuple[float, float]],
     function: str,
 ) -> tuple[float, str]:
-    """Min/max over the input box: evaluate at all corners (monotone families)."""
+    """Min/max over the input box: evaluate at all corners (monotone families).
+
+    ``is_linear`` only means linear in the parameters (a degree-2 Polynomial
+    qualifies but peaks in the interior), so the corner shortcut is reserved
+    for families monotone in each input."""
     family = fit.family
-    if isinstance(family, (LinearModel, PowerLaw, Exponential)) or family.is_linear:
+    if isinstance(family, (Constant, LinearModel, PowerLaw, Exponential)):
         corners = _corner_grid(model.input_columns, input_ranges)
         values = fit.predict(corners)
         value = float(np.min(values) if function == "min" else np.max(values))
@@ -135,7 +139,9 @@ def _average_value(
     input_means: Mapping[str, float] | None = None,
 ) -> tuple[float, str]:
     family = fit.family
-    if family.is_linear:
+    # Linearity of expectation needs linearity in the *inputs*, not just the
+    # parameters — a Polynomial must fall through to the domain scan.
+    if isinstance(family, (Constant, LinearModel)):
         if input_means is not None and all(name in input_means for name in model.input_columns):
             points = {name: np.array([float(input_means[name])]) for name in model.input_columns}
             return float(fit.predict(points)[0]), "linearity"

@@ -14,6 +14,15 @@ Answer routes
 ``point``
     Every model input and group key is pinned by equality predicates: a
     single model evaluation (the paper's first example query).
+``grouped-model`` / ``grouped-hybrid``
+    ``GROUP BY`` aggregates answered by evaluating the captured per-group
+    models group-by-group, with per-group error estimates.  The per-group
+    router serves healthy groups from models and — in the hybrid variant —
+    computes only the uncovered groups exactly and merges the two.
+``range-aggregate``
+    Aggregates restricted by range predicates (``BETWEEN``, ``<``, ``>``,
+    ``IN``): the model is evaluated/integrated over the restricted input
+    domain instead of falling back.
 ``analytic-aggregate``
     A global aggregate over the modelled column of an ungrouped linear-ish
     model: closed-form answer from the parameters (§4.2).
@@ -40,18 +49,31 @@ from repro.core.approx.enumeration import (
 )
 from repro.core.approx.error_bounds import ErrorEstimate, aggregate_error
 from repro.core.approx.legal import LegalCombinationFilter
+from repro.core.approx.routes.constraints import (
+    bare_name as _bare_name,
+    extract_constraints,
+)
+from repro.core.approx.routes.grouped import analyse_grouped_statement, answer_grouped
+from repro.core.approx.routes.range_agg import answer_range
+from repro.core.approx.routes.router import RoutingPolicy
 from repro.core.captured_model import CapturedModel
 from repro.core.model_store import ModelStore
 from repro.db.catalog import Catalog
 from repro.db.database import Database
-from repro.db.expressions import Between, BinaryOp, ColumnRef, Expression, InList, Literal
+from repro.db.expressions import Between, BinaryOp, ColumnRef, Expression, InList
 from repro.db.operators.aggregate import SUPPORTED_AGGREGATES
 from repro.db.expressions import FunctionCall
 from repro.db.sql.ast import SelectStatement, Star
 from repro.db.sql.parser import parse
 from repro.db.sql.planner import plan_select
 from repro.db.table import Table
-from repro.errors import ApproximationError, EnumerationError, ModelNotFoundError
+from repro.errors import (
+    ApproximationError,
+    EnumerationError,
+    ExecutionError,
+    ModelNotFoundError,
+    SQLError,
+)
 
 __all__ = ["ApproximateAnswer", "ApproximateQueryEngine"]
 
@@ -71,6 +93,12 @@ class ApproximateAnswer:
     elapsed_seconds: float = 0.0
     io: dict[str, float] = field(default_factory=dict)
     virtual_rows_generated: int = 0
+    #: group key -> result column -> standard error (grouped routes only)
+    group_errors: dict[tuple, dict[str, float]] = field(default_factory=dict)
+    #: group key -> result column -> value (grouped routes only)
+    group_values: dict[tuple, dict[str, Any]] = field(default_factory=dict)
+    #: group key -> serving provenance ("model#<id>" / "exact"; grouped routes)
+    group_routes: dict[tuple, str] = field(default_factory=dict)
 
     def rows(self) -> list[tuple]:
         return self.table.to_rows()
@@ -89,6 +117,18 @@ class ApproximateAnswer:
         value = float(values[0]) if len(values) == 1 else float("nan")
         return ErrorEstimate(value=value, standard_error=self.column_errors[column])
 
+    def group_error_estimate(self, group_key: tuple | Any, column: str) -> ErrorEstimate | None:
+        """The per-group error band a grouped route attached to one aggregate."""
+        key = group_key if isinstance(group_key, tuple) else (group_key,)
+        errors = self.group_errors.get(key)
+        if errors is None or column not in errors:
+            return None
+        value = self.group_values.get(key, {}).get(column)
+        return ErrorEstimate(
+            value=float(value) if value is not None else float("nan"),
+            standard_error=errors[column],
+        )
+
 
 class ApproximateQueryEngine:
     """Routes SQL queries to captured models when possible."""
@@ -99,11 +139,19 @@ class ApproximateQueryEngine:
         store: ModelStore,
         max_virtual_rows: int = DEFAULT_MAX_ROWS,
         use_legal_filter: bool = False,
+        routing_policy: RoutingPolicy | None = None,
     ) -> None:
         self.database = database
         self.store = store
         self.max_virtual_rows = max_virtual_rows
         self.use_legal_filter = use_legal_filter
+        #: Per-group model-vs-exact routing thresholds for the grouped route.
+        self.routing_policy = routing_policy or RoutingPolicy()
+        #: Optional callback ``(table, output_column, group_columns) ->
+        #: CapturedModel | None`` that harvests a grouped model on demand when
+        #: a GROUP BY query finds only ungrouped captures (wired to
+        #: :meth:`repro.core.harvester.ModelHarvester.ensure_grouped`).
+        self.grouped_model_provider = None
         #: (table_name, key columns) -> legality filter, built lazily on demand
         self._legal_filters: dict[tuple[str, tuple[str, ...]], LegalCombinationFilter] = {}
 
@@ -147,6 +195,8 @@ class ApproximateQueryEngine:
         return {
             "approximate": approx,
             "exact": exact,
+            "route": approx.route,
+            "group_routes": dict(approx.group_routes),
             "relative_errors": errors,
             "max_relative_error": max(errors.values()) if errors else None,
             "approx_pages_read": approx.io.get("pages_read", 0.0),
@@ -167,6 +217,15 @@ class ApproximateQueryEngine:
             raise ApproximationError(f"unknown table {table_name!r}")
 
         referenced = _referenced_columns(statement)
+
+        # Route 1: GROUP BY aggregates served group-by-group (does its own
+        # model lookup — the query's group keys need not be covered by the
+        # generically best model, and grouped models can be harvested on
+        # demand through ``grouped_model_provider``).
+        grouped_answer = self._try_grouped_route(sql, statement, table_name)
+        if grouped_answer is not None:
+            return grouped_answer
+
         model = self._select_model(table_name, referenced)
 
         pinned = _extract_pinned_values(statement.where)
@@ -177,17 +236,22 @@ class ApproximateQueryEngine:
                 f"query references columns {sorted(uncovered)} that model {model.model_id} does not cover"
             )
 
-        # Route 1: fully pinned point query.
+        # Route 2: fully pinned point query.
         point_answer = self._try_point_route(statement, model, pinned)
         if point_answer is not None:
             return point_answer
 
-        # Route 2: analytic aggregate for ungrouped, closed-form friendly models.
+        # Route 3: aggregates restricted by range predicates.
+        range_answer = self._try_range_route(sql, statement, model, table_name)
+        if range_answer is not None:
+            return range_answer
+
+        # Route 4: analytic aggregate for ungrouped, closed-form friendly models.
         analytic_answer = self._try_analytic_route(statement, model, table_name)
         if analytic_answer is not None:
             return analytic_answer
 
-        # Route 3: generic parameter-space enumeration.
+        # Route 5: generic parameter-space enumeration.
         return self._virtual_table_route(sql, statement, model, pinned)
 
     def _select_model(self, table_name: str, referenced: set[str]) -> CapturedModel:
@@ -224,6 +288,104 @@ class ApproximateQueryEngine:
         return best
 
     # -- route implementations ---------------------------------------------------------
+
+    def _try_grouped_route(
+        self, sql: str, statement: SelectStatement, table_name: str
+    ) -> ApproximateAnswer | None:
+        """GROUP BY aggregates evaluated per group, with exact fill-in."""
+        analysis = analyse_grouped_statement(statement)
+        if analysis is None:
+            return None
+        group_columns, output_column = analysis.group_columns, analysis.output_column
+
+        candidates = self.store.grouped_candidates(table_name, output_column, group_columns)
+        if not candidates and self.grouped_model_provider is not None:
+            harvested = self.grouped_model_provider(table_name, output_column, group_columns)
+            if harvested is not None:
+                # The on-demand grouped harvest reads the raw data once; like
+                # building a legality filter, it is charged as a one-off scan.
+                table = self.database.table(table_name)
+                self.database.io_model.charge_scan(
+                    table, [c for c in harvested.coverage.columns() if c in table.schema]
+                )
+                candidates = self.store.grouped_candidates(
+                    table_name, output_column, group_columns
+                )
+        if not candidates:
+            return None
+
+        stats = self.database.stats(table_name)
+        result = answer_grouped(
+            statement,
+            self.store,
+            stats,
+            self._execute_exact_groups,
+            policy=self.routing_policy,
+            models=candidates,
+            analysis=analysis,
+        )
+        if result is None:
+            return None
+        return ApproximateAnswer(
+            sql=sql,
+            table=result.table,
+            route=result.route,
+            is_exact=False,
+            used_model_ids=result.used_model_ids,
+            reason=result.reason,
+            column_errors=result.column_errors,
+            virtual_rows_generated=result.virtual_rows_generated,
+            group_errors=result.group_errors,
+            group_values=result.group_values,
+            group_routes=result.group_routes,
+        )
+
+    def _execute_exact_groups(
+        self, statement: SelectStatement, membership: Expression
+    ) -> Table:
+        """Run ``statement`` exactly, restricted to the given groups.
+
+        This is the exact half of the hybrid grouped route: only the rows of
+        the uncovered groups are scanned (and charged as real IO).
+        """
+        where = (
+            membership
+            if statement.where is None
+            else BinaryOp("and", statement.where, membership)
+        )
+        sub_statement = SelectStatement(
+            items=list(statement.items),
+            table=statement.table,
+            joins=[],
+            where=where,
+            group_by=list(statement.group_by),
+            having=None,
+            order_by=[],
+            limit=None,
+            offset=0,
+            distinct=False,
+        )
+        planned = plan_select(sub_statement, self.database.catalog, io_model=self.database.io_model)
+        return planned.root.execute()
+
+    def _try_range_route(
+        self, sql: str, statement: SelectStatement, model: CapturedModel, table_name: str
+    ) -> ApproximateAnswer | None:
+        """Aggregates over range-restricted input domains."""
+        stats = self.database.stats(table_name)
+        result = answer_range(statement, model, stats)
+        if result is None:
+            return None
+        return ApproximateAnswer(
+            sql=sql,
+            table=result.table,
+            route=result.route,
+            is_exact=False,
+            used_model_ids=result.used_model_ids,
+            reason=result.reason,
+            column_errors=result.column_errors,
+            virtual_rows_generated=result.virtual_rows_generated,
+        )
 
     def _try_point_route(
         self,
@@ -334,8 +496,15 @@ class ApproximateQueryEngine:
         # Execute the original statement against the model-generated table.
         shadow_catalog = Catalog()
         shadow_catalog.register_table(virtual)
-        planned = plan_select(statement, shadow_catalog, io_model=None)
-        result = planned.root.execute()
+        try:
+            planned = plan_select(statement, shadow_catalog, io_model=None)
+            result = planned.root.execute()
+        except (SQLError, ExecutionError) as exc:
+            # e.g. an aggregate/function outside the supported set: record it
+            # as a fallback reason instead of crashing the engine mid-route.
+            raise ApproximationError(
+                f"query plan cannot run over the model-generated table: {exc}"
+            ) from exc
 
         errors = self._result_errors(statement, model, virtual)
         return ApproximateAnswer(
@@ -410,12 +579,9 @@ class ApproximateQueryEngine:
 
 
 # ---------------------------------------------------------------------------
-# Statement analysis helpers
+# Statement analysis helpers (qualifier stripping and conjunct splitting are
+# shared with the routes package — one implementation for the whole engine)
 # ---------------------------------------------------------------------------
-
-
-def _bare_name(name: str) -> str:
-    return name.split(".")[-1]
 
 
 def _referenced_columns(statement: SelectStatement) -> set[str]:
@@ -491,40 +657,18 @@ def _simple_aggregates(
 
 
 def _extract_pinned_values(where: Expression | None) -> dict[str, list[Any]]:
-    """Columns pinned to literal values by the WHERE clause's top-level conjuncts."""
-    pinned: dict[str, list[Any]] = {}
-    for conjunct in _conjuncts(where):
-        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
-            column, literal = _column_literal(conjunct.left, conjunct.right)
-            if column is not None:
-                pinned.setdefault(column, [])
-                if literal not in pinned[column]:
-                    pinned[column].append(literal)
-        elif isinstance(conjunct, InList) and isinstance(conjunct.operand, ColumnRef):
-            values = [v.value for v in conjunct.values if isinstance(v, Literal)]
-            if len(values) == len(conjunct.values):
-                name = _bare_name(conjunct.operand.name)
-                pinned.setdefault(name, [])
-                for value in values:
-                    if value not in pinned[name]:
-                        pinned[name].append(value)
-    return pinned
-
-
-def _conjuncts(expression: Expression | None) -> list[Expression]:
-    if expression is None:
-        return []
-    if isinstance(expression, BinaryOp) and expression.op.lower() == "and":
-        return _conjuncts(expression.left) + _conjuncts(expression.right)
-    return [expression]
-
-
-def _column_literal(left: Expression, right: Expression) -> tuple[str | None, Any]:
-    if isinstance(left, ColumnRef) and isinstance(right, Literal):
-        return _bare_name(left.name), right.value
-    if isinstance(right, ColumnRef) and isinstance(left, Literal):
-        return _bare_name(right.name), left.value
-    return None, None
+    """Columns pinned to literal values by the WHERE clause's top-level
+    conjuncts — derived from the routes' shared constraint analysis, so
+    equality/IN decomposition has a single implementation.  Multiple pins on
+    one column intersect (``g = 1 AND g IN (1, 2)`` pins to ``[1]``), which
+    is always sound for enumeration: the statement's WHERE is re-applied
+    over the generated table."""
+    constraints = extract_constraints(where)
+    return {
+        column: list(constraint.values)
+        for column, constraint in constraints.by_column.items()
+        if constraint.is_pinned
+    }
 
 
 def _relative_errors(approx: Table, exact: Table) -> dict[str, float]:

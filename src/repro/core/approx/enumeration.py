@@ -76,10 +76,17 @@ def build_enumeration_plan(
     pinned = {name: list(values) for name, values in (pinned_values or {}).items()}
 
     group_keys = _group_keys(model, pinned)
+    _check_group_coverage(model, table_stats, pinned)
     input_domains: dict[str, list[float]] = {}
     for name in model.input_columns:
         if name in pinned:
-            input_domains[name] = [float(v) for v in pinned[name]]
+            try:
+                input_domains[name] = [float(v) for v in pinned[name]]
+            except (TypeError, ValueError):
+                raise EnumerationError(
+                    f"input column {name!r} is pinned to a non-numeric value; "
+                    "the model cannot be evaluated there"
+                ) from None
             continue
         stats = table_stats.columns.get(name)
         if stats is None or not stats.is_enumerable or stats.domain is None:
@@ -96,6 +103,38 @@ def build_enumeration_plan(
             f"(> max_rows={max_rows}); refusing to materialise"
         )
     return plan
+
+
+def _check_group_coverage(
+    model: CapturedModel, table_stats: TableStats, pinned: dict[str, list[Any]]
+) -> None:
+    """Refuse to enumerate when group values appeared after the capture.
+
+    The parameter table can only regenerate tuples for groups it has
+    parameters for; if the catalog's current domain of a group column holds
+    values the capture never saw (e.g. a brand-new entity that streamed in
+    while the model is stale), the model-generated table would silently drop
+    those rows.
+    """
+    if not model.is_grouped:
+        return
+    for position, column in enumerate(model.group_columns):
+        column_stats = table_stats.columns.get(column)
+        if column_stats is None or column_stats.domain is None:
+            continue
+        seen = {record.key[position] for record in model.fit.records}  # type: ignore[union-attr]
+        allowed = pinned.get(column)
+        new_values = [
+            v
+            for v in column_stats.domain
+            if v not in seen and (allowed is None or v in allowed)
+        ]
+        if new_values:
+            raise EnumerationError(
+                f"group column {column!r} holds values {new_values[:5]} that appeared "
+                f"after model {model.model_id} was captured; their tuples cannot be "
+                "regenerated from the stored parameters"
+            )
 
 
 def _group_keys(model: CapturedModel, pinned: dict[str, list[Any]]) -> list[tuple[Any, ...]]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["ErrorEstimate", "aggregate_error", "combine_independent"]
+__all__ = ["ErrorEstimate", "aggregate_error", "combine_independent", "extreme_value_error"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,19 @@ class ErrorEstimate:
 def combine_independent(errors: list[float]) -> float:
     """Standard error of a sum of independent errors (root-sum-square)."""
     return math.sqrt(sum(e * e for e in errors))
+
+
+def extreme_value_error(per_row_error: float, n_rows: float) -> float:
+    """Standard error for MIN/MAX of a model over ``n_rows`` noisy raw rows.
+
+    The model predicts the *noise-free* extreme; the observed extreme of
+    ``n`` rows with residual sd ``per_row_error`` concentrates around
+    ``per_row_error * sqrt(2 ln n)`` beyond it (the Gaussian extreme-value
+    rate), so that is the honest band to attach — the plain per-row error
+    undercovers for any non-trivial group size.
+    """
+    n = max(float(n_rows), 2.0)
+    return per_row_error * math.sqrt(2.0 * math.log(n))
 
 
 def aggregate_error(function: str, per_row_error: float, n_rows: int) -> float:

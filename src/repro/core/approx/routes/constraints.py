@@ -1,0 +1,219 @@
+"""WHERE-clause analysis for the model-backed answer routes.
+
+The grouped and range routes can only answer a query from captured models if
+they understand exactly which part of the input domain the WHERE clause
+selects.  This module decomposes a predicate's top-level conjuncts into
+per-column :class:`ColumnConstraint`\\ s — discrete value sets from ``=`` /
+``IN`` and intervals from ``<`` / ``<=`` / ``>`` / ``>=`` / ``BETWEEN`` —
+and keeps anything it cannot analyse (disjunctions, ``IS NULL``, predicates
+over expressions) as *residual* conjuncts, which makes the routes decline
+and leaves the query to the enumeration or exact paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.db.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    InList,
+    Literal,
+)
+
+__all__ = ["ColumnConstraint", "WhereConstraints", "bare_name", "extract_constraints"]
+
+
+def bare_name(name: str) -> str:
+    """Strip any table qualifier (``t.g`` -> ``g``)."""
+    return name.split(".")[-1]
+
+
+@dataclass
+class ColumnConstraint:
+    """Everything the WHERE clause's conjuncts say about one column."""
+
+    column: str
+    #: Discrete allowed values from ``=`` / ``IN`` (None means unrestricted).
+    values: list[Any] | None = None
+    low: float | None = None
+    low_inclusive: bool = True
+    high: float | None = None
+    high_inclusive: bool = True
+
+    @property
+    def has_interval(self) -> bool:
+        return self.low is not None or self.high is not None
+
+    @property
+    def is_pinned(self) -> bool:
+        """True when the column is restricted to an explicit value list."""
+        return self.values is not None
+
+    def pin(self, values: Sequence[Any]) -> None:
+        """Intersect the allowed value set with ``values``."""
+        incoming = list(dict.fromkeys(values))
+        if self.values is None:
+            self.values = incoming
+        else:
+            self.values = [v for v in self.values if v in incoming]
+
+    def bound_below(self, value: float, inclusive: bool) -> None:
+        if self.low is None or value > self.low or (value == self.low and not inclusive):
+            self.low = value
+            self.low_inclusive = inclusive
+
+    def bound_above(self, value: float, inclusive: bool) -> None:
+        if self.high is None or value < self.high or (value == self.high and not inclusive):
+            self.high = value
+            self.high_inclusive = inclusive
+
+    def admits(self, value: Any) -> bool:
+        """Does ``value`` satisfy every constraint recorded for this column?"""
+        if self.values is not None and value not in self.values:
+            return False
+        try:
+            numeric = float(value)
+        except (TypeError, ValueError):
+            return not self.has_interval and (self.values is None or value in self.values)
+        if self.low is not None:
+            if numeric < self.low or (numeric == self.low and not self.low_inclusive):
+                return False
+        if self.high is not None:
+            if numeric > self.high or (numeric == self.high and not self.high_inclusive):
+                return False
+        return True
+
+    def restrict_domain(self, domain: Sequence[Any]) -> list[Any]:
+        """The subset of a known column domain this constraint admits,
+        preserving the domain's order."""
+        return [v for v in domain if self.admits(v)]
+
+    def clip_interval(self, low: float, high: float) -> tuple[float, float] | None:
+        """Intersect ``[low, high]`` with the interval bounds (None if empty)."""
+        lo = low if self.low is None else max(low, self.low)
+        hi = high if self.high is None else min(high, self.high)
+        if lo > hi:
+            return None
+        return lo, hi
+
+    def describe(self) -> str:
+        parts = []
+        if self.values is not None:
+            parts.append(f"in {self.values!r}")
+        if self.low is not None:
+            parts.append(f"{'>=' if self.low_inclusive else '>'} {self.low!r}")
+        if self.high is not None:
+            parts.append(f"{'<=' if self.high_inclusive else '<'} {self.high!r}")
+        return f"{self.column} " + " and ".join(parts) if parts else self.column
+
+
+@dataclass
+class WhereConstraints:
+    """Per-column constraints plus the conjuncts that resisted analysis."""
+
+    by_column: dict[str, ColumnConstraint] = field(default_factory=dict)
+    residual: list[Expression] = field(default_factory=list)
+
+    @property
+    def fully_analysed(self) -> bool:
+        return not self.residual
+
+    @property
+    def has_interval(self) -> bool:
+        return any(c.has_interval for c in self.by_column.values())
+
+    def constraint(self, column: str) -> ColumnConstraint | None:
+        return self.by_column.get(column)
+
+    def constrains(self, column: str) -> bool:
+        return column in self.by_column
+
+    def admits(self, column: str, value: Any) -> bool:
+        constraint = self.by_column.get(column)
+        return constraint is None or constraint.admits(value)
+
+    def _get(self, column: str) -> ColumnConstraint:
+        if column not in self.by_column:
+            self.by_column[column] = ColumnConstraint(column)
+        return self.by_column[column]
+
+
+def extract_constraints(where: Expression | None) -> WhereConstraints:
+    """Decompose a WHERE expression into per-column constraints.
+
+    Only top-level conjuncts of the forms ``col <op> literal``,
+    ``literal <op> col``, ``col BETWEEN lit AND lit`` and ``col IN (lits)``
+    are analysed; everything else lands in ``residual``.
+    """
+    constraints = WhereConstraints()
+    for conjunct in _conjuncts(where):
+        if not _apply_conjunct(constraints, conjunct):
+            constraints.residual.append(conjunct)
+    return constraints
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _apply_conjunct(constraints: WhereConstraints, conjunct: Expression) -> bool:
+    if isinstance(conjunct, BinaryOp) and conjunct.op in ("=", "<", "<=", ">", ">="):
+        op = conjunct.op
+        column, literal = _column_literal(conjunct.left, conjunct.right)
+        if column is None:
+            column, literal = _column_literal(conjunct.right, conjunct.left)
+            if column is None:
+                return False
+            op = _FLIP.get(op, op)
+        if op == "=":
+            constraints._get(column).pin([literal])
+            return True
+        try:
+            numeric = float(literal)
+        except (TypeError, ValueError):
+            return False
+        constraint = constraints._get(column)
+        if op in ("<", "<="):
+            constraint.bound_above(numeric, inclusive=op == "<=")
+        else:
+            constraint.bound_below(numeric, inclusive=op == ">=")
+        return True
+
+    if isinstance(conjunct, Between) and isinstance(conjunct.operand, ColumnRef):
+        if not (isinstance(conjunct.low, Literal) and isinstance(conjunct.high, Literal)):
+            return False
+        try:
+            low = float(conjunct.low.value)
+            high = float(conjunct.high.value)
+        except (TypeError, ValueError):
+            return False
+        constraint = constraints._get(bare_name(conjunct.operand.name))
+        constraint.bound_below(low, inclusive=True)
+        constraint.bound_above(high, inclusive=True)
+        return True
+
+    if isinstance(conjunct, InList) and isinstance(conjunct.operand, ColumnRef):
+        values = [v.value for v in conjunct.values if isinstance(v, Literal)]
+        if len(values) != len(conjunct.values):
+            return False
+        constraints._get(bare_name(conjunct.operand.name)).pin(values)
+        return True
+
+    return False
+
+
+def _column_literal(left: Expression, right: Expression) -> tuple[str | None, Any]:
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return bare_name(left.name), right.value
+    return None, None
+
+
+def _conjuncts(expression: Expression | None) -> list[Expression]:
+    if expression is None:
+        return []
+    if isinstance(expression, BinaryOp) and expression.op.lower() == "and":
+        return _conjuncts(expression.left) + _conjuncts(expression.right)
+    return [expression]

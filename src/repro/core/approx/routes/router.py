@@ -1,0 +1,158 @@
+"""Per-group model-vs-exact routing.
+
+§4.1's "multiple, partial or grouped models" challenge, at the granularity
+the paper's workload actually needs: a single ``GROUP BY`` query may touch
+groups covered by a healthy per-group fit, groups whose fit failed (too few
+observations, optimiser divergence), groups that only a stale segment model
+covers, and groups that appeared after every capture.  The router assigns
+each requested group to the best servable model — or to exact execution —
+so the engine can serve what it can from models and scan only the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.captured_model import CapturedModel
+from repro.core.model_store import ModelStore, _default_ranking
+from repro.fitting.model import FitResult
+
+__all__ = ["RoutingPolicy", "GroupAssignment", "GroupRoutingPlan", "plan_group_routing"]
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """When is a per-group fit healthy enough to serve a query?
+
+    The defaults serve every group that has finite fitted parameters —
+    model acceptance already gated overall quality at capture time.  Callers
+    wanting stricter routing can require a per-group R² floor or refuse
+    stale models entirely.
+    """
+
+    #: Minimum per-group R² to serve the group from the model (None = any).
+    min_group_r_squared: float | None = None
+    #: Refuse groups whose only cover is a stale model awaiting maintenance.
+    allow_stale: bool = True
+
+    def is_healthy(self, fit: FitResult) -> bool:
+        if not np.all(np.isfinite(np.asarray(fit.params, dtype=np.float64))):
+            return False
+        if self.min_group_r_squared is not None and fit.r_squared < self.min_group_r_squared:
+            return False
+        return True
+
+
+@dataclass
+class GroupAssignment:
+    """One group's routing decision."""
+
+    key: tuple[Any, ...]
+    #: The serving model, or None when the group must be computed exactly.
+    model: CapturedModel | None
+    fit: FitResult | None
+    reason: str
+
+    @property
+    def served_from_model(self) -> bool:
+        return self.model is not None
+
+
+@dataclass
+class GroupRoutingPlan:
+    """Every requested group, split into model-served and exact."""
+
+    group_columns: tuple[str, ...]
+    assignments: list[GroupAssignment] = field(default_factory=list)
+
+    @property
+    def model_groups(self) -> list[GroupAssignment]:
+        return [a for a in self.assignments if a.served_from_model]
+
+    @property
+    def exact_groups(self) -> list[GroupAssignment]:
+        return [a for a in self.assignments if not a.served_from_model]
+
+    @property
+    def used_model_ids(self) -> list[int]:
+        seen: dict[int, None] = {}
+        for assignment in self.model_groups:
+            seen.setdefault(assignment.model.model_id, None)
+        return list(seen)
+
+    @property
+    def is_hybrid(self) -> bool:
+        return bool(self.model_groups) and bool(self.exact_groups)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.model_groups)} group(s) from model(s) {self.used_model_ids}, "
+            f"{len(self.exact_groups)} group(s) exact"
+        )
+
+
+def plan_group_routing(
+    store: ModelStore,
+    table_name: str,
+    output_column: str,
+    group_columns: tuple[str, ...],
+    requested_keys: list[tuple[Any, ...]],
+    policy: RoutingPolicy | None = None,
+    models: list[CapturedModel] | None = None,
+) -> GroupRoutingPlan:
+    """Assign every requested group to the best servable model or to exact.
+
+    The store is consulted once: candidates are ranked up front and their
+    fit records indexed by (re-aligned) group key, so routing stays
+    O(groups + models·records) instead of re-filtering the store per group.
+    ``models`` restricts routing to a pre-filtered candidate list (the
+    grouped route passes the models that can honor the query's predicates);
+    the policy's staleness gate still applies.
+    """
+    policy = policy or RoutingPolicy()
+    plan = GroupRoutingPlan(group_columns=group_columns)
+
+    if models is not None:
+        candidates = [
+            m for m in models if (m.is_servable if policy.allow_stale else m.is_usable)
+        ]
+    else:
+        candidates = store.grouped_candidates(
+            table_name, output_column, group_columns, include_stale=policy.allow_stale
+        )
+    ranked = sorted(candidates, key=_default_ranking, reverse=True)
+    indexed: list[tuple[CapturedModel, dict[tuple[Any, ...], FitResult]]] = []
+    for model in ranked:
+        positions = [model.group_columns.index(column) for column in group_columns]
+        index: dict[tuple[Any, ...], FitResult] = {}
+        for record in model.fit.records:  # type: ignore[union-attr]
+            if record.result is not None:
+                index[tuple(record.key[p] for p in positions)] = record.result
+        indexed.append((model, index))
+
+    for key in requested_keys:
+        assignment = GroupAssignment(
+            key=key, model=None, fit=None, reason="no servable per-group fit"
+        )
+        for model, index in indexed:
+            fit = index.get(key)
+            if fit is None:
+                continue
+            if not policy.is_healthy(fit):
+                assignment = GroupAssignment(
+                    key=key,
+                    model=None,
+                    fit=None,
+                    reason=f"per-group fit of model#{model.model_id} below routing policy",
+                )
+                continue
+            status = "" if model.status == "active" else f" ({model.status})"
+            assignment = GroupAssignment(
+                key=key, model=model, fit=fit, reason=f"model#{model.model_id}{status}"
+            )
+            break
+        plan.assignments.append(assignment)
+    return plan

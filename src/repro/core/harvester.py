@@ -146,6 +146,71 @@ class ModelHarvester:
         self.store.add(model)
         return HarvestReport(model=model, quality=quality, accepted=accepted)
 
+    def ensure_grouped(
+        self,
+        table_name: str,
+        output_column: str,
+        group_columns: tuple[str, ...] | list[str],
+        formula: str | None = None,
+    ) -> CapturedModel | None:
+        """Make sure a grouped model exists for ``output_column`` per the keys.
+
+        The approximate engine calls this when a ``GROUP BY`` query arrives
+        for a column whose captured models are all ungrouped: the same
+        formula (and estimator settings) the best existing capture used is
+        refitted per group, so group-by columns get grouped models harvested
+        on demand.  Returns the servable grouped model, or None when there is
+        nothing to derive a formula from or the grouped refit is rejected.
+        """
+        group_columns = tuple(group_columns)
+        existing = self.store.grouped_candidates(table_name, output_column, group_columns)
+        if existing:
+            return existing[-1]
+
+        # Negative cache: if a grouped refit over this very data was already
+        # rejected, don't re-scan and refit on every query — wait for growth.
+        prior = [
+            m
+            for m in self.store.models_for_table(table_name, include_unusable=True)
+            if m.output_column == output_column
+            and m.is_grouped
+            and set(m.group_columns) == set(group_columns)
+        ]
+        current_rows = self.database.table(table_name).num_rows
+        if any(not m.accepted and m.fitted_row_count >= current_rows for m in prior):
+            return None
+
+        robust, method = False, "lm"
+        if formula is None:
+            # Any capture of the target column works as a formula template —
+            # including *rejected* ones: a global fit the quality gate turned
+            # down (per-group structure it cannot express) is exactly the
+            # formula worth refitting per group (the LOFAR per-source case).
+            templates = [
+                m
+                for m in self.store.models_for_table(table_name, include_unusable=True)
+                if m.output_column == output_column and not m.is_grouped
+            ]
+            if not templates:
+                return None
+            template = max(
+                templates, key=lambda m: (m.quality.adjusted_r_squared, m.model_id)
+            )
+            formula = template.formula
+            robust = bool(template.metadata.get("robust", False))
+            method = str(template.metadata.get("method", "lm"))
+        try:
+            report = self.fit_and_capture(
+                table_name,
+                formula,
+                group_by=list(group_columns),
+                robust=robust,
+                method=method,
+            )
+        except ReproError:
+            return None
+        return report.model if report.accepted else None
+
     # -- helpers --------------------------------------------------------------------
 
     @staticmethod

@@ -158,6 +158,33 @@ class ModelStore:
     ) -> bool:
         return bool(self.candidates(table_name, output_column, include_stale=include_stale))
 
+    # -- group-level lookup --------------------------------------------------------
+
+    def grouped_candidates(
+        self,
+        table_name: str,
+        output_column: str,
+        group_columns: Iterable[str],
+        include_stale: bool = True,
+    ) -> list[CapturedModel]:
+        """Servable grouped models keyed by exactly the given group columns.
+
+        Partial (predicate-restricted) models are admitted: a stale or
+        segment model harvested by the maintenance lane still holds valid
+        per-group parameters for the groups it covers.  Per-group selection
+        among these candidates — which model serves which key — lives in
+        :func:`repro.core.approx.routes.router.plan_group_routing`.
+        """
+        wanted = set(group_columns)
+        models = self.candidates(
+            table_name,
+            output_column,
+            require_whole_table=False,
+            include_stale=include_stale,
+        )
+        return [m for m in models if m.is_grouped and set(m.group_columns) == wanted]
+
+
     # -- lifecycle ----------------------------------------------------------------------
 
     def mark_table_stale(self, table_name: str) -> list[CapturedModel]:

@@ -49,6 +49,9 @@ class LawsDatabase:
         self.approx = ApproximateQueryEngine(
             self.database, self.models, use_legal_filter=use_legal_filter
         )
+        # GROUP BY queries over a column whose captures are all ungrouped
+        # trigger an on-demand grouped harvest (same formula, per group).
+        self.approx.grouped_model_provider = self.harvester.ensure_grouped
         self.lifecycle = ModelLifecycleManager(self.database, self.models, self.harvester)
         self.zero_io = ZeroIOScanner(self.database)
         self.ingestor = StreamIngestor(self.database, batch_size=ingest_batch_size)
@@ -154,6 +157,20 @@ class LawsDatabase:
     ) -> HarvestReport:
         """Fit a model formula in-database and capture it."""
         return self.harvester.fit_and_capture(table_name, formula, group_by=group_by, **kwargs)
+
+    def ensure_grouped_model(
+        self,
+        table_name: str,
+        output_column: str,
+        group_columns: str | list[str],
+        formula: str | None = None,
+    ) -> CapturedModel | None:
+        """Harvest (or return) a grouped model for GROUP BY answering."""
+        if isinstance(group_columns, str):
+            group_columns = [group_columns]
+        return self.harvester.ensure_grouped(
+            table_name, output_column, tuple(group_columns), formula=formula
+        )
 
     def captured_models(self, table_name: str | None = None) -> list[CapturedModel]:
         if table_name is None:

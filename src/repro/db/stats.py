@@ -43,6 +43,10 @@ class ColumnStats:
     std: float | None = None
     #: Full sorted domain for low-cardinality columns, else None.
     domain: list[Any] | None = None
+    #: Row count per domain value (aligned with ``domain``), else None.
+    #: Lets consumers weight by the actual value frequencies instead of
+    #: assuming a uniform spread over the domain.
+    domain_counts: list[int] | None = None
 
     @property
     def is_enumerable(self) -> bool:
@@ -102,18 +106,23 @@ def compute_column_stats(name: str, column: Column) -> ColumnStats:
     data = column.nonnull_numpy()
 
     if column.dtype is DataType.STRING:
-        distinct = set(data.tolist())
-        distinct_count = len(distinct)
-        domain = sorted(distinct) if distinct_count <= ENUMERABLE_DISTINCT_LIMIT else None
+        values, value_counts = np.unique(data, return_counts=True) if len(data) else ([], [])
+        distinct_count = len(values)
+        domain = None
+        domain_counts = None
+        if 0 < distinct_count <= ENUMERABLE_DISTINCT_LIMIT:
+            domain = [str(v) for v in values]
+            domain_counts = [int(c) for c in value_counts]
         return ColumnStats(
             name=name,
             dtype=column.dtype,
             row_count=row_count,
             null_count=null_count,
             distinct_count=distinct_count,
-            min_value=min(distinct) if distinct else None,
-            max_value=max(distinct) if distinct else None,
+            min_value=domain[0] if domain else (min(data.tolist()) if len(data) else None),
+            max_value=domain[-1] if domain else (max(data.tolist()) if len(data) else None),
             domain=domain,
+            domain_counts=domain_counts,
         )
 
     if len(data) == 0:
@@ -125,9 +134,10 @@ def compute_column_stats(name: str, column: Column) -> ColumnStats:
             distinct_count=0,
         )
 
-    unique = np.unique(data)
+    unique, unique_counts = np.unique(data, return_counts=True)
     distinct_count = len(unique)
     domain = None
+    domain_counts = None
     if distinct_count <= ENUMERABLE_DISTINCT_LIMIT:
         if column.dtype is DataType.INT64:
             domain = [int(v) for v in unique]
@@ -135,6 +145,7 @@ def compute_column_stats(name: str, column: Column) -> ColumnStats:
             domain = [bool(v) for v in unique]
         else:
             domain = [float(v) for v in unique]
+        domain_counts = [int(c) for c in unique_counts]
 
     mean = None
     std = None
@@ -160,6 +171,7 @@ def compute_column_stats(name: str, column: Column) -> ColumnStats:
         mean=mean,
         std=std,
         domain=domain,
+        domain_counts=domain_counts,
     )
 
 

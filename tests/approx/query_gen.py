@@ -1,0 +1,183 @@
+"""Seeded random query generator for the differential test harness.
+
+Generates single-table SELECT statements over the harness's synthetic
+datasets, crossing aggregate functions × GROUP BY × WHERE range predicates —
+exactly the query shapes the grouped and range routes serve.  Generation is
+fully driven by a :class:`numpy.random.Generator`, so a fixed seed yields a
+reproducible query workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Aggregates the model-backed routes weight correctly.
+AGGREGATE_FUNCTIONS = ("avg", "sum", "min", "max", "count")
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One randomized query plus the metadata the harness asserts on."""
+
+    sql: str
+    #: "grouped" (GROUP BY present) or "range" (global aggregate over ranges).
+    shape: str
+    #: Output column name per aggregate in the SELECT list.
+    aggregate_names: tuple[str, ...]
+    #: The aggregate functions, aligned with ``aggregate_names``.
+    functions: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """What the generator needs to know about a harness table."""
+
+    name: str
+    group_column: str | None
+    input_column: str
+    output_column: str
+    group_values: tuple[int, ...]
+    #: Discrete input domain (empty for continuous inputs).
+    input_domain: tuple[float, ...]
+    input_low: float
+    input_high: float
+    #: Continuous inputs only admit interval predicates (equality on a
+    #: continuous value matches no rows and the routes know it cannot).
+    continuous_input: bool = False
+
+
+def generate_queries(
+    rng: np.random.Generator,
+    profile: TableProfile,
+    count: int,
+    shapes: Sequence[str] = ("grouped", "range"),
+    functions: Sequence[str] = AGGREGATE_FUNCTIONS,
+) -> list[GeneratedQuery]:
+    """Generate ``count`` randomized queries over the profiled table."""
+    queries = []
+    for _ in range(count):
+        shape = shapes[int(rng.integers(len(shapes)))]
+        if shape == "grouped" and profile.group_column is not None:
+            queries.append(_grouped_query(rng, profile, functions))
+        else:
+            queries.append(_range_query(rng, profile, functions))
+    return queries
+
+
+# ---------------------------------------------------------------------------
+# Shapes
+# ---------------------------------------------------------------------------
+
+
+def _grouped_query(
+    rng: np.random.Generator, profile: TableProfile, functions: Sequence[str]
+) -> GeneratedQuery:
+    chosen = _choose_functions(rng, functions)
+    names = tuple(f"a{i}" for i in range(len(chosen)))
+    select = ", ".join(
+        [profile.group_column]
+        + [
+            f"{fn}({profile.output_column}) AS {name}"
+            for fn, name in zip(chosen, names)
+        ]
+    )
+    predicates = []
+    input_pred = _input_predicate(rng, profile, allow_discrete=not profile.continuous_input)
+    if input_pred:
+        predicates.append(input_pred)
+    group_pred = _group_predicate(rng, profile)
+    if group_pred:
+        predicates.append(group_pred)
+    where = f" WHERE {' AND '.join(predicates)}" if predicates else ""
+    sql = (
+        f"SELECT {select} FROM {profile.name}{where} "
+        f"GROUP BY {profile.group_column} ORDER BY {profile.group_column}"
+    )
+    return GeneratedQuery(sql=sql, shape="grouped", aggregate_names=names, functions=chosen)
+
+
+def _range_query(
+    rng: np.random.Generator, profile: TableProfile, functions: Sequence[str]
+) -> GeneratedQuery:
+    chosen = _choose_functions(rng, functions)
+    names = tuple(f"a{i}" for i in range(len(chosen)))
+    select = ", ".join(
+        f"{fn}({profile.output_column}) AS {name}" for fn, name in zip(chosen, names)
+    )
+    # The range route only engages with a genuine interval predicate.
+    predicates = [_interval_predicate(rng, profile)]
+    if profile.group_column is not None and rng.random() < 0.4:
+        group_pred = _group_predicate(rng, profile)
+        if group_pred:
+            predicates.append(group_pred)
+    sql = f"SELECT {select} FROM {profile.name} WHERE {' AND '.join(predicates)}"
+    return GeneratedQuery(sql=sql, shape="range", aggregate_names=names, functions=chosen)
+
+
+# ---------------------------------------------------------------------------
+# Predicate pieces
+# ---------------------------------------------------------------------------
+
+
+def _choose_functions(
+    rng: np.random.Generator, functions: Sequence[str]
+) -> tuple[str, ...]:
+    how_many = 1 + int(rng.random() < 0.35)
+    picks = rng.choice(len(functions), size=how_many, replace=False)
+    return tuple(functions[int(i)] for i in picks)
+
+
+def _interval_predicate(rng: np.random.Generator, profile: TableProfile) -> str:
+    column = profile.input_column
+    low, high = profile.input_low, profile.input_high
+    span = high - low
+    kind = rng.random()
+    a = low + rng.random() * span
+    b = low + rng.random() * span
+    a, b = min(a, b), max(a, b)
+    if kind < 0.5:
+        return f"{column} BETWEEN {a:.4f} AND {b:.4f}"
+    if kind < 0.7:
+        return f"{column} <= {b:.4f}"
+    if kind < 0.9:
+        return f"{column} >= {a:.4f}"
+    # Occasionally an empty or out-of-domain range (both engines must agree).
+    return f"{column} > {high + 1.0:.4f}"
+
+
+def _input_predicate(
+    rng: np.random.Generator, profile: TableProfile, allow_discrete: bool
+) -> str | None:
+    roll = rng.random()
+    if roll < 0.35:
+        return None
+    if roll < 0.75 or not allow_discrete or not profile.input_domain:
+        return _interval_predicate(rng, profile)
+    domain = profile.input_domain
+    if roll < 0.9:
+        size = int(rng.integers(1, min(len(domain), 4) + 1))
+        picks = rng.choice(len(domain), size=size, replace=False)
+        values = ", ".join(f"{domain[int(i)]:g}" for i in sorted(picks))
+        return f"{profile.input_column} IN ({values})"
+    value = domain[int(rng.integers(len(domain)))]
+    return f"{profile.input_column} = {value:g}"
+
+
+def _group_predicate(rng: np.random.Generator, profile: TableProfile) -> str | None:
+    roll = rng.random()
+    values = profile.group_values
+    if roll < 0.4 or not values:
+        return None
+    if roll < 0.7:
+        size = int(rng.integers(1, min(len(values), 5) + 1))
+        picks = rng.choice(len(values), size=size, replace=False)
+        chosen = ", ".join(str(values[int(i)]) for i in sorted(picks))
+        return f"{profile.group_column} IN ({chosen})"
+    if roll < 0.85:
+        return f"{profile.group_column} = {values[int(rng.integers(len(values)))]}"
+    low = int(rng.integers(min(values), max(values) + 1))
+    high = int(rng.integers(low, max(values) + 1))
+    return f"{profile.group_column} BETWEEN {low} AND {high}"

@@ -72,10 +72,19 @@ class TestAccuracy:
             "SELECT source, avg(intensity) AS mean_intensity FROM measurements "
             "WHERE source IN (1, 2, 3, 4, 5) GROUP BY source ORDER BY source"
         )
-        assert comparison["approximate"].route == "virtual-table"
+        # Since the grouped route landed, GROUP BY aggregates are evaluated
+        # per group instead of via virtual-table enumeration.
+        assert comparison["approximate"].route == "grouped-model"
+        assert comparison["route"] == "grouped-model"
         assert comparison["max_relative_error"] < 0.10
         assert comparison["approx_pages_read"] == 0
         assert comparison["exact_pages_read"] > 0
+        # Every served group carries its own error estimate and provenance.
+        approx = comparison["approximate"]
+        assert set(approx.group_routes) == {(s,) for s in (1, 2, 3, 4, 5)}
+        for source in (1, 2, 3, 4, 5):
+            estimate = approx.group_error_estimate(source, "mean_intensity")
+            assert estimate is not None and estimate.standard_error > 0
 
     def test_global_average_close(self, lofar_db):
         comparison = lofar_db.compare_sql(

@@ -1,0 +1,150 @@
+"""Parser edge cases the grouped/range routes depend on.
+
+The new answer routes analyse HAVING, BETWEEN/IN/IS NULL predicates and
+qualified group keys straight off the AST; these tests lock down that
+surface (plus negative tests for syntax outside the subset) so a parser
+change cannot silently re-route queries."""
+
+import pytest
+
+from repro.db.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.db.sql.ast import SelectStatement, Star
+from repro.db.sql.parser import parse
+from repro.errors import SQLSyntaxError, UnsupportedSQLError
+
+
+class TestHavingWithAggregates:
+    def test_having_aggregate_comparison(self):
+        statement = parse(
+            "SELECT g, avg(y) AS m FROM t GROUP BY g HAVING avg(y) > 2.5"
+        )
+        assert isinstance(statement, SelectStatement)
+        having = statement.having
+        assert isinstance(having, BinaryOp) and having.op == ">"
+        assert isinstance(having.left, FunctionCall)
+        assert having.left.name.lower() == "avg"
+        assert having.right == Literal(2.5)
+
+    def test_having_count_star(self):
+        statement = parse("SELECT g FROM t GROUP BY g HAVING count(*) >= 3")
+        assert isinstance(statement.having.left, FunctionCall)
+        assert statement.having.left.args == ()
+
+    def test_having_boolean_combination(self):
+        statement = parse(
+            "SELECT g FROM t GROUP BY g HAVING avg(y) > 1 AND max(y) < 10"
+        )
+        assert isinstance(statement.having, BinaryOp)
+        assert statement.having.op == "and"
+
+    def test_having_without_group_by_parses(self):
+        statement = parse("SELECT count(*) FROM t HAVING count(*) > 0")
+        assert statement.group_by == []
+        assert statement.having is not None
+
+
+class TestPredicatesInsideGroupByQueries:
+    def test_between_in_where_of_grouped_query(self):
+        statement = parse(
+            "SELECT g, sum(y) FROM t WHERE x BETWEEN 1 AND 3 GROUP BY g"
+        )
+        where = statement.where
+        assert isinstance(where, Between)
+        assert where.operand == ColumnRef("x")
+        assert (where.low, where.high) == (Literal(1), Literal(3))
+        assert statement.group_by == [ColumnRef("g")]
+
+    def test_between_binds_tighter_than_and(self):
+        statement = parse(
+            "SELECT g, sum(y) FROM t WHERE x BETWEEN 1 AND 3 AND g = 2 GROUP BY g"
+        )
+        where = statement.where
+        assert isinstance(where, BinaryOp) and where.op == "and"
+        assert isinstance(where.left, Between)
+        assert isinstance(where.right, BinaryOp) and where.right.op == "="
+
+    def test_in_list_and_not_in(self):
+        statement = parse("SELECT g, avg(y) FROM t WHERE g IN (1, 2, 3) GROUP BY g")
+        assert isinstance(statement.where, InList)
+        assert [v.value for v in statement.where.values] == [1, 2, 3]
+
+        negated = parse("SELECT g, avg(y) FROM t WHERE g NOT IN (1, 2) GROUP BY g")
+        assert isinstance(negated.where, UnaryOp) and negated.where.op == "not"
+        assert isinstance(negated.where.operand, InList)
+
+    def test_is_null_and_is_not_null(self):
+        statement = parse("SELECT g, count(y) FROM t WHERE y IS NULL GROUP BY g")
+        assert statement.where == IsNull(ColumnRef("y"), negated=False)
+        statement = parse("SELECT g, count(y) FROM t WHERE y IS NOT NULL GROUP BY g")
+        assert statement.where == IsNull(ColumnRef("y"), negated=True)
+
+    def test_multiple_group_keys(self):
+        statement = parse("SELECT a, b, sum(y) FROM t GROUP BY a, b")
+        assert statement.group_by == [ColumnRef("a"), ColumnRef("b")]
+
+
+class TestQualifiedGroupKeys:
+    def test_qualified_group_by_column(self):
+        statement = parse(
+            "SELECT t.g, avg(t.y) FROM t GROUP BY t.g ORDER BY t.g"
+        )
+        assert statement.group_by == [ColumnRef("t.g")]
+        assert statement.items[0].expression == ColumnRef("t.g")
+        aggregate = statement.items[1].expression
+        assert isinstance(aggregate, FunctionCall)
+        assert aggregate.args == (ColumnRef("t.y"),)
+        assert statement.order_by[0].expression == ColumnRef("t.g")
+
+    def test_aliased_table_qualified_keys(self):
+        statement = parse("SELECT m.g, sum(m.y) FROM t m GROUP BY m.g")
+        assert statement.table.alias == "m"
+        assert statement.group_by == [ColumnRef("m.g")]
+
+    def test_qualified_star(self):
+        statement = parse("SELECT t.* FROM t")
+        assert isinstance(statement.items[0].expression, Star)
+        assert statement.items[0].expression.qualifier == "t"
+
+
+class TestNegativeSyntax:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT g FROM t GROUP g",  # missing BY
+            "SELECT g FROM t WHERE x BETWEEN 1 3",  # missing AND
+            "SELECT g FROM t WHERE g IN (1, 2",  # unterminated list
+            "SELECT FROM t",  # empty select list
+            "SELECT g FROM t ORDER BY",  # missing order key
+            "SELECT g FROM t LIMIT abc",  # non-integer limit
+            "SELECT g, FROM t",  # dangling comma
+        ],
+    )
+    def test_syntax_errors(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse(sql)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT g FROM t LEFT JOIN u ON t.g = u.g",  # only inner joins
+            "SELECT g FROM t JOIN u ON t.g < u.g",  # non-equality join
+            "DELETE FROM t",  # unsupported statement
+            "UPDATE t SET g = 1",  # unsupported statement
+        ],
+    )
+    def test_unsupported_features(self, sql):
+        with pytest.raises(UnsupportedSQLError):
+            parse(sql)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT g FROM t extra, tokens")

@@ -1,0 +1,92 @@
+"""Compare a fresh bench_hotpaths run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_hotpath_regression.py BENCH_hotpaths.json BENCH_hotpaths.current.json
+
+Exits non-zero when any hot path regressed more than
+``HOTPATH_REGRESSION_FACTOR`` (default 2.0) against the committed baseline.
+
+The gated metric is ``speedup_vs_seed`` — each hot path's throughput
+relative to the seed's row-at-a-time implementation *measured in the same
+run on the same machine* — so the check is immune to CI runners being
+slower or noisier than the machine that produced the committed numbers,
+while still catching real regressions (a vectorized path silently falling
+back to python-loop speed collapses its speedup).  Absolute rows/sec are
+printed for trend visibility; set ``HOTPATH_STRICT_ABSOLUTE=1`` to also
+gate on them (useful on dedicated, comparable hardware).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+RATE_KEYS = ("rows_per_second", "queries_per_second")
+
+
+def _rate(entry: dict) -> float:
+    for key in RATE_KEYS:
+        if key in entry:
+            return float(entry[key])
+    raise KeyError(f"hot-path entry has none of {RATE_KEYS}: {sorted(entry)}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    baseline_path, current_path = Path(argv[1]), Path(argv[2])
+    factor = float(os.environ.get("HOTPATH_REGRESSION_FACTOR", "2.0"))
+    strict_absolute = os.environ.get("HOTPATH_STRICT_ABSOLUTE", "") == "1"
+
+    baseline = json.loads(baseline_path.read_text())["hot_paths"]
+    current = json.loads(current_path.read_text())["hot_paths"]
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"FAIL: hot paths missing from current run: {missing}")
+        return 1
+
+    failures = []
+    header = f"{'hot path':<16} {'base speedup':>13} {'cur speedup':>12} {'base rate/s':>14} {'cur rate/s':>14}"
+    print(header)
+    for name, base_entry in sorted(baseline.items()):
+        base_speedup = float(base_entry["speedup_vs_seed"])
+        cur_speedup = float(current[name]["speedup_vs_seed"])
+        base_rate = _rate(base_entry)
+        cur_rate = _rate(current[name])
+        print(
+            f"{name:<16} {base_speedup:>12.1f}x {cur_speedup:>11.1f}x "
+            f"{base_rate:>14,.0f} {cur_rate:>14,.0f}"
+        )
+        if cur_speedup * factor < base_speedup:
+            failures.append(
+                f"{name}: speedup-vs-seed fell from {base_speedup:.1f}x to "
+                f"{cur_speedup:.1f}x (> {factor:g}x regression)"
+            )
+        if strict_absolute and cur_rate * factor < base_rate:
+            failures.append(
+                f"{name}: {cur_rate:,.0f}/s is >{factor:g}x below baseline {base_rate:,.0f}/s"
+            )
+
+    ingest = current.get("ingest", {})
+    scaling = float(ingest.get("scaling_time_ratio_2x_rows", 0.0))
+    if scaling > 3.0:
+        failures.append(
+            f"ingest scaling: doubling rows took {scaling:.2f}x time (O(n) bound is ~2x, limit 3x)"
+        )
+
+    if failures:
+        print("\nFAIL: hot-path regression detected")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no hot path regressed beyond the allowed factor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

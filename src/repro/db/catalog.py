@@ -24,6 +24,17 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
         self._stats_dirty: set[str] = set()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing counter, bumped on every DDL or data change.
+
+        Consumers (the SQL plan cache, harvest schedulers) compare a stored
+        version against the current one to detect that anything in the
+        catalog — schemas or table contents — may have changed.
+        """
+        return self._version
 
     # -- registration ----------------------------------------------------------
 
@@ -34,6 +45,7 @@ class Catalog:
         table = Table.empty(name, schema)
         self._tables[name] = table
         self._stats_dirty.add(name)
+        self._version += 1
         return table
 
     def register_table(self, table: Table, replace: bool = False) -> Table:
@@ -42,6 +54,7 @@ class Catalog:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
         self._stats_dirty.add(table.name)
+        self._version += 1
         return table
 
     def drop_table(self, name: str) -> None:
@@ -50,6 +63,7 @@ class Catalog:
         del self._tables[name]
         self._stats.pop(name, None)
         self._stats_dirty.discard(name)
+        self._version += 1
 
     def replace_table(self, table: Table) -> None:
         """Replace the stored table (e.g. after appends return a new object)."""
@@ -57,6 +71,7 @@ class Catalog:
             raise CatalogError(f"cannot replace unknown table {table.name!r}")
         self._tables[table.name] = table
         self._stats_dirty.add(table.name)
+        self._version += 1
 
     # -- lookup -------------------------------------------------------------------
 
@@ -88,6 +103,7 @@ class Catalog:
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         self._stats_dirty.add(name)
+        self._version += 1
 
     def stats(self, name: str) -> TableStats:
         """Return (and lazily recompute) statistics for ``name``."""

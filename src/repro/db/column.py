@@ -5,11 +5,20 @@ array together with a boolean validity mask (True = value present, False =
 SQL NULL).  All physical operators exchange data as columns, which keeps the
 hot paths vectorised and makes the byte accounting used by the compression
 experiments straightforward.
+
+Columns are immutable snapshots over a growable backing buffer.  Appends
+(:meth:`Column.concat`, :meth:`Column.append_value`) return a *new* column;
+when the receiver is the newest snapshot of its buffer the addition is
+written into spare capacity (amortised-doubling growth), otherwise the data
+is copied.  Committed prefixes are never overwritten, so older snapshots
+keep observing exactly the rows they had — while a streaming append chain
+(``StreamIngestor`` flushing batch after batch) costs O(rows) amortised
+instead of re-concatenating every column on every batch.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
@@ -17,6 +26,35 @@ from repro.db.types import DataType, is_null, null_value, python_value
 from repro.errors import TypeMismatchError
 
 __all__ = ["Column"]
+
+#: Exact python types the vectorised ``from_values`` fast path accepts per
+#: declared dtype.  Anything else (numpy scalars, bools in numeric columns,
+#: str subclasses, ...) falls back to the per-value coercion path, which
+#: enforces the full :meth:`DataType.coerce` contract.
+_FAST_VALUE_TYPES: dict[DataType, tuple[type, ...]] = {
+    DataType.INT64: (int,),
+    DataType.FLOAT64: (float, int),
+    DataType.STRING: (str,),
+    DataType.BOOL: (bool,),
+}
+
+_MIN_CAPACITY = 8
+
+
+class _Buffer:
+    """Growable backing store shared by a chain of column snapshots.
+
+    ``tip`` is the committed length: only the column whose length equals the
+    tip may extend the buffer in place, so positions below any snapshot's
+    length are never rewritten.
+    """
+
+    __slots__ = ("data", "valid", "tip")
+
+    def __init__(self, data: np.ndarray, valid: np.ndarray, tip: int) -> None:
+        self.data = data
+        self.valid = valid
+        self.tip = tip
 
 
 class Column:
@@ -32,26 +70,81 @@ class Column:
         Boolean array of the same length; False marks NULL positions.
     """
 
-    __slots__ = ("dtype", "values", "validity")
+    __slots__ = ("dtype", "_buffer", "_length")
 
     def __init__(self, dtype: DataType, values: np.ndarray, validity: np.ndarray | None = None) -> None:
         self.dtype = dtype
-        self.values = np.asarray(values, dtype=dtype.numpy_dtype)
+        values = np.asarray(values, dtype=dtype.numpy_dtype)
         if validity is None:
-            validity = np.ones(len(self.values), dtype=bool)
-        self.validity = np.asarray(validity, dtype=bool)
-        if len(self.validity) != len(self.values):
+            validity = np.ones(len(values), dtype=bool)
+        else:
+            validity = np.asarray(validity, dtype=bool)
+        if len(validity) != len(values):
             raise TypeMismatchError(
-                f"validity mask length {len(self.validity)} != values length {len(self.values)}"
+                f"validity mask length {len(validity)} != values length {len(values)}"
             )
+        self._buffer = _Buffer(values, validity, len(values))
+        self._length = len(values)
+
+    @classmethod
+    def _share(cls, dtype: DataType, buffer: _Buffer, length: int) -> "Column":
+        """Construct a snapshot over an existing buffer without copying."""
+        column = object.__new__(cls)
+        column.dtype = dtype
+        column._buffer = buffer
+        column._length = length
+        return column
+
+    # -- packed storage ------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The packed value array (a view of the backing buffer)."""
+        buffer = self._buffer
+        if self._length == len(buffer.data):
+            return buffer.data
+        return buffer.data[: self._length]
+
+    @property
+    def validity(self) -> np.ndarray:
+        """Boolean mask, False at NULL positions (a view of the buffer)."""
+        buffer = self._buffer
+        if self._length == len(buffer.valid):
+            return buffer.valid
+        return buffer.valid[: self._length]
 
     # -- constructors -------------------------------------------------------
 
     @classmethod
     def from_values(cls, dtype: DataType, values: Sequence[Any]) -> "Column":
         """Build a column from plain python values (``None`` becomes NULL)."""
+        if not isinstance(values, (list, tuple)):
+            values = list(values)
+        n = len(values)
+        if n == 0:
+            return cls.empty(dtype)
+
+        # Fast path: one cheap type scan, then a single vectorised conversion
+        # (plus a sentinel fill when NULLs are present).  The scan admits only
+        # exact types for which ``dtype.coerce`` is the identity, so the fast
+        # and slow paths produce identical columns.
+        allowed = _FAST_VALUE_TYPES[dtype]
+        has_none = False
+        fast = True
+        for value in values:
+            if value is None:
+                has_none = True
+            elif type(value) not in allowed:
+                fast = False
+                break
+        if fast:
+            try:
+                return cls._from_values_fast(dtype, values, n, has_none)
+            except (TypeError, ValueError, OverflowError):
+                pass  # e.g. int overflowing int64 — re-diagnose per value.
+
         packed = []
-        validity = np.ones(len(values), dtype=bool)
+        validity = np.ones(n, dtype=bool)
         sentinel = null_value(dtype)
         for i, value in enumerate(values):
             if value is None:
@@ -59,7 +152,28 @@ class Column:
                 validity[i] = False
             else:
                 packed.append(dtype.coerce(value))
-        array = np.array(packed, dtype=dtype.numpy_dtype) if packed else np.empty(0, dtype=dtype.numpy_dtype)
+        array = np.array(packed, dtype=dtype.numpy_dtype)
+        return cls(dtype, array, validity)
+
+    @classmethod
+    def _from_values_fast(
+        cls, dtype: DataType, values: Sequence[Any], n: int, has_none: bool
+    ) -> "Column":
+        npdtype = dtype.numpy_dtype
+        if not has_none:
+            if dtype is DataType.STRING:
+                array = np.empty(n, dtype=object)
+                array[:] = values
+            else:
+                array = np.asarray(values, dtype=npdtype)
+            return cls(dtype, array, np.ones(n, dtype=bool))
+        validity = np.fromiter((v is not None for v in values), dtype=bool, count=n)
+        boxed = np.empty(n, dtype=object)
+        boxed[:] = values
+        if dtype is DataType.STRING:
+            return cls(dtype, boxed, validity)  # sentinel for STRING is None
+        array = np.full(n, null_value(dtype), dtype=npdtype)
+        array[validity] = boxed[validity].astype(npdtype)
         return cls(dtype, array, validity)
 
     @classmethod
@@ -85,14 +199,17 @@ class Column:
     # -- basic protocol ------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.values)
+        return self._length
 
     def __iter__(self) -> Iterator[Any]:
-        for i in range(len(self)):
-            yield self[i]
+        return iter(self.to_pylist())
 
     def __getitem__(self, index: int) -> Any:
-        return python_value(self.dtype, self.values[index], bool(self.validity[index]))
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"column index {index} out of range for length {self._length}")
+        return python_value(self.dtype, self._buffer.data[index], bool(self._buffer.valid[index]))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Column):
@@ -108,7 +225,16 @@ class Column:
 
     def to_pylist(self) -> list[Any]:
         """Return the column as a list of python values (None for NULL)."""
-        return [self[i] for i in range(len(self))]
+        values = self.values
+        nulls = self.null_mask()
+        if self.dtype is DataType.STRING:
+            result = list(values)
+        else:
+            result = values.tolist()
+        if nulls.any():
+            for i in np.flatnonzero(nulls):
+                result[i] = None
+        return result
 
     def to_numpy(self) -> np.ndarray:
         """Return the packed value array.
@@ -132,6 +258,27 @@ class Column:
     def has_nulls(self) -> bool:
         return bool((~self.validity).any())
 
+    def null_mask(self) -> np.ndarray:
+        """Boolean mask of NULL positions, including in-array sentinels.
+
+        The validity bitmap is the authoritative NULL record, but a NaN (or
+        the INT64 sentinel) written through :meth:`from_numpy`-style paths
+        also reads back as NULL; this mask unifies both, vectorised.
+        """
+        invalid = ~self.validity
+        values = self.values
+        if self.dtype is DataType.FLOAT64:
+            return invalid | np.isnan(values)
+        if self.dtype is DataType.INT64:
+            return invalid | (values == null_value(DataType.INT64))
+        if self.dtype is DataType.STRING:
+            if len(values):
+                invalid = invalid | np.fromiter(
+                    (v is None for v in values), dtype=bool, count=len(values)
+                )
+            return invalid
+        return invalid
+
     # -- derivation ----------------------------------------------------------
 
     def take(self, indices: np.ndarray) -> "Column":
@@ -152,21 +299,45 @@ class Column:
             raise TypeMismatchError(
                 f"cannot concatenate {self.dtype.value} column with {other.dtype.value} column"
             )
-        return Column(
-            self.dtype,
-            np.concatenate([self.values, other.values]),
-            np.concatenate([self.validity, other.validity]),
-        )
+        n = len(other)
+        if n == 0:
+            return Column._share(self.dtype, self._buffer, self._length)
+        buffer = self._buffer
+        total = self._length + n
+        if self._length == buffer.tip and total <= len(buffer.data):
+            # This column is the newest snapshot and the buffer has spare
+            # capacity: commit the addition in place.
+            buffer.data[self._length : total] = other.values
+            buffer.valid[self._length : total] = other.validity
+            buffer.tip = total
+            return Column._share(self.dtype, buffer, total)
+        # Reallocate with doubling headroom so a chain of appends stays
+        # O(n) amortised even though each append returns a fresh snapshot.
+        capacity = max(_MIN_CAPACITY, total, 2 * self._length)
+        data = np.empty(capacity, dtype=self.dtype.numpy_dtype)
+        valid = np.zeros(capacity, dtype=bool)
+        data[: self._length] = self.values
+        valid[: self._length] = self.validity
+        data[self._length : total] = other.values
+        valid[self._length : total] = other.validity
+        new_buffer = _Buffer(data, valid, total)
+        return Column._share(self.dtype, new_buffer, total)
 
     def append_value(self, value: Any) -> "Column":
         """Return a new column with ``value`` appended (None for NULL)."""
         if value is None:
-            new_values = np.append(self.values, null_value(self.dtype))
-            new_validity = np.append(self.validity, False)
+            addition = Column(
+                self.dtype,
+                np.array([null_value(self.dtype)], dtype=self.dtype.numpy_dtype),
+                np.zeros(1, dtype=bool),
+            )
         else:
-            new_values = np.append(self.values, self.dtype.coerce(value))
-            new_validity = np.append(self.validity, True)
-        return Column(self.dtype, new_values.astype(self.dtype.numpy_dtype), new_validity)
+            addition = Column(
+                self.dtype,
+                np.array([self.dtype.coerce(value)], dtype=self.dtype.numpy_dtype),
+                np.ones(1, dtype=bool),
+            )
+        return self.concat(addition)
 
     # -- storage accounting --------------------------------------------------
 

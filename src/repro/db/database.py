@@ -93,6 +93,14 @@ class Database:
         """Return the physical plan text for a SELECT statement."""
         return self._executor.explain(query)
 
+    def plan_cache_info(self) -> dict[str, int]:
+        """Hit/miss/invalidation counters of the SQL plan cache."""
+        return self._executor.plan_cache_info()
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached SQL parses and plans."""
+        self._executor.clear_plan_cache()
+
     # -- accounting -------------------------------------------------------------------
 
     def reset_io(self) -> None:

@@ -24,6 +24,10 @@ class Filter(Operator):
         if table.num_rows == 0:
             return table
         mask = truthy_mask(self.predicate.evaluate(table))
+        if mask.all():
+            # Nothing filtered out: pass the input through without copying
+            # every column (tables are logically immutable, so sharing is safe).
+            return table
         return table.filter(mask)
 
     def describe(self) -> str:

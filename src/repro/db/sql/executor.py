@@ -1,16 +1,27 @@
-"""SQL statement executor: ties the parser, planner and operators together."""
+"""SQL statement executor: ties the parser, planner and operators together.
+
+The executor keeps an LRU parse+plan cache keyed on the raw SQL text.  The
+approximate engine re-runs the same fallback and differential queries over
+and over; re-lexing, re-parsing and re-planning each time dominates the cost
+of small queries.  Cached plans are validated against the catalog's version
+counter — any DDL or data change (appends mark the table dirty, which bumps
+the version) invalidates every cached plan, so a cached plan can never serve
+a stale schema.  Plans are stateless operator trees: re-executing one always
+reads the current table contents.
+"""
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.db.catalog import Catalog
 from repro.db.io_model import IOModel
 from repro.db.schema import ColumnDef, Schema
-from repro.db.sql.ast import CreateTableStatement, InsertStatement, SelectStatement
+from repro.db.sql.ast import CreateTableStatement, InsertStatement, SelectStatement, Statement
 from repro.db.sql.parser import parse
-from repro.db.sql.planner import plan_select
+from repro.db.sql.planner import PlannedQuery, plan_select
 from repro.db.table import Table
 from repro.errors import SQLPlanningError, UnsupportedSQLError
 
@@ -42,13 +53,33 @@ class QueryResult:
 class SQLExecutor:
     """Execute SQL statements against a catalog, charging the IO model."""
 
-    def __init__(self, catalog: Catalog, io_model: IOModel | None = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        io_model: IOModel | None = None,
+        plan_cache_size: int = 128,
+    ) -> None:
         self.catalog = catalog
         self.io_model = io_model or IOModel()
+        self.plan_cache_size = plan_cache_size
+        self._parse_cache: OrderedDict[str, Statement] = OrderedDict()
+        #: sql text -> (catalog version, plan, rendered plan text)
+        self._plan_cache: OrderedDict[str, tuple[int, PlannedQuery, str]] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_invalidations = 0
 
     def execute(self, sql: str) -> QueryResult:
         """Parse and execute one SQL statement."""
-        statement = parse(sql)
+        # A still-valid cached plan skips lexing and parsing entirely (the
+        # parse LRU may have evicted this statement's AST while its plan —
+        # SELECTs only — survived).
+        entry = self._plan_cache.get(sql)
+        if entry is not None and entry[0] == self.catalog.version:
+            self._cache_hits += 1
+            self._plan_cache.move_to_end(sql)
+            return self._execute_planned(entry[1], entry[2])
+        statement = self._parse(sql)
         started = perf_counter()
         io_before = self.io_model.snapshot()
 
@@ -61,8 +92,7 @@ class SQLExecutor:
             kind = "insert"
             plan_text = f"Insert({statement.name}, rows={len(statement.rows)})"
         elif isinstance(statement, SelectStatement):
-            planned = plan_select(statement, self.catalog, self.io_model)
-            plan_text = planned.root.explain()
+            planned, plan_text = self._plan(sql, statement)
             table = planned.root.execute()
             kind = "select"
         else:  # pragma: no cover - parser only produces the three kinds above
@@ -73,13 +103,81 @@ class SQLExecutor:
         io_delta = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
         return QueryResult(table=table, statement_type=kind, elapsed_seconds=elapsed, io=io_delta, plan_text=plan_text)
 
+    def _execute_planned(self, planned: PlannedQuery, plan_text: str) -> QueryResult:
+        """Execute an already-planned SELECT (the plan-cache hit path)."""
+        started = perf_counter()
+        io_before = self.io_model.snapshot()
+        table = planned.root.execute()
+        elapsed = perf_counter() - started
+        io_after = self.io_model.snapshot()
+        io_delta = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
+        return QueryResult(
+            table=table,
+            statement_type="select",
+            elapsed_seconds=elapsed,
+            io=io_delta,
+            plan_text=plan_text,
+        )
+
     def explain(self, sql: str) -> str:
         """Return the physical plan for a SELECT without executing it."""
-        statement = parse(sql)
+        statement = self._parse(sql)
         if not isinstance(statement, SelectStatement):
             raise UnsupportedSQLError("EXPLAIN is only supported for SELECT statements")
+        return self._plan(sql, statement)[1]
+
+    # -- parse / plan caching -------------------------------------------------
+
+    def _parse(self, sql: str) -> Statement:
+        """Parse ``sql``, reusing the cached AST for repeated statement text.
+
+        Parsing is pure (the AST is immutable and never depends on catalog
+        state), so the parse cache needs no invalidation — only LRU eviction.
+        """
+        cached = self._parse_cache.get(sql)
+        if cached is not None:
+            self._parse_cache.move_to_end(sql)
+            return cached
+        statement = parse(sql)
+        self._parse_cache[sql] = statement
+        while len(self._parse_cache) > self.plan_cache_size:
+            self._parse_cache.popitem(last=False)
+        return statement
+
+    def _plan(self, sql: str, statement: SelectStatement) -> tuple[PlannedQuery, str]:
+        """Plan a SELECT, reusing a cached plan while the catalog is unchanged."""
+        version = self.catalog.version
+        entry = self._plan_cache.get(sql)
+        if entry is not None:
+            cached_version, planned, plan_text = entry
+            if cached_version == version:
+                self._cache_hits += 1
+                self._plan_cache.move_to_end(sql)
+                return planned, plan_text
+            self._cache_invalidations += 1
+            del self._plan_cache[sql]
+        self._cache_misses += 1
         planned = plan_select(statement, self.catalog, self.io_model)
-        return planned.root.explain()
+        plan_text = planned.root.explain()
+        self._plan_cache[sql] = (version, planned, plan_text)
+        while len(self._plan_cache) > self.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+        return planned, plan_text
+
+    def plan_cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and current occupancy of the plan cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "invalidations": self._cache_invalidations,
+            "size": len(self._plan_cache),
+            "capacity": self.plan_cache_size,
+        }
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached parse and plan (counters are kept)."""
+        self._parse_cache.clear()
+        self._plan_cache.clear()
 
     # -- DDL / DML ------------------------------------------------------------
 

@@ -452,7 +452,13 @@ class _PlanBuilder:
 
 
 class _Distinct(Operator):
-    """Remove duplicate output rows (used for SELECT DISTINCT)."""
+    """Remove duplicate output rows (used for SELECT DISTINCT).
+
+    Vectorised: every output column is factorised into dense codes (the same
+    NULL-aware machinery grouped aggregation uses) and the first occurrence
+    of each distinct composite code is kept, in input order — identical to
+    the old set-of-row-tuples loop.
+    """
 
     def __init__(self, child: Operator) -> None:
         self.child = child
@@ -464,13 +470,13 @@ class _Distinct(Operator):
         return "Distinct"
 
     def execute(self) -> Table:
-        import numpy as np
+        from repro.db.operators.codes import factorize_keys
 
         table = self.child.execute()
-        seen: set[tuple] = set()
-        keep: list[int] = []
-        for index, row in enumerate(table.iter_rows()):
-            if row not in seen:
-                seen.add(row)
-                keep.append(index)
-        return table.take(np.array(keep, dtype=np.int64))
+        if table.num_rows == 0:
+            return table
+        key_columns = [table.column(name) for name in table.schema.names]
+        _, first_rows, _ = factorize_keys(key_columns, table.num_rows)
+        # first_rows is ascending (groups are numbered by first occurrence),
+        # so taking it preserves the original row order of survivors.
+        return table.take(first_rows)

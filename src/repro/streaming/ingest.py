@@ -6,6 +6,10 @@ submitted rows per table and appends them in fixed-size batches, keeping
 per-table throughput statistics and notifying registered listeners with the
 exact row range each flushed batch occupies — the hook the online
 maintenance policy uses to score captured models on fresh data only.
+
+Appends are O(n) amortised end-to-end: base-table columns grow through
+amortised-doubling buffers (see :mod:`repro.db.column`), so flushing batch
+after batch no longer re-concatenates every column per flush.
 """
 
 from __future__ import annotations
@@ -215,6 +219,8 @@ class StreamIngestor:
                 raise StreamingError(f"columnar batch has ragged column lengths {sorted(lengths)}")
             n = lengths.pop() if lengths else 0
             columns = [present.get(name) for name in schema_names]
+            if all(column is not None for column in columns):
+                return list(zip(*columns))  # C-speed transpose, no NULL fill
             return [
                 tuple(column[i] if column is not None else None for column in columns)
                 for i in range(n)

@@ -1,0 +1,198 @@
+"""Join semantics locked in before the vectorized HashJoin rewrite.
+
+These tests pin the externally observable contract of the inner equi-join:
+NULL keys never match (on either side), many-to-many matches expand in
+left-row-major order with right matches in ascending right-row order, and
+key comparison follows python numeric equality (1 == 1.0, True == 1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.db.column import Column
+from repro.db.operators.join import HashJoin
+from repro.db.operators.scan import MaterializedInput
+from repro.db.schema import ColumnDef, Schema
+from repro.db.table import Table
+from repro.db.types import DataType
+
+
+def _table(name, spec):
+    """Build a table from {column: (dtype, values)} preserving order."""
+    schema = Schema(ColumnDef(n, dtype) for n, (dtype, _) in spec.items())
+    columns = {n: Column.from_values(dtype, values) for n, (dtype, values) in spec.items()}
+    return Table(name, schema, columns)
+
+
+def _join(left, right, left_keys, right_keys):
+    return HashJoin(
+        MaterializedInput(left), MaterializedInput(right), left_keys, right_keys
+    ).execute()
+
+
+class TestNullKeys:
+    def test_null_probe_keys_are_dropped(self):
+        left = _table(
+            "l",
+            {
+                "k": (DataType.INT64, [1, None, 2, None]),
+                "lv": (DataType.STRING, ["a", "b", "c", "d"]),
+            },
+        )
+        right = _table(
+            "r",
+            {"k2": (DataType.INT64, [1, 2]), "rv": (DataType.STRING, ["x", "y"])},
+        )
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.to_rows() == [(1, "a", 1, "x"), (2, "c", 2, "y")]
+
+    def test_null_build_keys_are_dropped(self):
+        left = _table(
+            "l", {"k": (DataType.INT64, [1, 2]), "lv": (DataType.INT64, [10, 20])}
+        )
+        right = _table(
+            "r",
+            {
+                "k2": (DataType.INT64, [None, 1, None, 2]),
+                "rv": (DataType.INT64, [0, 100, 0, 200]),
+            },
+        )
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.to_rows() == [(1, 10, 1, 100), (2, 20, 2, 200)]
+
+    def test_null_never_matches_null(self):
+        left = _table("l", {"k": (DataType.FLOAT64, [None, 1.0])})
+        right = _table("r", {"k2": (DataType.FLOAT64, [None, None])})
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.num_rows == 0
+
+    def test_multi_key_any_null_component_drops_the_row(self):
+        left = _table(
+            "l",
+            {
+                "a": (DataType.INT64, [1, 1, None]),
+                "b": (DataType.STRING, ["x", None, "x"]),
+            },
+        )
+        right = _table(
+            "r",
+            {
+                "a2": (DataType.INT64, [1, 1]),
+                "b2": (DataType.STRING, ["x", None]),
+            },
+        )
+        result = _join(left, right, ["a", "b"], ["a2", "b2"])
+        assert result.to_rows() == [(1, "x", 1, "x")]
+
+
+class TestDuplicateKeys:
+    def test_many_to_many_expansion_order(self):
+        """Output is left-row-major; right matches in ascending right-row order."""
+        left = _table(
+            "l",
+            {
+                "k": (DataType.INT64, [7, 5, 7]),
+                "lrow": (DataType.INT64, [0, 1, 2]),
+            },
+        )
+        right = _table(
+            "r",
+            {
+                "k2": (DataType.INT64, [5, 7, 5, 7]),
+                "rrow": (DataType.INT64, [0, 1, 2, 3]),
+            },
+        )
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.to_rows() == [
+            (7, 0, 7, 1),
+            (7, 0, 7, 3),
+            (5, 1, 5, 0),
+            (5, 1, 5, 2),
+            (7, 2, 7, 1),
+            (7, 2, 7, 3),
+        ]
+
+    def test_one_to_many_string_keys(self):
+        left = _table("l", {"k": (DataType.STRING, ["a", "b"])})
+        right = _table(
+            "r",
+            {
+                "k2": (DataType.STRING, ["b", "a", "b"]),
+                "rrow": (DataType.INT64, [0, 1, 2]),
+            },
+        )
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.to_rows() == [("a", "a", 1), ("b", "b", 0), ("b", "b", 2)]
+
+
+class TestKeyComparison:
+    def test_int_matches_equal_float(self):
+        left = _table("l", {"k": (DataType.INT64, [1, 2, 3])})
+        right = _table("r", {"k2": (DataType.FLOAT64, [2.0, 3.5])})
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.to_rows() == [(2, 2.0)]
+
+    def test_bool_matches_equal_int(self):
+        left = _table("l", {"k": (DataType.BOOL, [True, False])})
+        right = _table("r", {"k2": (DataType.INT64, [1, 5])})
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.to_rows() == [(True, 1)]
+
+    def test_large_int_keys_stay_exact_against_floats(self):
+        """2**53 + 1 != float(2**53): float64 promotion must not collapse them."""
+        left = _table("l", {"k": (DataType.INT64, [2**53, 2**53 + 1])})
+        right = _table("r", {"k2": (DataType.FLOAT64, [float(2**53)])})
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.to_rows() == [(2**53, float(2**53))]
+
+    def test_non_integral_floats_never_match_ints(self):
+        left = _table("l", {"k": (DataType.INT64, [1, 2])})
+        right = _table("r", {"k2": (DataType.FLOAT64, [1.5, float("inf"), 2.0])})
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.to_rows() == [(2, 2.0)]
+
+    def test_string_vs_int_keys_never_match(self):
+        left = _table("l", {"k": (DataType.STRING, ["1", "2"])})
+        right = _table("r", {"k2": (DataType.INT64, [1, 2])})
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.num_rows == 0
+
+
+class TestEdges:
+    def test_empty_probe_side(self):
+        left = _table("l", {"k": (DataType.INT64, [])})
+        right = _table("r", {"k2": (DataType.INT64, [1, 2])})
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.num_rows == 0
+        assert result.schema.names == ["k", "k2"]
+
+    def test_empty_build_side(self):
+        left = _table("l", {"k": (DataType.INT64, [1, 2])})
+        right = _table("r", {"k2": (DataType.INT64, [])})
+        result = _join(left, right, ["k"], ["k2"])
+        assert result.num_rows == 0
+
+    def test_colliding_names_prefixed_with_right_table(self):
+        left = _table("l", {"k": (DataType.INT64, [1]), "v": (DataType.INT64, [10])})
+        right = _table("r", {"k": (DataType.INT64, [1]), "v": (DataType.INT64, [20])})
+        result = _join(left, right, ["k"], ["k"])
+        assert result.schema.names == ["k", "v", "r.k", "r.v"]
+        assert result.to_rows() == [(1, 10, 1, 20)]
+
+    def test_output_dtypes_preserved(self):
+        left = _table(
+            "l",
+            {"k": (DataType.INT64, [1]), "s": (DataType.STRING, ["a"])},
+        )
+        right = _table(
+            "r",
+            {"k2": (DataType.INT64, [1]), "f": (DataType.FLOAT64, [0.5])},
+        )
+        result = _join(left, right, ["k"], ["k2"])
+        dtypes = {c.name: c.dtype for c in result.schema}
+        assert dtypes == {
+            "k": DataType.INT64,
+            "s": DataType.STRING,
+            "k2": DataType.INT64,
+            "f": DataType.FLOAT64,
+        }

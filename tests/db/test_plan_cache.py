@@ -1,0 +1,85 @@
+"""SQL plan cache: hits on repeated text, invalidation on catalog changes."""
+
+import pytest
+
+from repro.db.database import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.load_dict("m", {"g": [1, 1, 2], "v": [1.0, 2.0, 3.0]})
+    return database
+
+
+QUERY = "SELECT g, sum(v) AS s FROM m GROUP BY g ORDER BY g"
+
+
+class TestHits:
+    def test_repeated_query_hits_cache(self, db):
+        first = db.query(QUERY).to_rows()
+        info0 = db.plan_cache_info()
+        second = db.query(QUERY).to_rows()
+        info1 = db.plan_cache_info()
+        assert first == second == [(1, 3.0), (2, 3.0)]
+        assert info1["hits"] == info0["hits"] + 1
+        assert info1["misses"] == info0["misses"]
+
+    def test_different_text_misses(self, db):
+        db.query(QUERY)
+        misses = db.plan_cache_info()["misses"]
+        db.query("SELECT count(*) AS n FROM m")
+        assert db.plan_cache_info()["misses"] == misses + 1
+
+    def test_explain_shares_the_cache(self, db):
+        db.explain(QUERY)
+        hits = db.plan_cache_info()["hits"]
+        db.query(QUERY)
+        assert db.plan_cache_info()["hits"] == hits + 1
+
+
+class TestInvalidation:
+    def test_insert_invalidates_and_results_stay_fresh(self, db):
+        assert db.sql("SELECT count(*) AS n FROM m").scalar() == 3
+        db.sql("INSERT INTO m VALUES (2, 4.0)")
+        assert db.sql("SELECT count(*) AS n FROM m").scalar() == 4
+        assert db.plan_cache_info()["invalidations"] >= 1
+
+    def test_programmatic_append_invalidates(self, db):
+        assert db.sql(QUERY).rows() == [(1, 3.0), (2, 3.0)]
+        db.insert_rows("m", [(1, 10.0)])
+        assert db.sql(QUERY).rows() == [(1, 13.0), (2, 3.0)]
+
+    def test_cached_plan_rereads_current_data_without_any_change(self, db):
+        """A cache hit re-executes the plan; results are never memoised."""
+        rows0 = db.query(QUERY).to_rows()
+        rows1 = db.query(QUERY).to_rows()
+        assert rows0 == rows1
+        assert rows0 is not rows1
+
+    def test_drop_and_recreate_invalidates(self, db):
+        db.query(QUERY)
+        db.drop_table("m")
+        db.load_dict("m", {"g": [5], "v": [7.0]})
+        assert db.query(QUERY).to_rows() == [(5, 7.0)]
+
+    def test_catalog_version_bumps_on_changes(self, db):
+        version = db.catalog.version
+        db.insert_rows("m", [(3, 1.0)])
+        assert db.catalog.version > version
+
+
+class TestEviction:
+    def test_lru_eviction_bounds_the_cache(self):
+        database = Database()
+        database.load_dict("t", {"x": [1.0, 2.0]})
+        database._executor.plan_cache_size = 4
+        for i in range(10):
+            database.query(f"SELECT x FROM t WHERE x > {i}")
+        assert database.plan_cache_info()["size"] <= 4
+
+    def test_clear_plan_cache(self, db):
+        db.query(QUERY)
+        db.clear_plan_cache()
+        assert db.plan_cache_info()["size"] == 0
+        assert db.query(QUERY).to_rows() == [(1, 3.0), (2, 3.0)]

@@ -1,11 +1,20 @@
-"""Compare a fresh bench_hotpaths run against the committed baseline.
+"""Compare fresh benchmark runs against their committed baselines.
 
 Usage::
 
-    python benchmarks/check_hotpath_regression.py BENCH_hotpaths.json BENCH_hotpaths.current.json
+    python benchmarks/check_hotpath_regression.py BASELINE.json CURRENT.json [BASELINE2.json CURRENT2.json ...]
+
+e.g.::
+
+    python benchmarks/check_hotpath_regression.py \\
+        BENCH_hotpaths.json BENCH_hotpaths.current.json \\
+        BENCH_planner.json BENCH_planner.current.json
 
 Exits non-zero when any hot path regressed more than
-``HOTPATH_REGRESSION_FACTOR`` (default 2.0) against the committed baseline.
+``HOTPATH_REGRESSION_FACTOR`` (default 2.0) against the committed baseline,
+or when an entry carrying ``overhead_fraction`` (the unified planner's
+routing overhead relative to exact execution) exceeds
+``PLANNER_OVERHEAD_BUDGET`` (default 0.05).
 
 The gated metric is ``speedup_vs_seed`` — each hot path's throughput
 relative to the seed's row-at-a-time implementation *measured in the same
@@ -35,20 +44,33 @@ def _rate(entry: dict) -> float:
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 3:
+    if len(argv) < 3 or len(argv) % 2 != 1:
         print(__doc__)
         return 2
-    baseline_path, current_path = Path(argv[1]), Path(argv[2])
+    failures: list[str] = []
+    for i in range(1, len(argv), 2):
+        failures.extend(_check_pair(Path(argv[i]), Path(argv[i + 1])))
+    if failures:
+        print("\nFAIL: benchmark regression detected")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no hot path regressed beyond the allowed factor")
+    return 0
+
+
+def _check_pair(baseline_path: Path, current_path: Path) -> list[str]:
     factor = float(os.environ.get("HOTPATH_REGRESSION_FACTOR", "2.0"))
     strict_absolute = os.environ.get("HOTPATH_STRICT_ABSOLUTE", "") == "1"
+    overhead_budget = float(os.environ.get("PLANNER_OVERHEAD_BUDGET", "0.05"))
 
+    print(f"\n== {baseline_path} vs {current_path} ==")
     baseline = json.loads(baseline_path.read_text())["hot_paths"]
     current = json.loads(current_path.read_text())["hot_paths"]
 
     missing = sorted(set(baseline) - set(current))
     if missing:
-        print(f"FAIL: hot paths missing from current run: {missing}")
-        return 1
+        return [f"hot paths missing from current run: {missing}"]
 
     failures = []
     header = f"{'hot path':<16} {'base speedup':>13} {'cur speedup':>12} {'base rate/s':>14} {'cur rate/s':>14}"
@@ -71,6 +93,12 @@ def main(argv: list[str]) -> int:
             failures.append(
                 f"{name}: {cur_rate:,.0f}/s is >{factor:g}x below baseline {base_rate:,.0f}/s"
             )
+        overhead = current[name].get("overhead_fraction")
+        if overhead is not None and float(overhead) > overhead_budget:
+            failures.append(
+                f"{name}: routing overhead is {float(overhead):.2%} of exact execution "
+                f"time (budget {overhead_budget:.0%})"
+            )
 
     ingest = current.get("ingest", {})
     scaling = float(ingest.get("scaling_time_ratio_2x_rows", 0.0))
@@ -78,14 +106,7 @@ def main(argv: list[str]) -> int:
         failures.append(
             f"ingest scaling: doubling rows took {scaling:.2f}x time (O(n) bound is ~2x, limit 3x)"
         )
-
-    if failures:
-        print("\nFAIL: hot-path regression detected")
-        for failure in failures:
-            print(f"  - {failure}")
-        return 1
-    print("\nOK: no hot path regressed beyond the allowed factor")
-    return 0
+    return failures
 
 
 if __name__ == "__main__":

@@ -1,0 +1,103 @@
+"""Accuracy contracts walkthrough: one query entry point, cost-routed.
+
+Demonstrates the unified planner end to end on a sensor-style workload:
+
+1. ``query()`` with an error budget — the planner serves from captured
+   models when the predicted error fits, exactly otherwise;
+2. ``explain()`` — every candidate route with predicted cost and error;
+3. pinned modes and deadlines;
+4. the closed feedback loop — the data shifts, sampled verification
+   catches the model lying, the maintenance tick refits it.
+
+Run with::
+
+    PYTHONPATH=src python examples/accuracy_contracts.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AccuracyContract, LawsDatabase
+
+
+def build_database(seed: int = 7) -> LawsDatabase:
+    rng = np.random.default_rng(seed)
+    db = LawsDatabase(verify_sample_fraction=0.0)  # we sample explicitly below
+    rows = 4000
+    sensor = rng.integers(0, 8, rows)
+    load = rng.integers(0, 6, rows).astype(float)
+    # Each sensor's temperature follows its own linear law of the load.
+    temperature = 15.0 + 2.5 * sensor + 1.8 * load + rng.normal(0.0, 0.3, rows)
+    db.load_dict(
+        "readings",
+        {
+            "sensor": [int(v) for v in sensor],
+            "load": [float(v) for v in load],
+            "temperature": [float(v) for v in temperature],
+        },
+    )
+    report = db.fit("readings", "temperature ~ linear(load)", group_by="sensor")
+    print(f"captured model #{report.model.model_id}: {report.quality.summary()}")
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    sql = "SELECT sensor, avg(temperature) AS m FROM readings GROUP BY sensor ORDER BY sensor"
+
+    print("\n=== 1. An error budget admits the model path ===")
+    answer = db.query(sql, AccuracyContract(max_relative_error=0.05))
+    print(f"route taken: {answer.route_taken}  (reason: {answer.plan.reason})")
+    for row in answer.rows()[:3]:
+        print("  ", row)
+
+    print("\n=== 2. EXPLAIN: candidates, predicted cost and error ===")
+    print(db.explain(sql, AccuracyContract(max_relative_error=0.05)))
+
+    print("\n=== 3. A budget the models cannot meet pins exact execution ===")
+    strict = db.query(sql, AccuracyContract(max_relative_error=1e-9))
+    print(f"route taken: {strict.route_taken}  (reason: {strict.plan.reason})")
+
+    print("\n=== 4. Deadlines prefer the model path when exact would be late ===")
+    print(
+        db.query(sql, AccuracyContract(deadline_ms=1000.0)).route_taken,
+        "— generous deadline, cost decides;",
+    )
+
+    print("\n=== 5. The feedback loop: drifted data demotes the model ===")
+    rng = np.random.default_rng(11)
+    rows = 36000
+    sensor = rng.integers(0, 8, rows)
+    load = rng.integers(0, 6, rows).astype(float)
+    # A recalibration quadruples the load coefficient: the captured law
+    # no longer holds for the (now dominant) new regime.
+    temperature = 15.0 + 2.5 * sensor + 7.2 * load + rng.normal(0.0, 0.3, rows)
+    db.watch("readings", "temperature")
+    db.insert_rows(
+        "readings",
+        list(zip((int(v) for v in sensor), (float(v) for v in load), temperature.tolist())),
+    )
+    audit = AccuracyContract(max_relative_error=0.5, verify_fraction=1.0)
+    for i in range(3):
+        audited = db.query(sql, audit)
+        print(
+            f"  audited run {i + 1}: route={audited.route_taken}, "
+            f"observed error {audited.observed_relative_error:.1%}"
+            + (
+                f" -> demoted models {audited.feedback.demoted_model_ids}"
+                if audited.feedback and audited.feedback.demoted_model_ids
+                else ""
+            )
+        )
+    report = db.maintain()
+    print("maintenance:", report.summary())
+    healthy = db.query(sql, audit)
+    print(
+        f"after refit: route={healthy.route_taken}, "
+        f"observed error {healthy.observed_relative_error:.2%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

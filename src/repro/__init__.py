@@ -25,13 +25,16 @@ Quickstart::
     db.register_table(lofar.generate(num_sources=500, seed=1).to_table("measurements"))
     frame = db.strawman("measurements")
     fit = frame.fit("intensity ~ powerlaw(frequency)", group_by="source")
-    answer = db.approximate_sql(
-        "SELECT intensity FROM measurements WHERE source = 42 AND frequency = 0.15"
+    answer = db.query(
+        "SELECT intensity FROM measurements WHERE source = 42 AND frequency = 0.15",
+        AccuracyContract(max_relative_error=0.05),
     )
+    print(db.explain("SELECT intensity FROM measurements WHERE source = 42 AND frequency = 0.15"))
 """
 
 from repro._version import __version__
+from repro.core.planner import AccuracyContract
 from repro.core.system import LawsDatabase
 from repro.db import Database
 
-__all__ = ["Database", "LawsDatabase", "__version__"]
+__all__ = ["AccuracyContract", "Database", "LawsDatabase", "__version__"]

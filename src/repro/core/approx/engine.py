@@ -53,8 +53,13 @@ from repro.core.approx.routes.constraints import (
     bare_name as _bare_name,
     extract_constraints,
 )
-from repro.core.approx.routes.grouped import analyse_grouped_statement, answer_grouped
-from repro.core.approx.routes.range_agg import answer_range
+from repro.core.approx.routes.grouped import (
+    GroupedRoutePlan,
+    analyse_grouped_statement,
+    answer_grouped,
+    plan_grouped_route,
+)
+from repro.core.approx.routes.range_agg import analyse_range_statement, answer_range
 from repro.core.approx.routes.router import RoutingPolicy
 from repro.core.captured_model import CapturedModel
 from repro.core.model_store import ModelStore
@@ -63,8 +68,7 @@ from repro.db.database import Database
 from repro.db.expressions import Between, BinaryOp, ColumnRef, Expression, InList
 from repro.db.operators.aggregate import SUPPORTED_AGGREGATES
 from repro.db.expressions import FunctionCall
-from repro.db.sql.ast import SelectStatement, Star
-from repro.db.sql.parser import parse
+from repro.db.sql.ast import SelectStatement, Star, Statement
 from repro.db.sql.planner import plan_select
 from repro.db.table import Table
 from repro.errors import (
@@ -75,7 +79,39 @@ from repro.errors import (
     SQLError,
 )
 
-__all__ = ["ApproximateAnswer", "ApproximateQueryEngine"]
+__all__ = ["ApproximateAnswer", "ApproximateQueryEngine", "RouteSketch"]
+
+
+@dataclass
+class RouteSketch:
+    """A static prediction of the model route that would serve a statement.
+
+    Produced by :meth:`ApproximateQueryEngine.sketch_route` *without
+    executing anything*: the unified planner turns a sketch into a plan node
+    with predicted cost and error, then decides model vs. exact.  The fields
+    carry exactly what the cost/error models need.
+    """
+
+    route: str
+    model_ids: list[int]
+    detail: str
+    #: Residual standard error of the serving model (worst across models).
+    residual_standard_error: float = 0.0
+    #: RSE relative to the output scale, when the capture recorded it.
+    relative_rse: float | None = None
+    #: Model evaluations / virtual rows the route would generate.
+    est_points: int = 0
+    #: Grouped routes: how many groups each side serves.
+    n_model_groups: int = 0
+    n_exact_groups: int = 0
+    #: Estimated raw rows the exact side of a hybrid plan must scan.
+    uncovered_rows: float = 0.0
+    #: Aggregate functions the statement computes (error prediction input).
+    aggregate_functions: tuple[str, ...] = ()
+    #: The modelled output column (error prediction falls back to its scale).
+    output_column: str = ""
+    #: The grouped route plan, kept so execution can reuse it.
+    grouped_plan: GroupedRoutePlan | None = None
 
 
 @dataclass
@@ -157,12 +193,29 @@ class ApproximateQueryEngine:
 
     # -- public API -------------------------------------------------------------
 
-    def answer(self, sql: str, allow_fallback: bool = True) -> ApproximateAnswer:
-        """Answer ``sql`` from captured models, falling back to exact execution."""
+    def answer(
+        self,
+        sql: str,
+        allow_fallback: bool = True,
+        statement: Statement | None = None,
+        grouped_route_plan: GroupedRoutePlan | None = None,
+    ) -> ApproximateAnswer:
+        """Answer ``sql`` from captured models, falling back to exact execution.
+
+        ``statement`` lets the unified planner hand over the AST it already
+        parsed; without it, the SQL text is parsed through the executor's
+        shared LRU parse cache — never re-lexed per call.
+        ``grouped_route_plan`` likewise hands over the per-group routing the
+        planner's sketch already computed, so grouped queries are not
+        route-planned twice per execution (the caller guarantees it was
+        built against the current catalog/store state).
+        """
         started = perf_counter()
         io_before = self.database.io_snapshot()
         try:
-            answer = self._answer_from_models(sql)
+            answer = self._answer_from_models(
+                sql, statement=statement, grouped_route_plan=grouped_route_plan
+            )
             self._note_staleness(answer)
         except (ApproximationError, EnumerationError, ModelNotFoundError) as exc:
             if not allow_fallback:
@@ -203,10 +256,223 @@ class ApproximateQueryEngine:
             "exact_pages_read": exact.io.get("pages_read", 0.0),
         }
 
+    # -- static route probing (unified planner) -----------------------------------
+
+    def sketch_route(
+        self, sql: str, statement: Statement | None = None, for_execution: bool = False
+    ) -> RouteSketch | None:
+        """Predict — without executing — which model route would serve ``sql``.
+
+        Mirrors the routing order of :meth:`answer` using the routes' shared
+        plan/shape gates, so the prediction and the execution cannot drift
+        apart.  Returns None when no model route applies (the statement can
+        only run exactly).  ``for_execution=True`` permits side effects the
+        real answer path would incur anyway (the on-demand grouped harvest);
+        a pure EXPLAIN must leave the store untouched and passes False.
+        """
+        if statement is None:
+            statement = self._parse(sql)
+        if not isinstance(statement, SelectStatement):
+            return None
+        if statement.table is None or statement.joins:
+            return None
+        table_name = statement.table.name
+        if not self.database.has_table(table_name):
+            return None
+        try:
+            referenced = _referenced_columns(statement)
+        except ApproximationError:
+            return None
+
+        functions = _aggregate_functions(statement)
+
+        # Route 1: grouped (per-group model serving, exact fill-in).
+        grouped = self._plan_grouped(statement, table_name, allow_harvest=for_execution)
+        if grouped is not None:
+            return self._sketch_grouped(grouped, table_name, functions)
+
+        try:
+            model = self._select_model(table_name, referenced)
+        except ModelNotFoundError:
+            return None
+        covered = set(model.group_columns) | set(model.input_columns) | {model.output_column}
+        if referenced - covered:
+            return None
+        rse = model.quality.residual_standard_error
+        relative = model.quality.relative_rse
+        pinned = _extract_pinned_values(statement.where)
+
+        # Route 2: fully pinned point query.
+        if self._point_shape(statement, model, pinned):
+            return RouteSketch(
+                route="point",
+                model_ids=[model.model_id],
+                detail="all model inputs pinned by equality predicates",
+                residual_standard_error=rse,
+                relative_rse=relative,
+                est_points=1,
+                aggregate_functions=functions,
+                output_column=model.output_column,
+            )
+
+        # Route 3: aggregates restricted by range predicates.
+        if analyse_range_statement(statement, model) is not None:
+            return RouteSketch(
+                route="range-aggregate",
+                model_ids=[model.model_id],
+                detail="model evaluated/integrated over the restricted input domain",
+                residual_standard_error=rse,
+                relative_rse=relative,
+                est_points=self._domain_points(model),
+                aggregate_functions=functions,
+                output_column=model.output_column,
+            )
+
+        # Route 4: closed-form analytic aggregate.
+        if self._analytic_shape(statement, model, table_name):
+            return RouteSketch(
+                route="analytic-aggregate",
+                model_ids=[model.model_id],
+                detail="closed-form aggregate from model parameters",
+                residual_standard_error=rse,
+                relative_rse=relative,
+                est_points=0,
+                aggregate_functions=functions,
+                output_column=model.output_column,
+            )
+
+        # Route 5: parameter-space enumeration.
+        stats = self.database.stats(model.table_name)
+        try:
+            plan = build_enumeration_plan(
+                model, stats, pinned_values=pinned, max_rows=self.max_virtual_rows
+            )
+        except EnumerationError:
+            return None
+        return RouteSketch(
+            route="virtual-table",
+            model_ids=[model.model_id],
+            detail=f"parameter space enumerable ({plan.describe()})",
+            residual_standard_error=rse,
+            relative_rse=relative,
+            est_points=plan.num_rows,
+            aggregate_functions=functions,
+            output_column=model.output_column,
+        )
+
+    def _sketch_grouped(
+        self, grouped: GroupedRoutePlan, table_name: str, functions: tuple[str, ...]
+    ) -> RouteSketch:
+        from repro.core.approx.routes.aggcalc import current_group_rows
+
+        routing = grouped.routing
+        stats = self.database.stats(table_name)
+        uncovered_rows = 0.0
+        if routing.exact_groups:
+            live = current_group_rows(stats, grouped.analysis.group_columns)
+            if live is not None:
+                uncovered_rows = float(
+                    sum(live.get(a.key, 0.0) for a in routing.exact_groups)
+                )
+            else:
+                # No live per-group counts: assume uniform group sizes.
+                uncovered_rows = stats.row_count * (
+                    len(routing.exact_groups) / max(len(routing.assignments), 1)
+                )
+        rse = max(
+            (m.quality.residual_standard_error for m in grouped.candidates), default=0.0
+        )
+        relatives = [
+            m.quality.relative_rse
+            for m in grouped.candidates
+            if m.quality.relative_rse is not None
+        ]
+        route = "grouped-hybrid" if routing.exact_groups else "grouped-model"
+        return RouteSketch(
+            route=route,
+            model_ids=grouped.used_model_ids,
+            detail=routing.describe(),
+            residual_standard_error=rse,
+            relative_rse=max(relatives) if relatives else None,
+            est_points=grouped.n_model_groups,
+            n_model_groups=grouped.n_model_groups,
+            n_exact_groups=grouped.n_exact_groups,
+            uncovered_rows=uncovered_rows,
+            aggregate_functions=functions,
+            output_column=grouped.analysis.output_column,
+            grouped_plan=grouped,
+        )
+
+    def _point_shape(
+        self,
+        statement: SelectStatement,
+        model: CapturedModel,
+        pinned: dict[str, list[Any]],
+    ) -> bool:
+        """The point route's shape gate (shared with :meth:`_try_point_route`)."""
+        if statement.group_by or statement.order_by or statement.distinct:
+            return False
+        if _has_aggregates(statement):
+            return False
+        if len(statement.items) != 1:
+            return False
+        item = statement.items[0]
+        if isinstance(item.expression, Star) or not isinstance(item.expression, ColumnRef):
+            return False
+        if _bare_name(item.expression.name) != model.output_column:
+            return False
+        needed = list(model.group_columns) + list(model.input_columns)
+        return all(column in pinned and len(pinned[column]) == 1 for column in needed)
+
+    def _analytic_shape(
+        self, statement: SelectStatement, model: CapturedModel, table_name: str
+    ) -> bool:
+        """The analytic route's shape gate, including the stats it needs."""
+        if model.is_grouped or statement.group_by or statement.where is not None:
+            return False
+        if not supports_analytic(model):
+            return False
+        if _simple_aggregates(statement, model.output_column) is None:
+            return False
+        stats = self.database.stats(table_name)
+        for column in model.input_columns:
+            column_stats = stats.columns.get(column)
+            if column_stats is None or column_stats.min_value is None or column_stats.max_value is None:
+                return False
+        return True
+
+    def _domain_points(self, model: CapturedModel) -> int:
+        """How many domain points a range/enumeration evaluation touches."""
+        stats = self.database.stats(model.table_name)
+        points = 1
+        for column in model.input_columns:
+            column_stats = stats.columns.get(column)
+            if column_stats is not None and column_stats.domain is not None:
+                points *= max(len(column_stats.domain), 1)
+        if model.is_grouped:
+            points *= max(len(model.fit.records), 1)  # type: ignore[union-attr]
+        return min(points, self.max_virtual_rows)
+
     # -- routing ------------------------------------------------------------------
 
-    def _answer_from_models(self, sql: str) -> ApproximateAnswer:
-        statement = parse(sql)
+    def _parse(self, sql: str) -> Statement:
+        """Parse through the executor's shared LRU cache (PR-3 machinery).
+
+        The engine re-analyses the same fallback and differential statements
+        over and over; re-lexing each time used to dominate small queries.
+        The cache is pure (ASTs are immutable), so no version key is needed
+        here — the version-keyed *plan* cache guards exact execution.
+        """
+        return self.database.parse_sql(sql)
+
+    def _answer_from_models(
+        self,
+        sql: str,
+        statement: Statement | None = None,
+        grouped_route_plan: GroupedRoutePlan | None = None,
+    ) -> ApproximateAnswer:
+        if statement is None:
+            statement = self._parse(sql)
         if not isinstance(statement, SelectStatement):
             raise ApproximationError("only SELECT statements can be answered approximately")
         if statement.table is None or statement.joins:
@@ -222,7 +488,9 @@ class ApproximateQueryEngine:
         # model lookup — the query's group keys need not be covered by the
         # generically best model, and grouped models can be harvested on
         # demand through ``grouped_model_provider``).
-        grouped_answer = self._try_grouped_route(sql, statement, table_name)
+        grouped_answer = self._try_grouped_route(
+            sql, statement, table_name, route_plan=grouped_route_plan
+        )
         if grouped_answer is not None:
             return grouped_answer
 
@@ -289,17 +557,17 @@ class ApproximateQueryEngine:
 
     # -- route implementations ---------------------------------------------------------
 
-    def _try_grouped_route(
-        self, sql: str, statement: SelectStatement, table_name: str
-    ) -> ApproximateAnswer | None:
-        """GROUP BY aggregates evaluated per group, with exact fill-in."""
-        analysis = analyse_grouped_statement(statement)
-        if analysis is None:
-            return None
-        group_columns, output_column = analysis.group_columns, analysis.output_column
-
+    def _grouped_candidates(
+        self,
+        statement_analysis,
+        table_name: str,
+        allow_harvest: bool = True,
+    ) -> list[CapturedModel]:
+        """Grouped candidate models, harvesting on demand when allowed."""
+        group_columns = statement_analysis.group_columns
+        output_column = statement_analysis.output_column
         candidates = self.store.grouped_candidates(table_name, output_column, group_columns)
-        if not candidates and self.grouped_model_provider is not None:
+        if not candidates and allow_harvest and self.grouped_model_provider is not None:
             harvested = self.grouped_model_provider(table_name, output_column, group_columns)
             if harvested is not None:
                 # The on-demand grouped harvest reads the raw data once; like
@@ -311,9 +579,40 @@ class ApproximateQueryEngine:
                 candidates = self.store.grouped_candidates(
                     table_name, output_column, group_columns
                 )
+        return candidates
+
+    def _plan_grouped(
+        self, statement: SelectStatement, table_name: str, allow_harvest: bool = True
+    ) -> GroupedRoutePlan | None:
+        """The grouped route's plan phase (shared by answer and sketch)."""
+        analysis = analyse_grouped_statement(statement)
+        if analysis is None:
+            return None
+        candidates = self._grouped_candidates(analysis, table_name, allow_harvest)
         if not candidates:
             return None
+        stats = self.database.stats(table_name)
+        return plan_grouped_route(
+            statement,
+            self.store,
+            stats,
+            policy=self.routing_policy,
+            models=candidates,
+            analysis=analysis,
+        )
 
+    def _try_grouped_route(
+        self,
+        sql: str,
+        statement: SelectStatement,
+        table_name: str,
+        route_plan: GroupedRoutePlan | None = None,
+    ) -> ApproximateAnswer | None:
+        """GROUP BY aggregates evaluated per group, with exact fill-in."""
+        if route_plan is None:
+            route_plan = self._plan_grouped(statement, table_name)
+        if route_plan is None:
+            return None
         stats = self.database.stats(table_name)
         result = answer_grouped(
             statement,
@@ -321,8 +620,7 @@ class ApproximateQueryEngine:
             stats,
             self._execute_exact_groups,
             policy=self.routing_policy,
-            models=candidates,
-            analysis=analysis,
+            route_plan=route_plan,
         )
         if result is None:
             return None
@@ -394,23 +692,9 @@ class ApproximateQueryEngine:
         pinned: dict[str, list[Any]],
     ) -> ApproximateAnswer | None:
         """Single model evaluation when every group key and input is pinned to one value."""
-        if statement.group_by or statement.order_by or statement.distinct:
-            return None
-        if _has_aggregates(statement):
-            return None
-        # The SELECT list must be exactly the modelled output column.
-        if len(statement.items) != 1:
+        if not self._point_shape(statement, model, pinned):
             return None
         item = statement.items[0]
-        if isinstance(item.expression, Star) or not isinstance(item.expression, ColumnRef):
-            return None
-        if _bare_name(item.expression.name) != model.output_column:
-            return None
-
-        needed = list(model.group_columns) + list(model.input_columns)
-        for column in needed:
-            if column not in pinned or len(pinned[column]) != 1:
-                return None
 
         from repro.core.approx.point import answer_point_query
 
@@ -438,12 +722,10 @@ class ApproximateQueryEngine:
         table_name: str,
     ) -> ApproximateAnswer | None:
         """Closed-form aggregates for ungrouped models (§4.2 analytic solutions)."""
-        if model.is_grouped or statement.group_by or statement.where is not None:
-            return None
-        if not supports_analytic(model):
+        if not self._analytic_shape(statement, model, table_name):
             return None
         aggregates = _simple_aggregates(statement, model.output_column)
-        if aggregates is None:
+        if aggregates is None:  # pragma: no cover - _analytic_shape already gated
             return None
 
         stats = self.database.stats(table_name)
@@ -599,6 +881,18 @@ def _referenced_columns(statement: SelectStatement) -> set[str]:
     for order in statement.order_by:
         names |= order.expression.referenced_columns()
     return {_bare_name(name) for name in names}
+
+
+def _aggregate_functions(statement: SelectStatement) -> tuple[str, ...]:
+    """The aggregate functions the SELECT list computes, in item order."""
+    functions: list[str] = []
+    for item in statement.items:
+        if isinstance(item.expression, Star):
+            continue
+        found = _first_aggregate(item.expression)
+        if found is not None:
+            functions.append(found[0])
+    return tuple(functions)
 
 
 def _has_aggregates(statement: SelectStatement) -> bool:

@@ -46,9 +46,11 @@ from repro.db.table import Table
 
 __all__ = [
     "GroupedAnswer",
+    "GroupedRoutePlan",
     "GroupedStatementAnalysis",
     "analyse_grouped_statement",
     "answer_grouped",
+    "plan_grouped_route",
 ]
 
 
@@ -71,32 +73,63 @@ class GroupedAnswer:
     virtual_rows_generated: int
 
 
-def answer_grouped(
+@dataclass
+class GroupedRoutePlan:
+    """The planned (not yet evaluated) grouped route for one statement.
+
+    This is the *plan phase* of the grouped route, split out so the unified
+    query planner can inspect the model/exact group split — and predict cost
+    and error for it — without evaluating a single model.  ``answer_grouped``
+    consumes it to produce the actual answer.
+    """
+
+    analysis: GroupedStatementAnalysis
+    #: Candidate models that can honor the statement's predicates.
+    candidates: list[CapturedModel]
+    #: Per-group model-vs-exact assignments (the PR-2 router's output).
+    routing: Any  # GroupRoutingPlan
+    output_null_fraction: float
+
+    @property
+    def n_model_groups(self) -> int:
+        return len(self.routing.model_groups)
+
+    @property
+    def n_exact_groups(self) -> int:
+        return len(self.routing.exact_groups)
+
+    @property
+    def is_hybrid(self) -> bool:
+        return self.routing.is_hybrid
+
+    @property
+    def used_model_ids(self) -> list[int]:
+        return self.routing.used_model_ids
+
+
+def plan_grouped_route(
     statement: SelectStatement,
     store: ModelStore,
     stats: TableStats,
-    execute_exact_groups,
     policy: RoutingPolicy | None = None,
     models: list[CapturedModel] | None = None,
     analysis: "GroupedStatementAnalysis | None" = None,
-) -> GroupedAnswer | None:
-    """Try to answer a GROUP BY aggregate statement from per-group models.
+) -> GroupedRoutePlan | None:
+    """Plan the grouped route: shape gates + per-group routing, no evaluation.
 
-    ``execute_exact_groups(statement, membership_expression)`` is a callback
-    (supplied by the engine) that runs the statement exactly, restricted to
-    the given groups, against the real catalog — charging real IO.
-    ``analysis`` lets the engine pass the :func:`analyse_grouped_statement`
-    result it already computed.  Returns None when the statement shape is
-    outside this route, leaving it to the enumeration/exact paths.
+    Returns None when the statement shape is outside this route or no group
+    can be served from a model, leaving the statement to the
+    enumeration/exact paths.  This is the single gate implementation shared
+    by route execution (:func:`answer_grouped`) and the unified planner's
+    static probe — what the probe predicts and what execution serves cannot
+    drift apart.
     """
     if analysis is None:
         analysis = analyse_grouped_statement(statement)
     if analysis is None:
         return None
     group_columns = analysis.group_columns
-    specs = analysis.specs
     output_column = analysis.output_column
-    order_keys = analysis.order_keys
     constraints = analysis.constraints
 
     # NULL group keys form their own group in exact execution; the fitted
@@ -141,7 +174,7 @@ def answer_grouped(
         return None
 
     requested = _requested_group_keys(candidates, stats, group_columns, constraints)
-    plan = plan_group_routing(
+    routing = plan_group_routing(
         store,
         stats.table_name,
         output_column,
@@ -150,8 +183,49 @@ def answer_grouped(
         policy,
         models=candidates,
     )
-    if not plan.model_groups:
+    if not routing.model_groups:
         return None
+    return GroupedRoutePlan(
+        analysis=analysis,
+        candidates=candidates,
+        routing=routing,
+        output_null_fraction=output_null_fraction,
+    )
+
+
+def answer_grouped(
+    statement: SelectStatement,
+    store: ModelStore,
+    stats: TableStats,
+    execute_exact_groups,
+    policy: RoutingPolicy | None = None,
+    models: list[CapturedModel] | None = None,
+    analysis: "GroupedStatementAnalysis | None" = None,
+    route_plan: GroupedRoutePlan | None = None,
+) -> GroupedAnswer | None:
+    """Try to answer a GROUP BY aggregate statement from per-group models.
+
+    ``execute_exact_groups(statement, membership_expression)`` is a callback
+    (supplied by the engine) that runs the statement exactly, restricted to
+    the given groups, against the real catalog — charging real IO.
+    ``analysis`` lets the engine pass the :func:`analyse_grouped_statement`
+    result it already computed; ``route_plan`` an already-planned route
+    (from :func:`plan_grouped_route`).  Returns None when the statement
+    shape is outside this route, leaving it to the enumeration/exact paths.
+    """
+    if route_plan is None:
+        route_plan = plan_grouped_route(
+            statement, store, stats, policy=policy, models=models, analysis=analysis
+        )
+    if route_plan is None:
+        return None
+    analysis = route_plan.analysis
+    group_columns = analysis.group_columns
+    specs = analysis.specs
+    order_keys = analysis.order_keys
+    constraints = analysis.constraints
+    output_null_fraction = route_plan.output_null_fraction
+    plan = route_plan.routing
 
     data: dict[str, list[Any]] = {spec.name: [] for spec in specs}
     group_errors: dict[tuple[Any, ...], dict[str, float]] = {}

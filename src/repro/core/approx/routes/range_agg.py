@@ -47,7 +47,7 @@ from repro.db.table import Table
 from repro.fitting.families import Constant, Exponential, LinearModel, PowerLaw
 from repro.fitting.model import FitResult
 
-__all__ = ["RangeAnswer", "answer_range"]
+__all__ = ["RangeAnswer", "analyse_range_statement", "answer_range"]
 
 
 @dataclass
@@ -64,17 +64,17 @@ class RangeAnswer:
     covered_rows: float
 
 
-def answer_range(
+def analyse_range_statement(
     statement: SelectStatement,
     model: CapturedModel,
-    stats: TableStats,
-) -> RangeAnswer | None:
-    """Try to answer an ungrouped aggregate with range predicates from ``model``.
+) -> tuple[list[ItemSpec], WhereConstraints] | None:
+    """The shape gate of the range route, shared with the unified planner.
 
-    Returns None when the statement shape is outside this route — no range
-    predicate (equality-only queries keep their existing routes), residual
-    conjuncts the analysis cannot express, or predicates over the modelled
-    output column (which need per-row filtering).
+    Returns the analysed select items plus WHERE constraints when this route
+    *could* serve the statement from ``model``: an ungrouped aggregate whose
+    predicates restrict only columns the model covers, with at least one
+    genuine range (interval) restriction.  None means the statement belongs
+    to another route.
     """
     if statement.group_by or statement.having is not None or statement.distinct:
         return None
@@ -101,6 +101,25 @@ def answer_range(
     ):
         # Equality/IN-only restrictions stay on the point/enumeration routes.
         return None
+    return specs, constraints
+
+
+def answer_range(
+    statement: SelectStatement,
+    model: CapturedModel,
+    stats: TableStats,
+) -> RangeAnswer | None:
+    """Try to answer an ungrouped aggregate with range predicates from ``model``.
+
+    Returns None when the statement shape is outside this route — no range
+    predicate (equality-only queries keep their existing routes), residual
+    conjuncts the analysis cannot express, or predicates over the modelled
+    output column (which need per-row filtering).
+    """
+    analysed_range = analyse_range_statement(statement, model)
+    if analysed_range is None:
+        return None
+    specs, constraints = analysed_range
 
     if model.is_grouped:
         result = _combine_groups(specs, model, stats, constraints)

@@ -70,6 +70,10 @@ class CapturedModel:
     metadata: dict[str, Any] = field(default_factory=dict)
     #: Lifecycle status: "active", "stale", "retired" or "superseded".
     status: str = "active"
+    #: Sampled |relative error| observations from executed plans (most
+    #: recent last, bounded) — the planner's closed feedback loop: models
+    #: the planner catches lying accumulate evidence here and are demoted.
+    observed_errors: list[float] = field(default_factory=list)
 
     # -- classification ----------------------------------------------------------
 

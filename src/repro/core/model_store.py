@@ -22,6 +22,10 @@ def _default_ranking(model: CapturedModel) -> tuple:
     return (model.status == "active", model.quality.adjusted_r_squared, model.model_id)
 
 
+#: Observed-error samples kept per model (oldest dropped first).
+OBSERVED_ERROR_WINDOW = 32
+
+
 class ModelStore:
     """In-database registry of captured models."""
 
@@ -29,6 +33,17 @@ class ModelStore:
         self._models: dict[int, CapturedModel] = {}
         #: (table_name, output_column) -> model ids, in capture order
         self._by_target: dict[tuple[str, str], list[int]] = {}
+        #: Bumped on any registration or lifecycle change; the unified
+        #: planner keys its plan cache on this so routing decisions are
+        #: invalidated when the serving model population changes.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
 
     # -- registration ----------------------------------------------------------
 
@@ -38,6 +53,7 @@ class ModelStore:
         self._models[model.model_id] = model
         key = (model.table_name, model.output_column)
         self._by_target.setdefault(key, []).append(model.model_id)
+        self._bump()
         return model
 
     def remove(self, model_id: int) -> None:
@@ -47,6 +63,7 @@ class ModelStore:
         key = (model.table_name, model.output_column)
         if key in self._by_target and model_id in self._by_target[key]:
             self._by_target[key].remove(model_id)
+        self._bump()
 
     # -- lookup -------------------------------------------------------------------
 
@@ -185,6 +202,37 @@ class ModelStore:
         return [m for m in models if m.is_grouped and set(m.group_columns) == wanted]
 
 
+    # -- observed-error feedback ---------------------------------------------------
+
+    def record_observed_error(self, model_id: int, relative_error: float) -> list[float]:
+        """Record one sampled |relative error| observed for a served answer.
+
+        The unified planner samples executed plans against exact execution
+        and deposits what it measured here; the quality policy judges the
+        accumulated evidence (:meth:`QualityPolicy.flags_observed_errors`)
+        and the maintenance loop refits demoted models.  Returns the model's
+        current observation window.
+        """
+        model = self.get(model_id)
+        model.observed_errors.append(float(relative_error))
+        if len(model.observed_errors) > OBSERVED_ERROR_WINDOW:
+            del model.observed_errors[: len(model.observed_errors) - OBSERVED_ERROR_WINDOW]
+        return model.observed_errors
+
+    def demote(self, model_id: int, reason: str) -> CapturedModel:
+        """Take a model the planner caught lying out of preferred serving.
+
+        The model is marked stale (deprioritized behind any active model,
+        still servable as a last resort) and flagged so the maintenance
+        policy refits it on the next tick instead of quietly re-validating.
+        """
+        model = self.get(model_id)
+        if model.status == "active":
+            model.mark_stale()
+        model.metadata["planner_demoted"] = reason
+        self._bump()
+        return model
+
     # -- lifecycle ----------------------------------------------------------------------
 
     def mark_table_stale(self, table_name: str) -> list[CapturedModel]:
@@ -194,14 +242,18 @@ class ModelStore:
             if model.table_name == table_name and model.status == "active":
                 model.mark_stale()
                 stale.append(model)
+        if stale:
+            self._bump()
         return stale
 
     def retire_model(self, model_id: int) -> None:
         self.get(model_id).retire()
+        self._bump()
 
     def reactivate(self, model_id: int) -> None:
         """Reactivate a stale model (e.g. after re-validation against new data)."""
         self.get(model_id).status = "active"
+        self._bump()
 
     def supersede(self, model_id: int, successor_id: int) -> CapturedModel:
         """Replace ``model_id`` with ``successor_id`` in the serving rotation.
@@ -218,6 +270,7 @@ class ModelStore:
         old.status = "superseded"
         old.metadata["superseded_by"] = successor.model_id
         successor.metadata.setdefault("supersedes", []).append(old.model_id)
+        self._bump()
         return old
 
     # -- accounting --------------------------------------------------------------------------

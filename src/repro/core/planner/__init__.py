@@ -1,0 +1,31 @@
+"""The unified accuracy-aware query planner.
+
+One entry point for every SQL statement: the planner probes the model
+routes the approximate engine could serve (PR 2), costs them against the
+exact vectorized pipeline (PR 3) using a calibration derived from the
+committed hot-path benchmarks, and picks the route the caller's
+:class:`AccuracyContract` admits.  Executed model-served plans are
+sampled against exact execution and the observed errors feed model
+quality — the maintenance loop refits models the planner caught lying.
+"""
+
+from repro.core.planner.contract import APPROX, AUTO, EXACT, AccuracyContract
+from repro.core.planner.cost import CostModel, OperatorCosts
+from repro.core.planner.feedback import FeedbackResult, ObservedErrorFeedback
+from repro.core.planner.nodes import PlanNode, UnifiedPlan
+from repro.core.planner.planner import PlannedAnswer, UnifiedPlanner
+
+__all__ = [
+    "APPROX",
+    "AUTO",
+    "EXACT",
+    "AccuracyContract",
+    "CostModel",
+    "FeedbackResult",
+    "ObservedErrorFeedback",
+    "OperatorCosts",
+    "PlanNode",
+    "PlannedAnswer",
+    "UnifiedPlan",
+    "UnifiedPlanner",
+]

@@ -1,0 +1,442 @@
+"""The unified accuracy-aware query planner: one entry point, cost-routed.
+
+Every SQL statement becomes one :class:`UnifiedPlan` whose candidate nodes
+are either model-serving routes (the PR-2 routing machinery, probed
+statically through :meth:`ApproximateQueryEngine.sketch_route`) or the
+exact vectorized pipeline (PR-3), each with a predicted cost (calibrated
+from ``BENCH_hotpaths.json``) and a predicted relative error (from the
+captured models' quality judgements).  The accuracy contract decides which
+node executes; sampled executions are verified against exact and the
+observed errors feed model quality, closing the loop.
+
+Plans are cached in an LRU keyed on (sql, contract, catalog version,
+model-store version): any DDL/data change or model lifecycle event
+invalidates affected decisions, so a cached decision can never outlive the
+state it was costed against.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any
+
+from repro.core.approx.engine import ApproximateAnswer, ApproximateQueryEngine, RouteSketch
+from repro.core.approx.error_bounds import ErrorEstimate
+from repro.core.model_store import ModelStore
+from repro.core.planner.contract import AccuracyContract, AUTO
+from repro.core.planner.cost import CostModel
+from repro.core.planner.feedback import FeedbackResult, ObservedErrorFeedback
+from repro.core.planner.nodes import PlanNode, UnifiedPlan
+from repro.db.database import Database
+from repro.db.sql.ast import SelectStatement
+from repro.db.sql.executor import QueryResult
+from repro.db.stats import TableStats
+from repro.errors import ApproximationError
+from repro.db.table import Table
+
+__all__ = ["PlannedAnswer", "UnifiedPlanner"]
+
+#: Aggregate-specific scaling of the model's base relative error: counts
+#: come from (near-live) cardinalities, extremes pay the Gaussian
+#: extreme-value premium, value aggregates track the model's own scale.
+_AGGREGATE_ERROR_FACTOR = {
+    "count": 0.25,
+    "avg": 1.0,
+    "sum": 1.0,
+    "min": 2.0,
+    "max": 2.0,
+    "stddev": 1.0,
+    "var": 1.0,
+}
+
+
+@dataclass
+class PlannedAnswer:
+    """The result of executing one unified plan."""
+
+    sql: str
+    contract: AccuracyContract
+    plan: UnifiedPlan
+    table: Table
+    #: The route that actually served the answer (the engine may have
+    #: fallen back past the planner's prediction).
+    route_taken: str
+    is_exact: bool
+    approx: ApproximateAnswer | None = None
+    query_result: QueryResult | None = None
+    elapsed_seconds: float = 0.0
+    #: Set when this execution was sampled for verification.
+    feedback: FeedbackResult | None = None
+    column_errors: dict[str, float] = field(default_factory=dict)
+
+    def rows(self) -> list[tuple]:
+        return self.table.to_rows()
+
+    def scalar(self) -> Any:
+        if self.table.num_rows != 1 or self.table.num_columns != 1:
+            raise ApproximationError(
+                f"scalar() requires a 1x1 result, got "
+                f"{self.table.num_rows}x{self.table.num_columns}"
+            )
+        return self.table.row(0)[0]
+
+    def error_estimate(self, column: str) -> ErrorEstimate | None:
+        """The error band attached to one result column (None when exact)."""
+        if self.approx is not None:
+            return self.approx.error_estimate(column)
+        return None
+
+    @property
+    def observed_relative_error(self) -> float | None:
+        return self.feedback.observed_relative_error if self.feedback else None
+
+
+class UnifiedPlanner:
+    """Cost-routes every statement between model serving and exact execution."""
+
+    def __init__(
+        self,
+        database: Database,
+        store: ModelStore,
+        engine: ApproximateQueryEngine,
+        cost_model: CostModel | None = None,
+        feedback: ObservedErrorFeedback | None = None,
+        plan_cache_size: int = 128,
+    ) -> None:
+        self.database = database
+        self.store = store
+        self.engine = engine
+        self.cost_model = cost_model or CostModel.from_bench()
+        self.feedback = feedback or ObservedErrorFeedback(database, store)
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: OrderedDict[tuple, UnifiedPlan] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(
+        self, sql: str, contract: AccuracyContract | None = None, for_execution: bool = False
+    ) -> UnifiedPlan:
+        """Build (or fetch) the unified plan for ``sql`` under ``contract``.
+
+        ``for_execution=False`` (EXPLAIN) is side-effect free; True permits
+        what real execution would do anyway (the on-demand grouped harvest).
+        """
+        contract = contract or AUTO
+        key = (
+            sql,
+            contract,
+            for_execution,
+            self.database.catalog.version,
+            self.store.version,
+        )
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            self._plan_cache.move_to_end(key)
+            return cached
+        self._cache_misses += 1
+        started = perf_counter()
+        plan = self._build_plan(sql, contract, for_execution)
+        plan.planning_seconds = perf_counter() - started
+        self._plan_cache[key] = plan
+        while len(self._plan_cache) > self.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    def explain(self, sql: str, contract: AccuracyContract | None = None) -> str:
+        """Render the chosen route, predicted cost and predicted error per node."""
+        return self.plan(sql, contract, for_execution=False).explain()
+
+    def plan_cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._plan_cache),
+            "capacity": self.plan_cache_size,
+        }
+
+    def _build_plan(
+        self, sql: str, contract: AccuracyContract, for_execution: bool
+    ) -> UnifiedPlan:
+        statement = self.database.parse_sql(sql)
+        catalog_version = self.database.catalog.version
+        store_version = self.store.version
+
+        if not isinstance(statement, SelectStatement):
+            is_create = type(statement).__name__.startswith("CreateTable")
+            node = PlanNode(
+                kind="ddl" if is_create else "dml",
+                route="create" if is_create else "insert",
+                detail="DDL/DML always executes against the stored data",
+            )
+            return UnifiedPlan(
+                sql=sql,
+                contract=contract,
+                statement_type=node.route,
+                candidates=[node],
+                chosen=node,
+                reason="not a SELECT; model routes do not apply",
+                catalog_version=catalog_version,
+                store_version=store_version,
+            )
+
+        stats_by_table = self._statement_stats(statement)
+        exact_node = self._exact_node(sql, statement, stats_by_table)
+        candidates = [exact_node]
+
+        sketch: RouteSketch | None = None
+        if contract.mode != "exact":
+            sketch = self.engine.sketch_route(
+                sql, statement=statement, for_execution=for_execution
+            )
+        model_node = None
+        if sketch is not None:
+            model_node = self._model_node(sketch, statement, stats_by_table)
+            candidates.insert(0, model_node)
+
+        chosen, reason = self._choose(contract, model_node, exact_node)
+        return UnifiedPlan(
+            sql=sql,
+            contract=contract,
+            statement_type="select",
+            candidates=candidates,
+            chosen=chosen,
+            reason=reason,
+            catalog_version=catalog_version,
+            store_version=store_version,
+            sketch=sketch,
+        )
+
+    def _statement_stats(self, statement: SelectStatement) -> dict[str, TableStats]:
+        stats: dict[str, TableStats] = {}
+        names = []
+        if statement.table is not None:
+            names.append(statement.table.name)
+        names.extend(join.table.name for join in statement.joins)
+        for name in names:
+            if name not in stats and self.database.has_table(name):
+                stats[name] = self.database.stats(name)
+        return stats
+
+    def _exact_node(
+        self,
+        sql: str,
+        statement: SelectStatement,
+        stats_by_table: dict[str, TableStats],
+    ) -> PlanNode:
+        seconds = self.cost_model.exact_seconds(statement, stats_by_table)
+        try:
+            _, plan_text = self.database.executor.plan_statement(sql, statement)
+            detail = plan_text.replace("\n", " → ")
+        except Exception:  # pragma: no cover - malformed SQL surfaces at execution
+            detail = "vectorized exact pipeline"
+        return PlanNode(
+            kind="exact",
+            route="exact",
+            detail=detail,
+            predicted_seconds=seconds,
+        )
+
+    def _model_node(
+        self,
+        sketch: RouteSketch,
+        statement: SelectStatement,
+        stats_by_table: dict[str, TableStats],
+    ) -> PlanNode:
+        table_stats = (
+            stats_by_table.get(statement.table.name) if statement.table is not None else None
+        )
+        predicted_error = self._predict_relative_error(sketch, table_stats)
+        fill_scan_rows = (
+            float(table_stats.row_count)
+            if (table_stats is not None and sketch.uncovered_rows > 0)
+            else None
+        )
+        seconds = self.cost_model.model_route_seconds(
+            sketch.est_points, sketch.uncovered_rows, fill_scan_rows=fill_scan_rows
+        )
+        node = PlanNode(
+            kind="model-route",
+            route=sketch.route,
+            detail=sketch.detail,
+            predicted_seconds=seconds,
+            predicted_relative_error=predicted_error,
+            model_ids=list(sketch.model_ids),
+        )
+        if sketch.route == "grouped-hybrid":
+            # The hybrid subplan made explicit: model-served groups and the
+            # exact fill-in are separate children with their own costs.
+            node.children = [
+                PlanNode(
+                    kind="model-route",
+                    route="grouped-model",
+                    detail=f"{sketch.n_model_groups} group(s) from model(s)",
+                    predicted_seconds=self.cost_model.model_route_seconds(sketch.est_points),
+                    predicted_relative_error=predicted_error,
+                    model_ids=list(sketch.model_ids),
+                ),
+                PlanNode(
+                    kind="exact",
+                    route="exact-fill-in",
+                    detail=(
+                        f"{sketch.n_exact_groups} uncovered group(s), "
+                        f"≈{sketch.uncovered_rows:.0f} row(s) computed exactly"
+                    ),
+                    predicted_seconds=self.cost_model.exact_fill_seconds(
+                        sketch.uncovered_rows, fill_scan_rows=fill_scan_rows
+                    ),
+                ),
+            ]
+        return node
+
+    def _predict_relative_error(
+        self, sketch: RouteSketch, table_stats: TableStats | None
+    ) -> float:
+        """Predicted |relative error| of the sketched route.
+
+        Base: the serving model's residual error relative to the output
+        scale (recorded at capture, else derived from catalog stats), then
+        scaled by the worst aggregate in the SELECT list — counts come from
+        near-live cardinalities, extremes pay the extreme-value premium.
+        """
+        base = sketch.relative_rse
+        if base is None:
+            scale = None
+            if table_stats is not None and sketch.output_column:
+                column_stats = table_stats.columns.get(sketch.output_column)
+                if column_stats is not None and column_stats.mean is not None:
+                    scale = abs(float(column_stats.mean))
+            if scale and scale > 0 and sketch.residual_standard_error >= 0:
+                base = sketch.residual_standard_error / scale
+            elif sketch.residual_standard_error == 0.0:
+                base = 0.0
+            else:
+                base = math.inf
+        if sketch.aggregate_functions:
+            factor = max(
+                _AGGREGATE_ERROR_FACTOR.get(function, 1.0)
+                for function in sketch.aggregate_functions
+            )
+        else:
+            factor = 1.0
+        return base * factor
+
+    def _choose(
+        self,
+        contract: AccuracyContract,
+        model_node: PlanNode | None,
+        exact_node: PlanNode,
+    ) -> tuple[PlanNode, str]:
+        if contract.mode == "exact":
+            return exact_node, "contract pins exact execution"
+        if contract.mode == "approx":
+            if model_node is not None:
+                return model_node, "contract pins model serving"
+            if contract.allow_exact_fallback:
+                return exact_node, "no model route applies; exact fallback"
+            return exact_node, "no model route applies (execution will raise)"
+        # auto: admit the model route by error budget, then route by
+        # deadline and predicted cost.
+        if model_node is None:
+            return exact_node, "no model route applies"
+        budget = contract.error_budget
+        if model_node.predicted_relative_error > budget:
+            return exact_node, (
+                f"predicted error {model_node.predicted_relative_error:.2%} exceeds "
+                f"budget {budget:.2%}"
+            )
+        deadline = contract.deadline_seconds
+        if exact_node.predicted_seconds > deadline >= model_node.predicted_seconds:
+            return model_node, (
+                f"exact predicted {exact_node.predicted_seconds * 1000:.2f}ms blows the "
+                f"{contract.deadline_ms:g}ms deadline; model route fits"
+            )
+        if contract.max_relative_error is not None:
+            # An explicit error budget is a declared willingness to accept
+            # approximate answers: once the predicted error fits the budget
+            # the model route wins regardless of the (usually marginal on
+            # small tables) cost difference.
+            return model_node, (
+                f"predicted error {model_node.predicted_relative_error:.2%} within "
+                f"budget {budget:.2%}"
+            )
+        if model_node.predicted_seconds <= exact_node.predicted_seconds:
+            return model_node, (
+                f"no error budget given; model route "
+                f"{exact_node.predicted_seconds / max(model_node.predicted_seconds, 1e-12):.1f}x "
+                f"cheaper than exact"
+            )
+        return exact_node, "exact execution predicted cheaper than the model route"
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(
+        self, sql: str, contract: AccuracyContract | None = None
+    ) -> PlannedAnswer:
+        """Plan and execute ``sql`` under ``contract``."""
+        contract = contract or AUTO
+        started = perf_counter()
+        # IO is measured around planning *and* execution: planning may
+        # trigger the one-off on-demand grouped harvest, whose scan is
+        # charged to the query that caused it (as the engine always did).
+        io_before = self.database.io_snapshot()
+        plan = self.plan(sql, contract, for_execution=True)
+
+        if plan.statement_type != "select":
+            result = self.database.sql(sql)
+            return PlannedAnswer(
+                sql=sql,
+                contract=contract,
+                plan=plan,
+                table=result.table,
+                route_taken=plan.statement_type,
+                is_exact=True,
+                query_result=result,
+                elapsed_seconds=perf_counter() - started,
+            )
+
+        if plan.is_model_route or contract.mode == "approx":
+            statement = self.database.parse_sql(sql)
+            approx = self.engine.answer(
+                sql,
+                allow_fallback=contract.allow_exact_fallback,
+                statement=statement,
+                grouped_route_plan=(
+                    plan.sketch.grouped_plan if plan.sketch is not None else None
+                ),
+            )
+            io_after = self.database.io_snapshot()
+            approx.io = {
+                key: io_after[key] - io_before.get(key, 0.0) for key in io_after
+            }
+            answer = PlannedAnswer(
+                sql=sql,
+                contract=contract,
+                plan=plan,
+                table=approx.table,
+                route_taken=approx.route,
+                is_exact=approx.is_exact,
+                approx=approx,
+                column_errors=dict(approx.column_errors),
+            )
+            if not approx.is_exact and approx.used_model_ids and self.feedback.should_verify(contract):
+                answer.feedback = self.feedback.verify(sql, approx)
+            answer.elapsed_seconds = perf_counter() - started
+            return answer
+
+        result = self.database.sql(sql)
+        return PlannedAnswer(
+            sql=sql,
+            contract=contract,
+            plan=plan,
+            table=result.table,
+            route_taken="exact",
+            is_exact=True,
+            query_result=result,
+            elapsed_seconds=perf_counter() - started,
+        )

@@ -13,7 +13,7 @@ why the gate matters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -62,6 +62,26 @@ class QualityPolicy:
     #: For grouped models: minimum fraction of groups that must individually
     #: pass for the grouped model as a whole to be accepted.
     min_group_pass_fraction: float = 0.5
+    #: Observed-error feedback (the planner's closed loop): once at least
+    #: ``observed_error_min_samples`` sampled answers have a median
+    #: |relative error| above ``max_observed_relative_error``, the model is
+    #: demoted and queued for a maintenance refit.
+    max_observed_relative_error: float = 0.2
+    observed_error_min_samples: int = 3
+
+    def flags_observed_errors(self, observed_errors: "list[float] | tuple[float, ...]") -> bool:
+        """True when sampled execution errors show the model is lying.
+
+        The median (not the mean) is judged so a single adversarial query —
+        one unlucky group, a near-zero denominator — cannot demote an
+        otherwise healthy model.
+        """
+        if len(observed_errors) < self.observed_error_min_samples:
+            return False
+        finite = [e for e in observed_errors if np.isfinite(e)]
+        if len(finite) < self.observed_error_min_samples:
+            return False
+        return float(np.median(finite)) > self.max_observed_relative_error
 
     def accepts(self, quality: ModelQuality) -> bool:
         if quality.n_observations < self.min_observations:
@@ -77,13 +97,7 @@ class QualityPolicy:
 
     def with_threshold(self, min_r_squared: float) -> "QualityPolicy":
         """A copy of this policy with a different R² gate (ablation helper)."""
-        return QualityPolicy(
-            min_r_squared=min_r_squared,
-            min_observations=self.min_observations,
-            f_test_alpha=self.f_test_alpha,
-            require_f_test=self.require_f_test,
-            min_group_pass_fraction=self.min_group_pass_fraction,
-        )
+        return replace(self, min_r_squared=min_r_squared)
 
 
 def judge_fit(

@@ -10,13 +10,21 @@ data."
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Mapping, Sequence
 
-from repro.core.approx.engine import ApproximateAnswer, ApproximateQueryEngine
+from repro.core.approx.engine import ApproximateAnswer, ApproximateQueryEngine, _relative_errors
 from repro.core.approx.anomalies import AnomalyReport, detect_anomalies
 from repro.core.captured_model import CapturedModel
 from repro.core.harvester import HarvestReport, ModelHarvester
 from repro.core.model_store import ModelStore
+from repro.core.planner import (
+    AccuracyContract,
+    ObservedErrorFeedback,
+    PlannedAnswer,
+    UnifiedPlan,
+    UnifiedPlanner,
+)
 from repro.core.quality import QualityPolicy
 from repro.core.storage.model_switching import ModelLifecycleManager
 from repro.core.storage.semantic_compression import CompressedTable, ModelCompressor
@@ -27,6 +35,7 @@ from repro.db.io_model import IOParameters
 from repro.db.schema import Schema
 from repro.db.sql.executor import QueryResult
 from repro.db.table import Table
+from repro.errors import ApproximationError
 from repro.streaming.ingest import IngestBatch, IngestStats, StreamIngestor
 from repro.streaming.maintenance import MaintenanceReport, ModelMaintenancePolicy, WatchTarget
 
@@ -42,6 +51,8 @@ class LawsDatabase:
         io_parameters: IOParameters | None = None,
         use_legal_filter: bool = False,
         ingest_batch_size: int = 512,
+        verify_sample_fraction: float = 0.05,
+        verify_seed: int | None = None,
     ) -> None:
         self.database = Database(io_parameters)
         self.models = ModelStore()
@@ -59,6 +70,21 @@ class LawsDatabase:
             self.database, self.models, self.harvester, self.lifecycle
         )
         self.ingestor.add_listener(self._on_ingest_batch)
+        # The unified planner: the single query entry point that cost-routes
+        # between the model-serving routes and the exact vectorized engine,
+        # auditing a sample of served answers against exact execution.
+        self.planner = UnifiedPlanner(
+            self.database,
+            self.models,
+            self.approx,
+            feedback=ObservedErrorFeedback(
+                self.database,
+                self.models,
+                quality_policy=self.harvester.policy,
+                sample_fraction=verify_sample_fraction,
+                seed=verify_seed,
+            ),
+        )
 
     # -- data management (delegated to the substrate) -----------------------------
 
@@ -126,19 +152,138 @@ class LawsDatabase:
         self.lifecycle.on_data_changed(batch.table_name)
         self.maintenance.on_batch(batch)
 
-    # -- SQL ------------------------------------------------------------------------
+    # -- SQL: the unified entry point ------------------------------------------------
+
+    def query(
+        self, sql: str, contract: AccuracyContract | None = None
+    ) -> PlannedAnswer:
+        """Execute SQL through the unified accuracy-aware planner.
+
+        This is the single entry point: the planner cost-routes every
+        statement between the captured-model serving routes and the exact
+        vectorized engine, honouring the :class:`AccuracyContract` (error
+        budget, deadline, mode).  A sampled fraction of model-served
+        answers is verified against exact execution; the observed errors
+        feed model quality and demote models the planner caught lying, so
+        the maintenance loop refits them.
+        """
+        return self.planner.execute(sql, contract)
+
+    def explain(self, sql: str, contract: AccuracyContract | None = None) -> str:
+        """The unified plan for ``sql``: candidate routes, predicted cost
+        and predicted error per node, and the contract-driven decision —
+        without executing anything or mutating the model store."""
+        return self.planner.explain(sql, contract)
+
+    def plan(
+        self, sql: str, contract: AccuracyContract | None = None
+    ) -> UnifiedPlan:
+        """The :class:`UnifiedPlan` for ``sql`` (side-effect free)."""
+        return self.planner.plan(sql, contract, for_execution=False)
+
+    # -- SQL: deprecated pre-planner entry points -------------------------------------
 
     def sql(self, query: str) -> QueryResult:
-        """Execute SQL exactly against the stored data."""
-        return self.database.sql(query)
+        """Execute SQL exactly against the stored data.
+
+        .. deprecated:: use :meth:`query` with
+           ``AccuracyContract(mode="exact")`` — the unified planner is the
+           single entry point and keeps EXPLAIN/feedback consistent.
+        """
+        warnings.warn(
+            'LawsDatabase.sql() is deprecated; use query(sql, AccuracyContract(mode="exact"))',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        answer = self.query(query, AccuracyContract(mode="exact"))
+        assert answer.query_result is not None
+        return answer.query_result
 
     def approximate_sql(self, query: str, allow_fallback: bool = True) -> ApproximateAnswer:
-        """Answer SQL approximately from captured models (§4.2)."""
-        return self.approx.answer(query, allow_fallback=allow_fallback)
+        """Answer SQL approximately from captured models (§4.2).
+
+        .. deprecated:: use :meth:`query` with
+           ``AccuracyContract(mode="approx")`` (set
+           ``allow_exact_fallback=False`` for the strict variant).
+        """
+        warnings.warn(
+            'LawsDatabase.approximate_sql() is deprecated; use '
+            'query(sql, AccuracyContract(mode="approx"))',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.db.sql.ast import SelectStatement
+
+        if not isinstance(self.database.parse_sql(query), SelectStatement):
+            # Non-SELECT statements: the engine never served these from
+            # models; preserve its behaviour (raise before any side effect
+            # when fallback is refused, else execute exactly with reason).
+            if not allow_fallback:
+                raise ApproximationError(
+                    "only SELECT statements can be answered approximately"
+                )
+            result = self.query(query).query_result
+            assert result is not None
+            return ApproximateAnswer(
+                sql=query,
+                table=result.table,
+                route="exact-fallback",
+                is_exact=True,
+                reason="only SELECT statements can be answered approximately",
+                elapsed_seconds=result.elapsed_seconds,
+                io=dict(result.io),
+            )
+        answer = self.query(
+            query,
+            AccuracyContract(
+                mode="approx",
+                allow_exact_fallback=allow_fallback,
+                verify_fraction=0.0,
+            ),
+        )
+        assert answer.approx is not None
+        return answer.approx
 
     def compare_sql(self, query: str) -> dict[str, Any]:
-        """Run a query both ways and report the approximation error."""
-        return self.approx.compare(query)
+        """Run a query both ways and report the approximation error.
+
+        .. deprecated:: use :meth:`query` twice with pinned contracts (one
+           ``mode="approx"``, one ``mode="exact"``) — this shim does
+           exactly that.
+        """
+        warnings.warn(
+            "LawsDatabase.compare_sql() is deprecated; use query() with pinned "
+            "approx/exact contracts",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        approx_answer = self.query(
+            query,
+            AccuracyContract(mode="approx", verify_fraction=0.0),
+        ).approx
+        assert approx_answer is not None
+        exact_result = self.query(query, AccuracyContract(mode="exact")).query_result
+        assert exact_result is not None
+        exact_answer = ApproximateAnswer(
+            sql=query,
+            table=exact_result.table,
+            route="exact-fallback",
+            is_exact=True,
+            reason="exact execution requested",
+            elapsed_seconds=exact_result.elapsed_seconds,
+            io=dict(exact_result.io),
+        )
+        errors = _relative_errors(approx_answer.table, exact_answer.table)
+        return {
+            "approximate": approx_answer,
+            "exact": exact_answer,
+            "route": approx_answer.route,
+            "group_routes": dict(approx_answer.group_routes),
+            "relative_errors": errors,
+            "max_relative_error": max(errors.values()) if errors else None,
+            "approx_pages_read": approx_answer.io.get("pages_read", 0.0),
+            "exact_pages_read": exact_answer.io.get("pages_read", 0.0),
+        }
 
     # -- model harvesting -----------------------------------------------------------------
 

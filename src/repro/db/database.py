@@ -85,6 +85,20 @@ class Database:
         """Execute a SQL statement and return its result."""
         return self._executor.execute(query)
 
+    def parse_sql(self, query: str):
+        """Parse a SQL statement through the executor's LRU parse cache.
+
+        Other front-ends (the approximate engine, the unified planner)
+        analyse the same statement text repeatedly; routing them through the
+        shared cache means each distinct statement is parsed once.
+        """
+        return self._executor.parse_statement(query)
+
+    @property
+    def executor(self) -> SQLExecutor:
+        """The SQL executor (exposes the parse/plan cache to the planner)."""
+        return self._executor
+
     def query(self, query: str) -> Table:
         """Execute a SELECT and return just the result table."""
         return self._executor.execute(query).table

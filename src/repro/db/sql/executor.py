@@ -128,6 +128,24 @@ class SQLExecutor:
 
     # -- parse / plan caching -------------------------------------------------
 
+    def parse_statement(self, sql: str) -> Statement:
+        """Parse ``sql`` through the executor's LRU parse cache.
+
+        This is the public entry for other query front-ends (the approximate
+        engine, the unified planner) so repeated statement text is lexed and
+        parsed exactly once per process instead of once per call site.
+        """
+        return self._parse(sql)
+
+    def plan_statement(self, sql: str, statement: SelectStatement) -> tuple[PlannedQuery, str]:
+        """Plan a SELECT through the version-keyed LRU plan cache.
+
+        Exposed for the unified planner: a cached plan is only reused while
+        ``catalog.version`` is unchanged, so DDL or data changes can never
+        serve a stale schema.
+        """
+        return self._plan(sql, statement)
+
     def _parse(self, sql: str) -> Statement:
         """Parse ``sql``, reusing the cached AST for repeated statement text.
 

@@ -249,6 +249,19 @@ class ModelMaintenancePolicy:
         verdict = target.last_verdict
         drifted = verdict is not None and verdict.drifted
 
+        demotion_reason = model.metadata.pop("planner_demoted", None)
+        if demotion_reason is not None:
+            # The unified planner sampled this model's answers against exact
+            # execution and caught it lying (observed error beyond the
+            # quality policy's tolerance).  A quiet drift detector — or a
+            # deferred refit — must not talk us out of it: observed errors
+            # are ground truth where the detector only sees residual
+            # proxies, so refit immediately.
+            target.refit_deferred_at_rows = None
+            return self._refit_coverage(
+                target, model, reason=f"planner demotion: {demotion_reason}"
+            )
+
         if (
             target.refit_deferred_at_rows is not None
             and self.database.table(target.table_name).num_rows <= target.refit_deferred_at_rows

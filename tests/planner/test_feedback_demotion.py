@@ -1,0 +1,175 @@
+"""The closed feedback loop: observed errors demote models, maintenance refits.
+
+The acceptance scenario of the unified planner: a model that was healthy
+at capture time starts lying after the data shifts underneath it.  The
+planner — sampling executed plans against exact execution — records the
+observed relative errors into the store, the quality policy flags the
+evidence, the model is demoted, and the next maintenance tick refits it
+instead of quietly re-validating.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AccuracyContract, LawsDatabase
+from repro.core.quality import QualityPolicy
+
+
+class TestQualityPolicyObservedErrors:
+    def test_too_few_samples_never_flag(self):
+        policy = QualityPolicy()
+        assert not policy.flags_observed_errors([9.9])
+        assert not policy.flags_observed_errors([9.9, 9.9])
+
+    def test_median_gates_the_decision(self):
+        policy = QualityPolicy(max_observed_relative_error=0.2)
+        # One adversarial outlier among good samples must not demote.
+        assert not policy.flags_observed_errors([0.01, 5.0, 0.02])
+        # A consistently lying model does.
+        assert policy.flags_observed_errors([0.5, 0.6, 0.7])
+
+    def test_non_finite_samples_are_ignored(self):
+        policy = QualityPolicy()
+        assert not policy.flags_observed_errors([float("inf"), float("nan"), 0.5])
+
+
+@pytest.fixture()
+def shifting_db():
+    """A database whose captured law stops holding after an append."""
+    rng = np.random.default_rng(3)
+    db = LawsDatabase(verify_sample_fraction=0.0)
+    x = rng.uniform(0, 10, 200)
+    db.load_dict(
+        "t", {"x": x.tolist(), "y": (3.0 * x + rng.normal(0, 0.05, 200)).tolist()}
+    )
+    report = db.fit("t", "y ~ linear(x)")
+    assert report.accepted
+    db.watch("t", "y")
+    return db, report.model
+
+
+def test_observed_error_sample_demotes_and_maintenance_refits(shifting_db):
+    db, model = shifting_db
+    # The data shifts: ten times as many rows now follow y = 7x.  The
+    # captured y = 3x model is stale-but-servable and still predicted
+    # healthy from its capture-time quality.
+    rng = np.random.default_rng(4)
+    x_new = rng.uniform(0, 10, 2000)
+    db.insert_rows(
+        "t", list(zip(x_new.tolist(), (7.0 * x_new + rng.normal(0, 0.05, 2000)).tolist()))
+    )
+
+    # Three audited executions: the planner serves from the model (the
+    # predicted error still fits the generous budget) and verifies each
+    # answer against exact execution.
+    contract = AccuracyContract(max_relative_error=0.5, verify_fraction=1.0)
+    observed = []
+    for _ in range(3):
+        answer = db.query("SELECT avg(y) AS m FROM t", contract)
+        assert not answer.is_exact, answer.plan.reason
+        assert answer.feedback is not None
+        observed.append(answer.observed_relative_error)
+    assert all(err is not None and err > 0.2 for err in observed)
+
+    # The third sample crossed the quality policy's evidence bar: the
+    # model is demoted (stale + flagged for refit).
+    assert model.observed_errors == pytest.approx(observed)
+    assert model.metadata.get("planner_demoted")
+    assert model.status == "stale"
+
+    # The maintenance tick refits the demoted model — a quiet drift
+    # detector must not talk it out of it — and supersedes it.
+    report = db.maintain()
+    refits = report.actions_of_kind("refit")
+    assert len(refits) == 1
+    action = refits[0]
+    assert "planner demotion" in action.details
+    assert action.old_model_ids == (model.model_id,)
+    assert action.new_model_ids, action.details
+    assert model.status == "superseded"
+    assert "planner_demoted" not in model.metadata
+
+    # The refitted model serves the post-shift law: a fresh audited query
+    # now observes a small error.
+    answer = db.query("SELECT avg(y) AS m FROM t", contract)
+    assert not answer.is_exact
+    assert answer.observed_relative_error is not None
+    assert answer.observed_relative_error < 0.05
+
+
+def test_healthy_model_is_not_demoted(shifting_db):
+    db, model = shifting_db
+    contract = AccuracyContract(max_relative_error=0.5, verify_fraction=1.0)
+    for _ in range(4):
+        answer = db.query("SELECT avg(y) AS m FROM t", contract)
+        assert not answer.is_exact
+        assert answer.feedback is not None
+        assert not answer.feedback.demoted_model_ids
+    assert model.status == "active"
+    assert "planner_demoted" not in model.metadata
+
+
+def test_row_order_differences_are_not_model_error():
+    """Grouped verification aligns by group key, not row position.
+
+    Without ORDER BY the grouped route emits groups in sorted order while
+    exact execution emits first-seen order; a pure ordering difference must
+    not read as observed error (and must never demote a healthy model).
+    """
+    rng = np.random.default_rng(9)
+    db = LawsDatabase(verify_sample_fraction=0.0)
+    rows = []
+    for g in (5, 4, 3, 2, 1, 0):  # first-seen order is descending
+        for x in range(4):
+            for _ in range(8):
+                rows.append((g, float(x), 1.0 + 10.0 * g + 0.5 * x + rng.normal(0, 0.05)))
+    db.load_dict(
+        "t",
+        {"g": [r[0] for r in rows], "x": [r[1] for r in rows], "y": [r[2] for r in rows]},
+    )
+    report = db.fit("t", "y ~ linear(x)", group_by="g")
+    assert report.accepted
+    contract = AccuracyContract(max_relative_error=0.5, verify_fraction=1.0)
+    for _ in range(3):
+        answer = db.query("SELECT g, avg(y) AS m FROM t GROUP BY g", contract)
+        assert not answer.is_exact
+        assert answer.feedback is not None
+        assert answer.observed_relative_error is not None
+        assert answer.observed_relative_error < 0.05
+        assert not answer.feedback.demoted_model_ids
+    assert report.model.status == "active"
+
+
+def test_per_model_error_attribution():
+    """Errors are attributed to the model that served the group, so one
+    lying model cannot demote a healthy co-serving model."""
+    rng = np.random.default_rng(13)
+    db = LawsDatabase(verify_sample_fraction=0.0)
+    rows = []
+    for g in range(4):
+        for x in range(4):
+            for _ in range(8):
+                rows.append((g, float(x), 5.0 + 2.0 * g + 1.0 * x + rng.normal(0, 0.05)))
+    db.load_dict(
+        "t",
+        {"g": [r[0] for r in rows], "x": [r[1] for r in rows], "y": [r[2] for r in rows]},
+    )
+    report = db.fit("t", "y ~ linear(x)", group_by="g")
+    assert report.accepted
+    contract = AccuracyContract(max_relative_error=0.5, verify_fraction=1.0)
+    answer = db.query("SELECT g, avg(y) AS m FROM t GROUP BY g", contract)
+    assert not answer.is_exact
+    # Healthy data: the model's recorded evidence matches its own groups'
+    # observed error, well under the demotion bar.
+    assert report.model.observed_errors
+    assert all(err < 0.05 for err in report.model.observed_errors)
+
+
+def test_verification_is_sampled_not_constant(shifting_db):
+    db, _ = shifting_db
+    # verify_fraction=0 never audits; the answer carries no feedback.
+    answer = db.query(
+        "SELECT avg(y) AS m FROM t",
+        AccuracyContract(max_relative_error=0.5, verify_fraction=0.0),
+    )
+    assert answer.feedback is None

@@ -1,0 +1,227 @@
+"""Cold-start benchmark for the durable storage & model warehouse layer.
+
+Measures the three durability hot paths and emits ``BENCH_coldstart.json``
+(the committed baseline CI gates via ``check_hotpath_regression.py``):
+
+``cold_start``
+    ``LawsDatabase.open(path)`` over a checkpointed store (snapshot load +
+    WAL replay + warehouse rehydration) vs. the *full raw reload* a system
+    without a warehouse must do — reload every raw row and refit every
+    model from scratch.
+``checkpoint``
+    Columnar-segment checkpoint throughput vs. a naive row-at-a-time JSON
+    dump of the same tables.
+``wal_replay``
+    Batched WAL replay throughput vs. seed-style row-at-a-time appends of
+    the same rows.
+
+Usage::
+
+    python benchmarks/bench_cold_start.py [--rows 50000] [--output BENCH_coldstart.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import LawsDatabase  # noqa: E402
+
+NUM_SOURCES = 12
+FREQUENCIES = [0.12, 0.15, 0.16, 0.18]
+WAL_BATCH = 512
+ROUNDS = 3
+
+
+def _best(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = perf_counter()
+        fn()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def _dataset(rows: int, seed: int = 17) -> dict[str, list]:
+    rng = np.random.default_rng(seed)
+    source = rng.integers(0, NUM_SOURCES, size=rows)
+    frequency = rng.choice(FREQUENCIES, size=rows)
+    intensity = (2.0 + 0.4 * source) * frequency**-0.7 * (
+        1.0 + 0.02 * rng.standard_normal(rows)
+    )
+    return {
+        "source": [int(v) for v in source],
+        "frequency": [float(v) for v in frequency],
+        "intensity": [float(v) for v in intensity],
+    }
+
+
+def _stream_rows(rows: int, seed: int = 29) -> list[tuple]:
+    data = _dataset(rows, seed=seed)
+    return list(zip(data["source"], data["frequency"], data["intensity"]))
+
+
+def _build_store(root: Path, data: dict[str, list], wal_rows: list[tuple]) -> float:
+    """Create a checkpointed store with a WAL tail; returns checkpoint seconds."""
+    db = LawsDatabase.open(root, ingest_batch_size=WAL_BATCH)
+    db.load_dict("measurements", data)
+    db.fit("measurements", "intensity ~ powerlaw(frequency)", group_by="source")
+    started = perf_counter()
+    db.checkpoint()
+    checkpoint_seconds = perf_counter() - started
+    if wal_rows:
+        db.ingest("measurements", wal_rows, flush=True)
+    db.durable.wal.close()  # crash-style exit: the WAL tail stays
+    return checkpoint_seconds
+
+
+def bench_cold_start(rows: int, wal_rows: int) -> dict:
+    data = _dataset(rows)
+    stream = _stream_rows(wal_rows)
+    root = Path(tempfile.mkdtemp(prefix="bench_coldstart_")) / "db"
+    try:
+        _build_store(root, data, stream)
+        total_rows = rows + wal_rows
+
+        def cold_open():
+            db = LawsDatabase.open(root)
+            assert db.table("measurements").num_rows == total_rows
+            assert db.last_recovery.models_restored == 1
+            db.close()
+
+        cold_seconds = _best(cold_open)
+
+        def full_raw_reload():
+            db = LawsDatabase()
+            db.load_dict("measurements", data)
+            db.insert_rows("measurements", stream)
+            report = db.fit(
+                "measurements", "intensity ~ powerlaw(frequency)", group_by="source"
+            )
+            assert report.accepted
+
+        reload_seconds = _best(full_raw_reload, rounds=1)
+        return {
+            "rows": total_rows,
+            "wal_rows": wal_rows,
+            "seconds": cold_seconds,
+            "rows_per_second": total_rows / cold_seconds,
+            "reference": "full raw reload + model refit (no warehouse)",
+            "reference_seconds": reload_seconds,
+            "speedup_vs_seed": reload_seconds / cold_seconds,
+        }
+    finally:
+        shutil.rmtree(root.parent, ignore_errors=True)
+
+
+def bench_checkpoint(rows: int) -> dict:
+    data = _dataset(rows)
+    root = Path(tempfile.mkdtemp(prefix="bench_checkpoint_")) / "db"
+    try:
+        db = LawsDatabase.open(root)
+        db.load_dict("measurements", data)
+        db.fit("measurements", "intensity ~ powerlaw(frequency)", group_by="source")
+        checkpoint_seconds = _best(db.checkpoint)
+
+        table = db.table("measurements")
+        naive_path = root.parent / "naive.jsonl"
+
+        def naive_row_dump():
+            with open(naive_path, "w") as handle:
+                for row in table.iter_rows():  # seed idiom: row-at-a-time
+                    handle.write(json.dumps(row) + "\n")
+
+        naive_seconds = _best(naive_row_dump)
+        db.close()
+        return {
+            "rows": rows,
+            "seconds": checkpoint_seconds,
+            "rows_per_second": rows / checkpoint_seconds,
+            "reference": "row-at-a-time JSON table dump",
+            "reference_seconds": naive_seconds,
+            "speedup_vs_seed": naive_seconds / checkpoint_seconds,
+        }
+    finally:
+        shutil.rmtree(root.parent, ignore_errors=True)
+
+
+def bench_wal_replay(wal_rows: int) -> dict:
+    data = _dataset(2048)
+    stream = _stream_rows(wal_rows)
+    root = Path(tempfile.mkdtemp(prefix="bench_walreplay_")) / "db"
+    try:
+        _build_store(root, data, stream)
+
+        def replay_open():
+            db = LawsDatabase.open(root)
+            assert db.last_recovery.wal_rows_replayed == wal_rows
+            db.close()
+
+        replay_seconds = _best(replay_open)
+
+        def seed_row_appends():
+            db = LawsDatabase()
+            db.load_dict("measurements", data)
+            for row in stream:  # seed idiom: one append per arriving row
+                db.database.insert_rows("measurements", [row])
+
+        seed_seconds = _best(seed_row_appends, rounds=1)
+        return {
+            "rows": wal_rows,
+            "seconds": replay_seconds,
+            "rows_per_second": wal_rows / replay_seconds,
+            "reference": "row-at-a-time appends of the same stream",
+            "reference_seconds": seed_seconds,
+            "speedup_vs_seed": seed_seconds / replay_seconds,
+        }
+    finally:
+        shutil.rmtree(root.parent, ignore_errors=True)
+
+
+def run(rows: int, wal_rows: int) -> dict:
+    return {
+        "benchmark": "bench_cold_start",
+        "generated_by": "benchmarks/bench_cold_start.py",
+        "schema_version": 1,
+        "rows": rows,
+        "rounds": ROUNDS,
+        "hot_paths": {
+            "cold_start": bench_cold_start(rows, wal_rows),
+            "checkpoint": bench_checkpoint(rows),
+            "wal_replay": bench_wal_replay(wal_rows),
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=50000)
+    parser.add_argument("--wal-rows", type=int, default=20480)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_coldstart.json",
+    )
+    args = parser.parse_args()
+    report = run(args.rows, args.wal_rows)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for name, entry in report["hot_paths"].items():
+        print(
+            f"{name:<12} {entry['rows_per_second']:>14,.0f} rows/s   "
+            f"{entry['speedup_vs_seed']:>8.1f}x vs {entry['reference']}"
+        )
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

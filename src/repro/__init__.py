@@ -12,6 +12,9 @@ The package is organised as:
   (sampling, histogram synopses, gzip, MauveDB, FunctionDB, SPARTAN).
 * :mod:`repro.streaming` — streaming ingestion and online model maintenance
   (drift detection, multiscale change-point segmentation, refit/supersede).
+* :mod:`repro.persist` — durable storage: columnar snapshots, checksummed
+  WAL, the versioned model warehouse and the model-only archive tier
+  (opt-in via ``LawsDatabase.open(path)``).
 * :mod:`repro.datasets` — synthetic data generators (LOFAR transients,
   TPC-DS-lite, sensor networks, generic time series).
 * :mod:`repro.bench` — the experiment harness used by the benchmark suite.

@@ -22,9 +22,21 @@ from repro.errors import ModelNotFoundError
 from repro.fitting.grouped import GroupedFitResult
 from repro.fitting.model import FitResult
 
-__all__ = ["ModelCoverage", "CapturedModel"]
+__all__ = ["ModelCoverage", "CapturedModel", "ensure_model_id_floor"]
 
 _id_counter = itertools.count(1)
+
+
+def ensure_model_id_floor(minimum: int) -> None:
+    """Advance the model-id sequence past ``minimum``.
+
+    The durable warehouse restores captured models with their original ids;
+    without raising the floor, the next in-process capture would reuse an id
+    the restored models already occupy.
+    """
+    global _id_counter
+    current = next(_id_counter)
+    _id_counter = itertools.count(max(current, int(minimum) + 1))
 
 
 @dataclass(frozen=True)

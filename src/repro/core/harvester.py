@@ -79,6 +79,14 @@ class ModelHarvester:
         self.database = database
         self.store = store
         self.policy = policy or QualityPolicy()
+        #: Optional callable ``(table_name) -> str | None`` naming why a
+        #: capture over the table is unsound right now.  The archive tier
+        #: sets this: with cold rows in the model-only tier, a fit would see
+        #: only the predicate-biased live remainder yet be served as
+        #: describing the full logical table.  Gated here — the chokepoint
+        #: every capture path (fit(), strawman, UDF interception, grouped
+        #: on-demand harvest, maintenance refits) runs through.
+        self.fit_guard: Any = None
         # Capture fits that go through the in-database UDF path as well.
         self.database.udfs.add_fit_listener(self._on_udf_fit)
 
@@ -114,6 +122,10 @@ class ModelHarvester:
             ``"lm"`` (Levenberg-Marquardt) or ``"gn"`` (Gauss-Newton) for
             non-linear families.
         """
+        if self.fit_guard is not None:
+            blocked = self.fit_guard(table_name)
+            if blocked is not None:
+                raise HarvestError(f"cannot capture a model of {table_name!r}: {blocked}")
         parsed = parse_formula(formula)
         group_columns = self._normalise_group_by(group_by)
         table = self._fitting_input(table_name, parsed, group_columns, predicate_sql)

@@ -32,10 +32,17 @@ class PlanNode:
     predicted_relative_error: float = 0.0
     model_ids: list[int] = field(default_factory=list)
     children: list["PlanNode"] = field(default_factory=list)
+    #: Set when this candidate cannot honestly execute (e.g. the raw rows it
+    #: needs were archived to the model-only tier).  Choosing it raises.
+    unavailable_reason: str | None = None
 
     @property
     def is_exact(self) -> bool:
         return self.kind != "model-route"
+
+    @property
+    def is_available(self) -> bool:
+        return self.unavailable_reason is None
 
     def render(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
@@ -50,7 +57,11 @@ class PlanNode:
             head = f"{pad}{self.route} [{cost}, {error}{models}]"
         else:
             head = f"{pad}{self.route} [{cost}, exact]"
+        if self.unavailable_reason is not None:
+            head += " [UNAVAILABLE]"
         lines = [head]
+        if self.unavailable_reason is not None:
+            lines.append(f"{pad}  ! {self.unavailable_reason}")
         if self.detail:
             lines.append(f"{pad}  · {self.detail}")
         for child in self.children:
@@ -79,6 +90,10 @@ class UnifiedPlan:
     #: the per-group routing is not recomputed; validity is guaranteed by
     #: the plan cache's catalog/store version key.
     sketch: Any = None
+    #: Set when raw rows this statement may need live in the model-only
+    #: archive tier: exact execution would be incomplete.  If the chosen
+    #: node is not a pure model route, execution raises with this reason.
+    archived_reason: str | None = None
 
     @property
     def is_model_route(self) -> bool:
@@ -97,4 +112,6 @@ class UnifiedPlan:
             lines.append(f"{marker} {rendered[0]}")
             lines.extend(f"   {line}" for line in rendered[1:])
         lines.append(f"Decision: {self.chosen.route} — {self.reason}")
+        if self.archived_reason is not None:
+            lines.append(f"Archived: {self.archived_reason}")
         return "\n".join(lines)

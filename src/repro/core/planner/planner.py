@@ -111,6 +111,11 @@ class UnifiedPlanner:
         self.engine = engine
         self.cost_model = cost_model or CostModel.from_bench()
         self.feedback = feedback or ObservedErrorFeedback(database, store)
+        #: Optional callable ``(SelectStatement) -> str | None`` naming why a
+        #: statement cannot honestly run over the raw rows (the archive
+        #: tier's model-only guard).  When it fires, only pure model routes
+        #: may execute; anything else raises with the reason.
+        self.archive_guard = None
         self.plan_cache_size = plan_cache_size
         self._plan_cache: OrderedDict[tuple, UnifiedPlan] = OrderedDict()
         self._cache_hits = 0
@@ -189,8 +194,15 @@ class UnifiedPlanner:
         exact_node = self._exact_node(sql, statement, stats_by_table)
         candidates = [exact_node]
 
+        archived_reason = (
+            self.archive_guard(statement) if self.archive_guard is not None else None
+        )
+
         sketch: RouteSketch | None = None
-        if contract.mode != "exact":
+        if contract.mode != "exact" or archived_reason is not None:
+            # Even under a pinned-exact contract an archived statement needs
+            # the model candidate sketched, so EXPLAIN shows the only honest
+            # route next to the unavailable exact one.
             sketch = self.engine.sketch_route(
                 sql, statement=statement, for_execution=for_execution
             )
@@ -199,7 +211,17 @@ class UnifiedPlanner:
             model_node = self._model_node(sketch, statement, stats_by_table)
             candidates.insert(0, model_node)
 
-        chosen, reason = self._choose(contract, model_node, exact_node)
+        if archived_reason is not None:
+            exact_node.unavailable_reason = archived_reason
+            if model_node is not None and sketch is not None and sketch.uncovered_rows > 0:
+                # A hybrid plan's exact fill-in scans raw rows the archive no
+                # longer holds — it is as dishonest as plain exact execution.
+                model_node.unavailable_reason = (
+                    "hybrid route needs an exact fill-in over archived raw rows"
+                )
+            chosen, reason = self._choose_archived(contract, model_node, exact_node)
+        else:
+            chosen, reason = self._choose(contract, model_node, exact_node)
         return UnifiedPlan(
             sql=sql,
             contract=contract,
@@ -210,6 +232,7 @@ class UnifiedPlanner:
             catalog_version=catalog_version,
             store_version=store_version,
             sketch=sketch,
+            archived_reason=archived_reason,
         )
 
     def _statement_stats(self, statement: SelectStatement) -> dict[str, TableStats]:
@@ -326,6 +349,43 @@ class UnifiedPlanner:
             factor = 1.0
         return base * factor
 
+    def _choose_archived(
+        self,
+        contract: AccuracyContract,
+        model_node: PlanNode | None,
+        exact_node: PlanNode,
+    ) -> tuple[PlanNode, str]:
+        """Route choice when raw rows live in the model-only archive tier.
+
+        Exact execution is off the table — it would silently compute over a
+        partial table.  A pure model route is admitted when the contract
+        tolerates its predicted error; otherwise the plan is deliberately
+        unexecutable and carries the honest reason.
+        """
+        usable = model_node is not None and model_node.is_available
+        if contract.mode == "exact":
+            return exact_node, (
+                "contract pins exact execution, but the raw rows are archived "
+                "— execution will raise"
+            )
+        if not usable:
+            detail = (
+                model_node.unavailable_reason
+                if model_node is not None
+                else "no model route applies"
+            )
+            return exact_node, f"{detail}; archived raw rows — execution will raise"
+        budget = contract.error_budget
+        if contract.mode == "auto" and model_node.predicted_relative_error > budget:
+            return exact_node, (
+                f"predicted error {model_node.predicted_relative_error:.2%} exceeds "
+                f"budget {budget:.2%} and the raw rows are archived — execution will raise"
+            )
+        return model_node, (
+            "raw segments archived to the model-only tier; serving purely from "
+            "warehouse models (zero raw IO)"
+        )
+
     def _choose(
         self,
         contract: AccuracyContract,
@@ -400,16 +460,34 @@ class UnifiedPlanner:
                 elapsed_seconds=perf_counter() - started,
             )
 
+        if plan.archived_reason is not None and not plan.is_model_route:
+            # No honest route: raw rows are archived and the contract (or
+            # the model population) rules out pure model serving.  An
+            # explicit refusal beats an answer computed over a partial table.
+            raise ApproximationError(f"{plan.reason}: {plan.archived_reason}")
+
         if plan.is_model_route or contract.mode == "approx":
             statement = self.database.parse_sql(sql)
-            approx = self.engine.answer(
-                sql,
-                allow_fallback=contract.allow_exact_fallback,
-                statement=statement,
-                grouped_route_plan=(
-                    plan.sketch.grouped_plan if plan.sketch is not None else None
-                ),
-            )
+            try:
+                approx = self.engine.answer(
+                    sql,
+                    # Falling back to exact is dishonest when raw rows are
+                    # archived: a mid-route failure must surface, not degrade
+                    # into an answer over the partial table.
+                    allow_fallback=(
+                        contract.allow_exact_fallback and plan.archived_reason is None
+                    ),
+                    statement=statement,
+                    grouped_route_plan=(
+                        plan.sketch.grouped_plan if plan.sketch is not None else None
+                    ),
+                )
+            except ApproximationError as exc:
+                if plan.archived_reason is not None:
+                    raise ApproximationError(
+                        f"{exc}; {plan.archived_reason}"
+                    ) from exc
+                raise
             io_after = self.database.io_snapshot()
             approx.io = {
                 key: io_after[key] - io_before.get(key, 0.0) for key in io_after
@@ -424,7 +502,15 @@ class UnifiedPlanner:
                 approx=approx,
                 column_errors=dict(approx.column_errors),
             )
-            if not approx.is_exact and approx.used_model_ids and self.feedback.should_verify(contract):
+            # No feedback sampling over archived tables: "exact" would run
+            # on the partial live rows and record bogus evidence against a
+            # model that is answering for the full logical table.
+            if (
+                not approx.is_exact
+                and approx.used_model_ids
+                and plan.archived_reason is None
+                and self.feedback.should_verify(contract)
+            ):
                 answer.feedback = self.feedback.verify(sql, approx)
             answer.elapsed_seconds = perf_counter() - started
             return answer

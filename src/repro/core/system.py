@@ -11,6 +11,7 @@ data."
 from __future__ import annotations
 
 import warnings
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.core.approx.engine import ApproximateAnswer, ApproximateQueryEngine, _relative_errors
@@ -33,9 +34,12 @@ from repro.core.strawman import StrawmanFrame
 from repro.db.database import Database
 from repro.db.io_model import IOParameters
 from repro.db.schema import Schema
+from repro.db.sql.ast import InsertStatement
 from repro.db.sql.executor import QueryResult
 from repro.db.table import Table
-from repro.errors import ApproximationError
+from repro.errors import ApproximationError, ArchiveError, PersistenceError
+from repro.persist.archive import ArchiveReport, ArchiveTier
+from repro.persist.store import CheckpointReport, DurableStore, RecoveryReport
 from repro.streaming.ingest import IngestBatch, IngestStats, StreamIngestor
 from repro.streaming.maintenance import MaintenanceReport, ModelMaintenancePolicy, WatchTarget
 
@@ -61,14 +65,20 @@ class LawsDatabase:
             self.database, self.models, use_legal_filter=use_legal_filter
         )
         # GROUP BY queries over a column whose captures are all ungrouped
-        # trigger an on-demand grouped harvest (same formula, per group).
-        self.approx.grouped_model_provider = self.harvester.ensure_grouped
+        # trigger an on-demand grouped harvest (same formula, per group) —
+        # guarded so it never fits against a table whose cold rows moved to
+        # the archive tier (the live remainder is predicate-biased).
+        self.approx.grouped_model_provider = self._grouped_model_provider
         self.lifecycle = ModelLifecycleManager(self.database, self.models, self.harvester)
         self.zero_io = ZeroIOScanner(self.database)
         self.ingestor = StreamIngestor(self.database, batch_size=ingest_batch_size)
         self.maintenance = ModelMaintenancePolicy(
             self.database, self.models, self.harvester, self.lifecycle
         )
+        self.maintenance.refit_guard = self._archive_refit_reason
+        # Every capture path funnels through the harvester; the guard there
+        # blocks fits over tables whose cold rows moved to the archive tier.
+        self.harvester.fit_guard = self._archive_refit_reason
         self.ingestor.add_listener(self._on_ingest_batch)
         # The unified planner: the single query entry point that cost-routes
         # between the model-serving routes and the exact vectorized engine,
@@ -85,17 +95,171 @@ class LawsDatabase:
                 seed=verify_seed,
             ),
         )
+        # Durable storage is strictly opt-in: a directly constructed
+        # LawsDatabase never touches disk.  ``LawsDatabase.open(path)``
+        # attaches a DurableStore and the model-only archive tier.
+        self.durable: DurableStore | None = None
+        self.archive_tier: ArchiveTier | None = None
+        self.last_recovery: RecoveryReport | None = None
+
+    # -- durable storage -----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        rows_per_segment: int = 65536,
+        fsync: bool = False,
+        **kwargs: Any,
+    ) -> "LawsDatabase":
+        """Open (or create) a durable database rooted at ``path``.
+
+        Recovery order: the last checkpoint's columnar snapshots are
+        loaded, the WAL tail is replayed (torn or corrupted tails are
+        truncated), and the model warehouse rehydrates every captured model
+        with its staleness, observed-error evidence and the planner's cost
+        calibration — so a reopened database cold-starts straight into
+        model serving.  Constructor keyword arguments pass through to
+        :class:`LawsDatabase`.
+        """
+        system = cls(**kwargs)
+        store = DurableStore(path, rows_per_segment=rows_per_segment, fsync=fsync)
+        system.durable = store
+        system.archive_tier = ArchiveTier(system.database, store.archive_dir)
+        system.planner.archive_guard = system.archive_tier.blocking_reason
+        system.last_recovery = store.recover(system)
+        return system
+
+    def checkpoint(self, flush_ingest: bool = True) -> CheckpointReport:
+        """Snapshot tables, warehouse and calibration; reset the WAL.
+
+        ``flush_ingest`` first flushes buffered stream rows so nothing the
+        producer already handed over is invisible to the snapshot.
+        """
+        store = self._require_durable("checkpoint")
+        if flush_ingest:
+            self.ingestor.flush()
+        return store.checkpoint(self)
+
+    def close(self) -> None:
+        """Detach the durable store (closing the WAL).  The in-memory
+        database stays usable; further writes are no longer logged."""
+        if self.durable is not None:
+            self.durable.close()
+            self.durable = None
+
+    def __enter__(self) -> "LawsDatabase":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, traceback: Any) -> None:
+        # A clean exit persists everything; on an exception the WAL already
+        # holds the acknowledged appends, so skip the (possibly failing)
+        # checkpoint and keep the last consistent manifest.  close() runs
+        # unconditionally — a failing exit checkpoint must still release
+        # the WAL handle.
+        if self.durable is not None:
+            try:
+                if exc_type is None:
+                    self.checkpoint()
+            finally:
+                self.close()
+
+    def _require_durable(self, operation: str) -> DurableStore:
+        if self.durable is None:
+            raise PersistenceError(
+                f"{operation}() needs a durable store; construct the database "
+                f"with LawsDatabase.open(path) — persistence is opt-in"
+            )
+        return self.durable
+
+    # -- the model-only archive tier -------------------------------------------------
+
+    def archive(self, table_name: str, predicate_sql: str) -> ArchiveReport:
+        """Drop the raw rows matching ``predicate_sql`` to the archive tier.
+
+        The rows move to durable archive segments; catalog statistics keep
+        describing the full logical table, and queries that may touch the
+        archived rows are served purely from warehouse models (or refused
+        with an explicit reason when the accuracy contract cannot be met).
+        """
+        store = self._require_durable("archive")
+        if self.archive_tier is None:  # pragma: no cover - open() always sets it
+            raise ArchiveError("no archive tier attached")
+        # The warehouse models about to serve in place of the raw rows must
+        # be durable BEFORE the raw rows stop being: the archive record is
+        # WAL-replayable immediately, but models only persist at
+        # checkpoints — replaying an archive with no models behind it would
+        # leave every non-disjoint query refusing until a manual recall.
+        self.checkpoint()
+        report = self.archive_tier.archive(table_name, predicate_sql)
+        # Logged like every other acknowledged mutation: an archive that a
+        # crash silently undoes would reload the shed rows into memory.
+        store.log_archive(table_name, predicate_sql)
+        return report
+
+    def recall_archive(self, table_name: str) -> int:
+        """Load a table's archived segments back into memory."""
+        store = self._require_durable("recall_archive")
+        if self.archive_tier is None:  # pragma: no cover - open() always sets it
+            raise ArchiveError("no archive tier attached")
+        restored = self.archive_tier.recall(table_name)
+        store.log_recall(table_name)
+        return restored
 
     # -- data management (delegated to the substrate) -----------------------------
 
     def create_table(self, name: str, schema: Schema) -> Table:
-        return self.database.create_table(name, schema)
+        table = self.database.create_table(name, schema)
+        self._log_new_table(table)
+        return table
 
     def register_table(self, table: Table, replace: bool = False) -> Table:
-        return self.database.register_table(table, replace=replace)
+        registered = self.database.register_table(table, replace=replace)
+        if replace and self.archive_tier is not None:
+            # Replacing a table replaces ALL of it: archived segments of the
+            # old incarnation must not haunt the new one (phantom stats,
+            # permanently blocked exact queries).
+            self.archive_tier.drop(table.name)
+        self._log_new_table(registered, replace=replace)
+        return registered
 
     def load_dict(self, name: str, data: Mapping[str, Sequence[Any]], schema: Schema | None = None) -> Table:
-        return self.database.load_dict(name, data, schema)
+        table = self.database.load_dict(name, data, schema)
+        self._log_new_table(table)
+        return table
+
+    def _log_new_table(self, table: Table, replace: bool = False) -> None:
+        if self.durable is None:
+            return
+        from repro.persist.store import LARGE_CREATE_SNAPSHOT_ROWS
+
+        if table.num_rows >= LARGE_CREATE_SNAPSHOT_ROWS:
+            # Bulk loads are snapshotted columnar and referenced from one
+            # WAL record: framing millions of rows as JSON (and re-parsing
+            # them on every reopen) is the slow path the cold-start bench
+            # exists to avoid — and checkpointing per load would re-snapshot
+            # every earlier table, going quadratic across a load burst.
+            self.durable.log_load_table(table, replace=replace)
+        else:
+            self.durable.log_create_table(table, replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table, retire its captured models, and log the drop.
+
+        Dropping through this wrapper (not ``db.database.drop_table``)
+        keeps the WAL consistent — an unlogged drop would be resurrected
+        from the last snapshot on crash recovery.  Archived segments of the
+        table are discarded with it (the rows belong to the table), so a
+        recreated table of the same name starts clean.
+        """
+        self.database.drop_table(name)
+        for model in self.models.models_for_table(name, include_unusable=True):
+            if model.status != "retired":
+                self.models.retire_model(model.model_id)
+        if self.archive_tier is not None:
+            self.archive_tier.drop(name)
+        if self.durable is not None:
+            self.durable.log_drop_table(name)
 
     def table(self, name: str) -> Table:
         return self.database.table(name)
@@ -106,6 +270,10 @@ class LawsDatabase:
     def insert_rows(self, name: str, rows: Sequence[Sequence[Any]]) -> None:
         """Append rows; captured models of the table become stale (§4.1)."""
         self.database.insert_rows(name, rows)
+        if self.durable is not None:
+            # Logged only after the append succeeded: a row the substrate
+            # rejected must never reach the redo log.
+            self.durable.log_append(name, rows)
         self.lifecycle.on_data_changed(name)
 
     # -- streaming ingestion & online maintenance -----------------------------------
@@ -149,6 +317,11 @@ class LawsDatabase:
         return self.maintenance.maintain()
 
     def _on_ingest_batch(self, batch: IngestBatch) -> None:
+        if self.durable is not None:
+            # The batch is committed to the table by the time listeners run;
+            # framing it into the WAL is what makes it survive a crash
+            # between checkpoints.
+            self.durable.log_append(batch.table_name, batch.rows)
         self.lifecycle.on_data_changed(batch.table_name)
         self.maintenance.on_batch(batch)
 
@@ -167,7 +340,20 @@ class LawsDatabase:
         feed model quality and demote models the planner caught lying, so
         the maintenance loop refits them.
         """
-        return self.planner.execute(sql, contract)
+        answer = self.planner.execute(sql, contract)
+        if answer.plan.statement_type in ("create", "insert"):
+            if self.durable is not None:
+                # DDL/DML through the SQL front-end mutates the catalog like
+                # any programmatic write: it must survive a crash the same way.
+                self.durable.log_sql(sql)
+            statement = self.database.parse_sql(sql)
+            if isinstance(statement, InsertStatement):
+                # Same lifecycle contract as insert_rows(): appended data
+                # marks the table's captured models stale (§4.1) — and keeps
+                # the live process consistent with what a WAL replay of this
+                # very statement does on recovery.
+                self.lifecycle.on_data_changed(statement.name)
+        return answer
 
     def explain(self, sql: str, contract: AccuracyContract | None = None) -> str:
         """The unified plan for ``sql``: candidate routes, predicted cost
@@ -370,24 +556,60 @@ class LawsDatabase:
     # -- accounting -----------------------------------------------------------------------------
 
     def storage_report(self) -> dict[str, Any]:
-        """Raw table bytes vs. captured-model bytes, per table and total."""
+        """Raw table bytes vs. captured-model bytes, per table and total.
+
+        ``archived_bytes`` counts rows moved to the model-only tier: on
+        disk, no longer in memory, served from warehouse models."""
         per_table: dict[str, dict[str, int]] = {}
         for name in self.database.table_names():
             raw = self.database.table(name).byte_size()
             model_bytes = sum(
                 model.stored_byte_size() for model in self.models.models_for_table(name)
             )
-            per_table[name] = {"raw_bytes": raw, "model_bytes": model_bytes}
+            archived = (
+                self.archive_tier.archived_bytes(name) if self.archive_tier is not None else 0
+            )
+            per_table[name] = {
+                "raw_bytes": raw,
+                "model_bytes": model_bytes,
+                "archived_bytes": archived,
+            }
         return {
             "tables": per_table,
             "total_raw_bytes": sum(entry["raw_bytes"] for entry in per_table.values()),
             "total_model_bytes": self.models.total_stored_bytes(),
+            "total_archived_bytes": sum(
+                entry["archived_bytes"] for entry in per_table.values()
+            ),
         }
 
     def describe(self) -> str:
         return f"{self.database.describe()}\n\nCaptured models:\n{self.models.describe()}"
 
     # -- internals ---------------------------------------------------------------------------------
+
+    def _archive_refit_reason(self, table_name: str) -> str | None:
+        """Why refitting models of ``table_name`` is unsound right now.
+
+        With raw segments in the model-only tier, a fresh fit would see only
+        the (predicate-biased) live remainder yet be served as describing
+        the full logical table — and the archive guard disables feedback
+        verification, so nothing would ever catch the bias.
+        """
+        if self.archive_tier is not None and self.archive_tier.has_archived(table_name):
+            rows = self.archive_tier.archived_rows(table_name)
+            return (
+                f"{rows} row(s) of {table_name!r} are archived; a refit would "
+                f"fit only the live remainder — recall the archive first"
+            )
+        return None
+
+    def _grouped_model_provider(self, table_name: str, output_column: str, group_columns, formula=None):
+        if self._archive_refit_reason(table_name) is not None:
+            return None
+        return self.harvester.ensure_grouped(
+            table_name, output_column, group_columns, formula=formula
+        )
 
     def _any_model_for(self, table_name: str) -> CapturedModel:
         # include_stale: during continuous ingestion a stale (deprioritized)

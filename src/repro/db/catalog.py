@@ -36,6 +36,15 @@ class Catalog:
         """
         return self._version
 
+    def restore_version(self, version: int) -> None:
+        """Fast-forward the version counter (recovery from a durable store).
+
+        Keeps version numbers monotone across a restart so anything a
+        caller persisted alongside a version (manifests, audit trails)
+        stays comparable; never rewinds.
+        """
+        self._version = max(self._version, int(version))
+
     # -- registration ----------------------------------------------------------
 
     def create_table(self, name: str, schema: Schema) -> Table:

@@ -8,7 +8,7 @@ approximate query engine.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.db.catalog import Catalog
 from repro.db.io_model import IOModel, IOParameters
@@ -29,6 +29,10 @@ class Database:
         self.io_model = IOModel(io_parameters)
         self.udfs = UDFRegistry()
         self._executor = SQLExecutor(self.catalog, self.io_model)
+        #: table name -> function widening its live statistics (the archive
+        #: tier registers one per table with archived segments, so consumers
+        #: of :meth:`stats` keep seeing the full logical table).
+        self._stats_overlays: dict[str, Callable[[TableStats], TableStats]] = {}
 
     # -- DDL / data loading -----------------------------------------------------
 
@@ -77,7 +81,16 @@ class Database:
         return self.catalog.table_names()
 
     def stats(self, name: str) -> TableStats:
-        return self.catalog.stats(name)
+        base = self.catalog.stats(name)
+        overlay = self._stats_overlays.get(name)
+        return overlay(base) if overlay is not None else base
+
+    def set_stats_overlay(self, name: str, overlay: Callable[[TableStats], TableStats]) -> None:
+        """Serve ``stats(name)`` through ``overlay`` (archive-tier merging)."""
+        self._stats_overlays[name] = overlay
+
+    def clear_stats_overlay(self, name: str) -> None:
+        self._stats_overlays.pop(name, None)
 
     # -- SQL ------------------------------------------------------------------------
 

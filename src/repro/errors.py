@@ -130,3 +130,20 @@ class StreamingError(ReproError):
 
 class DriftMonitorError(StreamingError):
     """A drift monitor could not be created or fed (e.g. no servable model)."""
+
+
+# ---------------------------------------------------------------------------
+# Durable storage / model warehouse
+# ---------------------------------------------------------------------------
+
+
+class PersistenceError(ReproError):
+    """Base class for durable-storage failures (snapshots, WAL, warehouse)."""
+
+
+class FormatVersionError(PersistenceError):
+    """An on-disk artefact was written by a newer, incompatible format."""
+
+
+class ArchiveError(PersistenceError):
+    """The model-only archive tier could not archive or recall segments."""

@@ -1,0 +1,30 @@
+"""Durable storage & model warehouse.
+
+The persistence layer under :class:`repro.core.system.LawsDatabase`:
+columnar table snapshots, an append-only checksummed WAL, the versioned
+model warehouse (every captured model plus its evidence and the planner's
+calibration), and the model-only archive tier.  Strictly opt-in — a
+``LawsDatabase()`` constructed directly never touches disk; one opened via
+``LawsDatabase.open(path)`` checkpoints, logs and cold-starts from there.
+"""
+
+from repro.persist.archive import ArchiveReport, ArchiveTier, ArchivedSegment
+from repro.persist.snapshot import read_table_segments, write_table_segments
+from repro.persist.store import CheckpointReport, DurableStore, RecoveryReport
+from repro.persist.wal import WalReplay, WriteAheadLog
+from repro.persist.warehouse import deserialize_model, serialize_model
+
+__all__ = [
+    "ArchiveReport",
+    "ArchiveTier",
+    "ArchivedSegment",
+    "CheckpointReport",
+    "DurableStore",
+    "RecoveryReport",
+    "WalReplay",
+    "WriteAheadLog",
+    "deserialize_model",
+    "serialize_model",
+    "read_table_segments",
+    "write_table_segments",
+]

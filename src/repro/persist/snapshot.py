@@ -1,0 +1,165 @@
+"""Columnar table snapshots: one ``.npz`` segment per column batch.
+
+A checkpoint writes every base table as a sequence of segments, each holding
+a contiguous row range of all columns (packed value array + validity bitmap
+per column).  The manifest entry for a segment records its row count and
+lightweight per-column statistics (null count, min, max) so tooling can
+reason about a snapshot without decompressing it.
+
+Strings are stored as fixed-width unicode arrays (``object`` arrays cannot
+be saved without pickling, and pickled snapshots would tie the on-disk
+format to Python internals); NULL positions are carried solely by the
+validity bitmap and restored as ``None`` on read.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.db.column import Column
+from repro.db.schema import ColumnDef, Schema
+from repro.db.table import Table
+from repro.db.types import DataType
+from repro.errors import PersistenceError
+
+__all__ = [
+    "schema_to_payload",
+    "schema_from_payload",
+    "write_table_segments",
+    "read_table_segments",
+]
+
+#: Default rows per snapshot segment.
+DEFAULT_ROWS_PER_SEGMENT = 65536
+
+
+def schema_to_payload(schema: Schema) -> list[list[Any]]:
+    """Schema -> JSON-friendly ``[[name, dtype, nullable], ...]``."""
+    return [[c.name, c.dtype.value, bool(c.nullable)] for c in schema]
+
+
+def schema_from_payload(payload: list[list[Any]]) -> Schema:
+    return Schema(
+        ColumnDef(name, DataType(dtype), bool(nullable)) for name, dtype, nullable in payload
+    )
+
+
+#: Appended to every stored string: NumPy's fixed-width unicode dtype strips
+#: *trailing NUL characters* on read, so "a\x00" would silently come back as
+#: "a".  One guaranteed non-NUL final character protects any trailing NULs;
+#: decode strips exactly this one character back off.
+_STRING_PAD = "\x01"
+
+
+def _encode_column(column: Column) -> tuple[np.ndarray, np.ndarray]:
+    """A column as two npz-safe arrays: packed values and validity."""
+    validity = np.asarray(column.validity, dtype=bool).copy()
+    if column.dtype is DataType.STRING:
+        # Replace None (the STRING null sentinel) before the unicode cast.
+        cleaned = [("" if v is None else str(v)) + _STRING_PAD for v in column.values]
+        values = np.asarray(cleaned, dtype=np.str_)
+        if values.ndim == 0:  # np.asarray([]) of strings
+            values = values.reshape(0)
+    else:
+        values = np.asarray(column.values, dtype=column.dtype.numpy_dtype).copy()
+    return values, validity
+
+
+def _decode_column(dtype: DataType, values: np.ndarray, validity: np.ndarray) -> Column:
+    validity = np.asarray(validity, dtype=bool)
+    if dtype is DataType.STRING:
+        boxed = np.empty(len(values), dtype=object)
+        boxed[:] = [str(v)[:-1] for v in values]
+        if len(boxed):
+            boxed[~validity] = None
+        return Column(dtype, boxed, validity)
+    return Column(dtype, np.asarray(values, dtype=dtype.numpy_dtype), validity)
+
+
+def _segment_column_stats(table: Table) -> dict[str, dict[str, Any]]:
+    stats: dict[str, dict[str, Any]] = {}
+    for name in table.schema.names:
+        column = table.column(name)
+        stats[name] = {
+            "null_count": int(column.null_count),
+            "min": column.min(),
+            "max": column.max(),
+        }
+    return stats
+
+
+def write_table_segments(
+    directory: Path,
+    table: Table,
+    rows_per_segment: int = DEFAULT_ROWS_PER_SEGMENT,
+    file_prefix: str | None = None,
+) -> list[dict[str, Any]]:
+    """Write ``table`` as npz segments under ``directory``.
+
+    Returns one manifest entry per segment: relative file name, row range
+    and per-column stats.  An empty table writes no segment files (schema
+    alone reconstructs it).
+    """
+    if rows_per_segment < 1:
+        raise PersistenceError(f"rows_per_segment must be positive, got {rows_per_segment}")
+    directory.mkdir(parents=True, exist_ok=True)
+    prefix = file_prefix if file_prefix is not None else table.name
+    entries: list[dict[str, Any]] = []
+    for index, start in enumerate(range(0, table.num_rows, rows_per_segment)):
+        stop = min(start + rows_per_segment, table.num_rows)
+        piece = table.slice(start, stop)
+        arrays: dict[str, np.ndarray] = {}
+        for name in piece.schema.names:
+            values, validity = _encode_column(piece.column(name))
+            arrays[f"v__{name}"] = values
+            arrays[f"m__{name}"] = validity
+        file_name = f"{prefix}__{index:05d}.npz"
+        with open(directory / file_name, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        entries.append(
+            {
+                "file": file_name,
+                "start_row": start,
+                "rows": stop - start,
+                "columns": _segment_column_stats(piece),
+            }
+        )
+    return entries
+
+
+def read_table_segments(
+    directory: Path,
+    name: str,
+    schema: Schema,
+    entries: list[dict[str, Any]],
+) -> Table:
+    """Rebuild a table from its snapshot segments (in manifest order)."""
+    per_column: dict[str, list[np.ndarray]] = {n: [] for n in schema.names}
+    per_validity: dict[str, list[np.ndarray]] = {n: [] for n in schema.names}
+    for entry in entries:
+        path = directory / entry["file"]
+        if not path.is_file():
+            raise PersistenceError(f"snapshot segment missing: {path}")
+        with np.load(path, allow_pickle=False) as payload:
+            for col_name in schema.names:
+                value_key, mask_key = f"v__{col_name}", f"m__{col_name}"
+                if value_key not in payload or mask_key not in payload:
+                    raise PersistenceError(
+                        f"segment {path.name} lacks column {col_name!r} "
+                        f"(snapshot and schema disagree)"
+                    )
+                per_column[col_name].append(payload[value_key])
+                per_validity[col_name].append(payload[mask_key])
+    columns: dict[str, Column] = {}
+    for col_def in schema:
+        if per_column[col_def.name]:
+            values = np.concatenate(per_column[col_def.name])
+            validity = np.concatenate(per_validity[col_def.name])
+        else:
+            values = np.empty(0, dtype=col_def.dtype.numpy_dtype)
+            validity = np.empty(0, dtype=bool)
+        columns[col_def.name] = _decode_column(col_def.dtype, values, validity)
+    return Table(name, schema, columns)

@@ -1,0 +1,578 @@
+"""The durable store: snapshots + WAL + warehouse behind one checkpoint.
+
+On-disk layout (all under one root directory)::
+
+    MANIFEST.json            checkpoint manifest (atomic tmp+rename)
+    wal.log                  append-only checksummed WAL (epoch-stamped)
+    segments/ckpt<N>/        columnar table snapshots of checkpoint N
+    warehouse/models-<N>.json  the model warehouse of checkpoint N
+    archive/                 model-only-tier segments (survive checkpoints)
+
+Crash safety is manifest-pivoted: a checkpoint writes the new segment files
+and warehouse first, then renames the manifest into place, then resets the
+WAL with the new checkpoint's epoch.  A crash anywhere in that sequence
+leaves either the old manifest (whose files are untouched) or the new one;
+the WAL's epoch record tells a reopening process whether the log extends
+the manifest it found or predates it (in which case it is discarded —
+its records are already inside the snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.db.table import Table
+from repro.errors import FormatVersionError, PersistenceError
+from repro.persist.archive import ArchiveTier
+from repro.persist.snapshot import (
+    DEFAULT_ROWS_PER_SEGMENT,
+    read_table_segments,
+    schema_from_payload,
+    schema_to_payload,
+    write_table_segments,
+)
+from repro.persist.warehouse import restore_store, serialize_store
+from repro.persist.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.core.system import LawsDatabase
+
+__all__ = ["CheckpointReport", "RecoveryReport", "DurableStore"]
+
+#: On-disk format version; a major bump breaks compatibility.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+WAL_NAME = "wal.log"
+
+#: Rows per WAL append frame.  Bulk loads are split so no single frame can
+#: approach the WAL's frame-size cap (a bulk load framed as one giant record
+#: would raise *after* the in-memory registration succeeded, leaving a WAL
+#: that replays the table truncated).
+WAL_APPEND_CHUNK_ROWS = 4096
+
+#: Creates/loads at or above this row count are persisted as columnar npz
+#: segments under ``walseg/`` referenced by one WAL ``load_table`` record
+#: (see :meth:`DurableStore.log_load_table`) instead of row-wise JSON WAL
+#: frames — the WAL stays for incremental appends, not bulk loads several
+#: times the snapshot's size that would replay row-by-row on every reopen.
+LARGE_CREATE_SNAPSHOT_ROWS = 65536
+
+
+@dataclass
+class CheckpointReport:
+    """What one checkpoint wrote."""
+
+    checkpoint_id: int
+    tables: int = 0
+    rows: int = 0
+    segment_files: int = 0
+    models: int = 0
+    elapsed_seconds: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"checkpoint #{self.checkpoint_id}: {self.tables} table(s), {self.rows} row(s) "
+            f"in {self.segment_files} segment file(s), {self.models} model(s)"
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """What reopening a durable store recovered."""
+
+    checkpoint_id: int = 0
+    tables_loaded: int = 0
+    rows_loaded: int = 0
+    models_restored: int = 0
+    watches_restored: int = 0
+    wal_records_replayed: int = 0
+    wal_rows_replayed: int = 0
+    wal_truncated_bytes: int = 0
+    wal_truncation_reason: str | None = None
+    wal_discarded_epoch_mismatch: bool = False
+    archived_tables: list[str] = field(default_factory=list)
+
+    @property
+    def cold_started(self) -> bool:
+        return self.tables_loaded > 0 or self.models_restored > 0
+
+    def describe(self) -> str:
+        parts = [
+            f"recovered checkpoint #{self.checkpoint_id}: {self.tables_loaded} table(s), "
+            f"{self.rows_loaded} row(s), {self.models_restored} warehouse model(s), "
+            f"{self.watches_restored} maintenance watch(es)",
+            f"WAL: {self.wal_records_replayed} record(s) / {self.wal_rows_replayed} row(s) replayed",
+        ]
+        if self.wal_truncated_bytes:
+            parts.append(
+                f"WAL tail truncated: {self.wal_truncated_bytes} byte(s) "
+                f"({self.wal_truncation_reason})"
+            )
+        if self.archived_tables:
+            parts.append(f"model-only tier active for {self.archived_tables}")
+        return "; ".join(parts)
+
+
+class DurableStore:
+    """Owns the on-disk state of one :class:`LawsDatabase`."""
+
+    def __init__(
+        self,
+        root: Path | str,
+        rows_per_segment: int = DEFAULT_ROWS_PER_SEGMENT,
+        fsync: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.rows_per_segment = rows_per_segment
+        self.fsync = fsync
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.wal = WriteAheadLog(self.root / WAL_NAME, fsync=fsync)
+        self.checkpoint_id = 0
+        #: False while recovery replays the WAL, so replayed appends are not
+        #: re-logged; True once the store is live.
+        self.accepting_writes = False
+        self._closed = False
+        #: Sequence for snapshot-backed WAL load records; resumes past any
+        #: directories a previous incarnation left under walseg/.
+        self._walseg_counter = self._max_walseg_index()
+
+    # -- paths -------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _segments_dir(self, checkpoint_id: int) -> Path:
+        return self.root / "segments" / f"ckpt{checkpoint_id:05d}"
+
+    def _warehouse_path(self, checkpoint_id: int) -> Path:
+        return self.root / "warehouse" / f"models-{checkpoint_id:05d}.json"
+
+    @property
+    def archive_dir(self) -> Path:
+        return self.root / "archive"
+
+    @property
+    def walseg_dir(self) -> Path:
+        """Columnar segments referenced by WAL ``load_table`` records.
+
+        Obsolete the moment the WAL resets; purged wholesale at checkpoint."""
+        return self.root / "walseg"
+
+    def _max_walseg_index(self) -> int:
+        if not self.walseg_dir.is_dir():
+            return 0
+        indices = [
+            int(child.name) for child in self.walseg_dir.iterdir() if child.name.isdigit()
+        ]
+        return max(indices, default=0)
+
+    def has_checkpoint(self) -> bool:
+        return self.manifest_path.is_file()
+
+    # -- WAL hooks (called by the LawsDatabase write paths) -----------------------
+
+    def log_create_table(self, table: Table, replace: bool = False) -> None:
+        if not self.accepting_writes:
+            return
+        self.wal.append(
+            {
+                "op": "create_table",
+                "name": table.name,
+                "schema": schema_to_payload(table.schema),
+                "replace": bool(replace),
+            }
+        )
+        if table.num_rows:
+            self.log_append(table.name, table.to_rows())
+
+    def log_append(self, table_name: str, rows: Any) -> None:
+        if not self.accepting_writes:
+            return
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        # Converted per chunk: one transient list-of-lists per frame instead
+        # of a second whole-table materialization next to the caller's rows.
+        for start in range(0, len(rows), WAL_APPEND_CHUNK_ROWS):
+            chunk = [list(row) for row in rows[start : start + WAL_APPEND_CHUNK_ROWS]]
+            self.wal.append({"op": "append", "table": table_name, "rows": chunk})
+
+    def log_load_table(self, table: Table, replace: bool = False) -> None:
+        """Persist a bulk load as columnar segments + one referencing record.
+
+        The segments are on disk (and synced, when fsync is on) *before*
+        the WAL record naming them is appended, so a replayed record never
+        dangles."""
+        if not self.accepting_writes:
+            return
+        self._walseg_counter += 1
+        directory = self.walseg_dir / f"{self._walseg_counter:05d}"
+        entries = write_table_segments(
+            directory, table, rows_per_segment=self.rows_per_segment
+        )
+        if self.fsync:
+            for segment_file in directory.iterdir():
+                _fsync_file(segment_file)
+            _fsync_dir(directory)
+        self.wal.append(
+            {
+                "op": "load_table",
+                "name": table.name,
+                "schema": schema_to_payload(table.schema),
+                "dir": str(directory.relative_to(self.root)),
+                "segments": entries,
+                "replace": bool(replace),
+            }
+        )
+
+    def log_drop_table(self, table_name: str) -> None:
+        if not self.accepting_writes:
+            return
+        self.wal.append({"op": "drop_table", "name": table_name})
+
+    def log_archive(self, table_name: str, predicate_sql: str) -> None:
+        if not self.accepting_writes:
+            return
+        self.wal.append({"op": "archive", "table": table_name, "predicate": predicate_sql})
+
+    def log_recall(self, table_name: str) -> None:
+        if not self.accepting_writes:
+            return
+        self.wal.append({"op": "recall", "table": table_name})
+
+    def log_sql(self, sql: str) -> None:
+        """Log a DDL/DML statement executed through the SQL front-end.
+
+        Replay re-executes the statement text — deterministic for the
+        supported subset (CREATE TABLE / INSERT ... VALUES)."""
+        if not self.accepting_writes:
+            return
+        self.wal.append({"op": "sql", "sql": sql})
+
+    # -- checkpoint ----------------------------------------------------------------
+
+    def checkpoint(self, system: "LawsDatabase") -> CheckpointReport:
+        """Snapshot every table, the warehouse and the planner calibration."""
+        from time import perf_counter
+
+        if self._closed:
+            raise PersistenceError("durable store is closed")
+        started = perf_counter()
+        new_id = self.checkpoint_id + 1
+        report = CheckpointReport(checkpoint_id=new_id)
+
+        segments_dir = self._segments_dir(new_id)
+        if segments_dir.exists():
+            shutil.rmtree(segments_dir)
+        tables_payload: dict[str, Any] = {}
+        database = system.database
+        for name in database.table_names():
+            table = database.table(name)
+            entries = write_table_segments(
+                segments_dir, table, rows_per_segment=self.rows_per_segment
+            )
+            tables_payload[name] = {
+                "schema": schema_to_payload(table.schema),
+                "row_count": table.num_rows,
+                "segments": entries,
+            }
+            report.tables += 1
+            report.rows += table.num_rows
+            report.segment_files += len(entries)
+
+        warehouse_payload = serialize_store(system.models)
+        warehouse_payload["calibration"] = _calibration_payload(system)
+        warehouse_payload["maintenance"] = system.maintenance.export_state()
+        report.models = len(warehouse_payload["models"])
+        warehouse_path = self._warehouse_path(new_id)
+        warehouse_path.parent.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(warehouse_path, warehouse_payload, fsync=self.fsync)
+
+        if self.fsync:
+            # The manifest rename must not become durable before the file
+            # contents it references: flush every new segment (and its
+            # directory entry) to stable storage first.
+            if segments_dir.is_dir():
+                for segment_file in segments_dir.iterdir():
+                    _fsync_file(segment_file)
+                _fsync_dir(segments_dir)
+            _fsync_dir(warehouse_path.parent)
+
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "checkpoint_id": new_id,
+            "catalog_version": database.catalog.version,
+            "tables": tables_payload,
+            "warehouse_file": str(warehouse_path.relative_to(self.root)),
+            "archive": system.archive_tier.to_payload() if system.archive_tier else {},
+            "wal_file": WAL_NAME,
+        }
+        _write_json_atomic(self.manifest_path, manifest, fsync=self.fsync)
+        # The manifest now names checkpoint N; reset the WAL under N's epoch
+        # so a crash between these two steps leaves an epoch-mismatched (and
+        # therefore ignored) log rather than a double-applied one.
+        self.wal.reset(epoch=new_id)
+
+        self.checkpoint_id = new_id
+        self._cleanup_stale_artifacts(keep_id=new_id)
+        if system.archive_tier is not None:
+            # Recalled rows are inside the new snapshot now; their archive
+            # segments are unreferenced garbage.
+            system.archive_tier.purge_unreferenced()
+        report.elapsed_seconds = perf_counter() - started
+        return report
+
+    def _cleanup_stale_artifacts(self, keep_id: int) -> None:
+        """Drop every snapshot/warehouse/walseg artefact the manifest no
+        longer references.
+
+        A sweep (not just "delete N-1") so artefacts orphaned by a crash
+        between a manifest rename and its cleanup are reclaimed by the next
+        successful checkpoint instead of leaking forever."""
+        segments_root = self.root / "segments"
+        if segments_root.is_dir():
+            keep_segments = self._segments_dir(keep_id).name
+            for child in segments_root.iterdir():
+                if child.name != keep_segments:
+                    shutil.rmtree(child, ignore_errors=True)
+        warehouse_root = self.root / "warehouse"
+        if warehouse_root.is_dir():
+            keep_warehouse = self._warehouse_path(keep_id).name
+            for child in warehouse_root.iterdir():
+                if child.name != keep_warehouse:
+                    try:
+                        child.unlink()
+                    except OSError:
+                        pass
+        # The WAL was just reset: no record references walseg/ any more.
+        shutil.rmtree(self.walseg_dir, ignore_errors=True)
+
+    # -- recovery -------------------------------------------------------------------
+
+    def recover(self, system: "LawsDatabase") -> RecoveryReport:
+        """Load the last checkpoint into ``system`` and replay the WAL tail."""
+        report = RecoveryReport()
+        manifest: dict[str, Any] | None = None
+        if self.manifest_path.is_file():
+            manifest = json.loads(self.manifest_path.read_text())
+            version = int(manifest.get("format_version", 0))
+            if version > FORMAT_VERSION:
+                raise FormatVersionError(
+                    f"store at {self.root} uses format v{version}; this build "
+                    f"supports up to v{FORMAT_VERSION}"
+                )
+            self.checkpoint_id = int(manifest.get("checkpoint_id", 0))
+            report.checkpoint_id = self.checkpoint_id
+
+        database = system.database
+        if manifest is not None:
+            segments_dir = self._segments_dir(self.checkpoint_id)
+            for name, entry in manifest.get("tables", {}).items():
+                schema = schema_from_payload(entry["schema"])
+                table = read_table_segments(segments_dir, name, schema, entry["segments"])
+                if table.num_rows != int(entry.get("row_count", table.num_rows)):
+                    raise PersistenceError(
+                        f"snapshot of {name!r} has {table.num_rows} row(s) but the "
+                        f"manifest recorded {entry.get('row_count')}"
+                    )
+                database.register_table(table)
+                report.tables_loaded += 1
+                report.rows_loaded += table.num_rows
+            database.catalog.restore_version(int(manifest.get("catalog_version", 0)))
+
+        # The warehouse loads before the WAL replays: replayed appends mark
+        # the touched tables' models stale, which only lands if the models
+        # are already in the store.
+        if manifest is not None:
+            warehouse_file = manifest.get("warehouse_file")
+            if warehouse_file:
+                warehouse_path = self.root / warehouse_file
+                if not warehouse_path.is_file():
+                    raise PersistenceError(f"warehouse file missing: {warehouse_path}")
+                payload = json.loads(warehouse_path.read_text())
+                restored = restore_store(payload, system.models)
+                report.models_restored = len(restored)
+                if restored:
+                    from repro.core.captured_model import ensure_model_id_floor
+
+                    ensure_model_id_floor(max(m.model_id for m in restored))
+                _restore_calibration(system, payload.get("calibration"))
+                report.watches_restored = system.maintenance.restore_state(
+                    payload.get("maintenance", [])
+                )
+            # The archive manifest restores BEFORE the WAL replays: replayed
+            # archive/recall/drop records operate on the tier, and a drop of
+            # an archived table must clear (not precede) its restored state.
+            archive_payload = manifest.get("archive") or {}
+            if archive_payload.get("tables"):
+                if system.archive_tier is None:
+                    # Reachable when recover() is driven directly (not via
+                    # LawsDatabase.open): the planner guard must be wired
+                    # here too, or archived tables would restore with exact
+                    # execution silently running over the partial remainder.
+                    system.archive_tier = ArchiveTier(database, self.archive_dir)
+                    system.planner.archive_guard = system.archive_tier.blocking_reason
+                system.archive_tier.restore_from_payload(archive_payload)
+
+        # WAL replay: only a log stamped with this checkpoint's epoch extends
+        # it; any other epoch predates the manifest rename and is discarded.
+        replay = self.wal.replay(repair=True)
+        report.wal_truncated_bytes = replay.truncated_bytes
+        report.wal_truncation_reason = replay.truncation_reason
+        if replay.epoch != self.checkpoint_id:
+            # A stale-epoch log must be re-stamped even when it holds no
+            # data records: appends accepted into an epoch-1 log under a
+            # checkpoint-2 manifest would be silently discarded on the
+            # *next* recovery.
+            report.wal_discarded_epoch_mismatch = bool(replay.records)
+            self.wal.reset(epoch=self.checkpoint_id)
+        else:
+            touched: set[str] = set()
+            for record in replay.records:
+                report.wal_records_replayed += 1
+                report.wal_rows_replayed += _apply_wal_record(self, system, record, touched)
+            for name in touched:
+                system.models.mark_table_stale(name)
+        if not self.wal.path.exists() or self.wal.size_bytes == 0:
+            self.wal.reset(epoch=self.checkpoint_id)
+
+        if system.archive_tier is not None:
+            report.archived_tables = system.archive_tier.archived_tables()
+
+        self.accepting_writes = True
+        return report
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.accepting_writes = False
+        self.wal.close()
+        self._closed = True
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _write_json_atomic(path: Path, payload: dict[str, Any], fsync: bool = False) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1))
+    if fsync:
+        _fsync_file(tmp)
+    tmp.replace(path)
+    if fsync:
+        _fsync_dir(path.parent)
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+#: Directories fsync the same way on POSIX (O_RDONLY open + fsync).
+_fsync_dir = _fsync_file
+
+
+def _apply_wal_record(
+    store: DurableStore, system: "LawsDatabase", record: dict[str, Any], touched: set[str]
+) -> int:
+    """Apply one replayed WAL record; returns the rows it appended."""
+    database = system.database
+    op = record.get("op")
+    if op == "load_table":
+        name = record["name"]
+        schema = schema_from_payload(record["schema"])
+        table = read_table_segments(
+            store.root / record["dir"], name, schema, record["segments"]
+        )
+        if database.has_table(name):
+            if not record.get("replace", False):
+                raise PersistenceError(
+                    f"WAL loads table {name!r} which already exists in the snapshot"
+                )
+            database.drop_table(name)
+            if system.archive_tier is not None:
+                system.archive_tier.drop(name)
+        database.register_table(table)
+        return table.num_rows
+    if op == "create_table":
+        name = record["name"]
+        schema = schema_from_payload(record["schema"])
+        if database.has_table(name):
+            if not record.get("replace", False):
+                raise PersistenceError(
+                    f"WAL creates table {name!r} which already exists in the snapshot"
+                )
+            database.drop_table(name)
+            if system.archive_tier is not None:
+                # Mirror the live replace path: the old incarnation's
+                # archived segments go with it.
+                system.archive_tier.drop(name)
+        database.create_table(name, schema)
+        return 0
+    if op == "append":
+        name = record["table"]
+        rows = [tuple(row) for row in record["rows"]]
+        database.insert_rows(name, rows)
+        touched.add(name)
+        return len(rows)
+    if op == "drop_table":
+        name = record["name"]
+        database.drop_table(name)
+        # Mirror the live drop path: warehouse models of a dropped table
+        # must not keep serving for a table that no longer exists, and its
+        # archived segments (restored before replay) go with it.
+        for model in system.models.models_for_table(name, include_unusable=True):
+            if model.status != "retired":
+                system.models.retire_model(model.model_id)
+        if system.archive_tier is not None:
+            system.archive_tier.drop(name)
+        touched.discard(name)
+        return 0
+    if op == "sql":
+        from repro.db.sql.ast import InsertStatement
+
+        statement = database.parse_sql(record["sql"])
+        database.sql(record["sql"])
+        if isinstance(statement, InsertStatement):
+            touched.add(statement.name)
+            return len(statement.rows)
+        return 0
+    if op == "archive":
+        if system.archive_tier is None:  # pragma: no cover - open() always sets it
+            raise PersistenceError("WAL archives a segment but no archive tier is attached")
+        # Re-archiving is deterministic: the predicate re-selects the same
+        # rows out of the recovered table state at this point of the log.
+        system.archive_tier.archive(record["table"], record["predicate"])
+        return 0
+    if op == "recall":
+        if system.archive_tier is None:  # pragma: no cover - open() always sets it
+            raise PersistenceError("WAL recalls a segment but no archive tier is attached")
+        system.archive_tier.recall(record["table"])
+        return 0
+    raise PersistenceError(f"unknown WAL record op {op!r}")
+
+
+def _calibration_payload(system: "LawsDatabase") -> dict[str, float]:
+    from dataclasses import asdict
+
+    return asdict(system.planner.cost_model.costs)
+
+
+def _restore_calibration(system: "LawsDatabase", payload: dict[str, float] | None) -> None:
+    if not payload:
+        return
+    from repro.core.planner.cost import CostModel, OperatorCosts
+
+    valid = {k: float(v) for k, v in payload.items() if k in OperatorCosts.__dataclass_fields__}
+    system.planner.cost_model = CostModel(OperatorCosts(**valid))

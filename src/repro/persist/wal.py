@@ -1,0 +1,178 @@
+"""Append-only, checksummed write-ahead log.
+
+Between checkpoints every acknowledged append (streaming ingest batches and
+direct row inserts) is framed into the WAL so a crashed process can replay
+it on top of the last snapshot.  The format is deliberately simple:
+
+``[length:u32][crc32:u32][payload bytes]``
+
+where the payload is a UTF-8 JSON record.  Replay walks the frames from the
+start and stops at the first torn or corrupted frame — a crash mid-write
+leaves a torn tail, and a bit flip breaks the CRC; either way everything
+*before* the bad frame is intact and everything after it is untrusted, so
+the tail is truncated (standard redo-log semantics).
+
+Every log begins with an ``epoch`` record naming the checkpoint it extends.
+A manifest rename and the log reset that follows it are two separate
+filesystem operations; the epoch lets a reopening process detect a WAL that
+predates (or outlives) the manifest it found and discard it instead of
+double-applying records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, BinaryIO
+
+import numpy as np
+
+from repro.errors import PersistenceError
+
+__all__ = ["WalReplay", "WriteAheadLog"]
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+
+def coerce_json_scalar(value: Any) -> Any:
+    """NumPy scalar -> plain Python (the one coercion table for persist/).
+
+    Used both as the WAL's ``json.dumps`` default (producers hand rows
+    straight from NumPy) and by the warehouse's metadata sanitizer.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"persist payloads must be JSON-serializable; got {type(value).__name__}")
+
+#: Sanity bound on a single frame: a "length" beyond this is corruption, not
+#: a real record (protects replay from allocating garbage-sized buffers).
+_MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class WalReplay:
+    """What one replay pass recovered (and what it had to discard)."""
+
+    #: The checkpoint epoch this log extends (0 when no epoch record found).
+    epoch: int = 0
+    records: list[dict[str, Any]] = field(default_factory=list)
+    valid_bytes: int = 0
+    truncated_bytes: int = 0
+    truncation_reason: str | None = None
+
+    @property
+    def was_truncated(self) -> bool:
+        return self.truncated_bytes > 0
+
+
+class WriteAheadLog:
+    """A single append-only log file with CRC-framed JSON records."""
+
+    def __init__(self, path: Path | str, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._handle: BinaryIO | None = None
+
+    # -- writing ---------------------------------------------------------------
+
+    def _open_handle(self) -> BinaryIO:
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Frame and append one record; returns the log size afterwards."""
+        payload = json.dumps(
+            record, separators=(",", ":"), default=coerce_json_scalar
+        ).encode("utf-8")
+        if len(payload) > _MAX_FRAME_BYTES:
+            raise PersistenceError(
+                f"WAL record of {len(payload)} bytes exceeds the frame limit "
+                f"({_MAX_FRAME_BYTES} bytes); checkpoint instead of logging it"
+            )
+        handle = self._open_handle()
+        handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        handle.write(payload)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        return handle.tell()
+
+    def reset(self, epoch: int) -> None:
+        """Truncate the log and stamp it with the checkpoint epoch it extends."""
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "wb"):
+            pass  # truncate
+        self.append({"op": "epoch", "id": int(epoch)})
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    @property
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self, repair: bool = True) -> WalReplay:
+        """Read every intact record; truncate (or just skip) a bad tail.
+
+        ``repair=True`` (the default during recovery) physically truncates
+        the file at the first bad frame so subsequent appends extend a
+        clean log.
+        """
+        replay = WalReplay()
+        if not self.path.exists():
+            return replay
+        self.close()  # never replay through a buffered write handle
+        data = self.path.read_bytes()
+        offset = 0
+        total = len(data)
+        while offset < total:
+            if offset + _FRAME.size > total:
+                replay.truncation_reason = "torn frame header"
+                break
+            length, crc = _FRAME.unpack_from(data, offset)
+            if length > _MAX_FRAME_BYTES:
+                replay.truncation_reason = f"implausible frame length {length}"
+                break
+            start = offset + _FRAME.size
+            end = start + length
+            if end > total:
+                replay.truncation_reason = "torn frame payload"
+                break
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                replay.truncation_reason = "frame checksum mismatch"
+                break
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                replay.truncation_reason = "frame payload is not valid JSON"
+                break
+            if isinstance(record, dict) and record.get("op") == "epoch":
+                replay.epoch = int(record.get("id", 0))
+            else:
+                replay.records.append(record)
+            offset = end
+        replay.valid_bytes = offset
+        replay.truncated_bytes = total - offset
+        if replay.was_truncated and repair:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+        return replay

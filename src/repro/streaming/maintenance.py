@@ -130,6 +130,12 @@ class ModelMaintenancePolicy:
         self.min_segment = min_segment
         self.significance = significance
         self.max_changepoints = max_changepoints
+        #: Optional callable ``(table_name) -> str | None`` naming why the
+        #: table's models must not be refitted right now.  The archive tier
+        #: sets this: a refit over a table whose cold rows moved to the
+        #: model-only tier would fit only the (predicate-biased) live
+        #: remainder yet be served as covering the full logical table.
+        self.refit_guard: Any = None
         self._targets: dict[tuple[str, str], WatchTarget] = {}
 
     # -- registration ------------------------------------------------------------
@@ -186,6 +192,55 @@ class ModelMaintenancePolicy:
 
     def unwatch(self, table_name: str, output_column: str) -> None:
         self._targets.pop((table_name, output_column), None)
+
+    # -- durable state ------------------------------------------------------------
+
+    def export_state(self) -> list[dict[str, Any]]:
+        """The restartable core of every watch target (for the warehouse).
+
+        Detector *observations* are deliberately not exported: residual
+        windows are cheap to rebuild from post-restart batches, and a stale
+        window from a previous process could alias a regime change.  What
+        must survive is the wiring (target, order column, monitored model)
+        and the refit-deferral bookkeeping.
+        """
+        return [
+            {
+                "table_name": target.table_name,
+                "output_column": target.output_column,
+                "order_column": target.order_column,
+                "model_id": target.model_id,
+                "refit_deferred_at_rows": target.refit_deferred_at_rows,
+                "batches_seen": target.batches_seen,
+            }
+            for target in self._targets.values()
+        ]
+
+    def restore_state(self, entries: list[dict[str, Any]]) -> int:
+        """Re-register exported watch targets; returns how many took."""
+        restored = 0
+        for entry in entries:
+            try:
+                target = self.watch(
+                    entry["table_name"],
+                    entry["output_column"],
+                    order_column=entry.get("order_column"),
+                )
+            except ReproError:
+                continue  # the monitored table/model did not survive
+            model_id = entry.get("model_id")
+            if model_id is not None:
+                try:
+                    model = self.store.get(int(model_id))
+                except ModelNotFoundError:
+                    model = None
+                if model is not None and model.is_servable:
+                    self._adopt(target, model)
+            deferred = entry.get("refit_deferred_at_rows")
+            target.refit_deferred_at_rows = None if deferred is None else int(deferred)
+            target.batches_seen = int(entry.get("batches_seen", 0))
+            restored += 1
+        return restored
 
     def targets(self) -> list[WatchTarget]:
         return list(self._targets.values())
@@ -248,6 +303,22 @@ class ModelMaintenancePolicy:
         model = self.store.get(target.model_id)
         verdict = target.last_verdict
         drifted = verdict is not None and verdict.drifted
+
+        blocked = (
+            self.refit_guard(target.table_name) if self.refit_guard is not None else None
+        )
+        if blocked is not None:
+            # No refit, no revalidation: both would score against the
+            # partial live rows.  The existing (possibly stale) model keeps
+            # serving — stale is servable, and it describes the full
+            # logical table where a fresh fit would not.
+            return MaintenanceAction(
+                table_name=target.table_name,
+                output_column=target.output_column,
+                kind="none",
+                old_model_ids=(model.model_id,),
+                details=f"maintenance deferred: {blocked}",
+            )
 
         demotion_reason = model.metadata.pop("planner_demoted", None)
         if demotion_reason is not None:

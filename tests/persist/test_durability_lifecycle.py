@@ -1,0 +1,174 @@
+"""Opt-in persistence, the context-manager protocol and cold-start serving."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import AccuracyContract, LawsDatabase
+from repro.errors import FormatVersionError, PersistenceError
+
+
+def sensor_rows(n=400, seed=5):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0.0, 20.0, n)
+    return {
+        "x": [float(v) for v in x],
+        "y": [float(v) for v in (3.0 + 2.0 * x + 0.01 * rng.standard_normal(n))],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Satellite: persistence is strictly opt-in — a plain LawsDatabase must
+# behave exactly as the PR-1 streaming subsystem shipped it.
+# ---------------------------------------------------------------------------
+
+
+def test_in_memory_database_never_touches_disk(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # any stray file write would land here
+    db = LawsDatabase(ingest_batch_size=32)
+    db.load_dict("s", sensor_rows())
+    db.fit("s", "y ~ linear(x)")
+    db.watch("s", "y", order_column="x")
+    batches = db.ingest("s", [(21.0, 45.0)] * 64, flush=True)
+    assert sum(b.num_rows for b in batches) == 64
+    db.maintain()
+    assert db.query("SELECT COUNT(y) FROM s", AccuracyContract(mode="exact")).scalar() == 464
+
+    assert db.durable is None and db.archive_tier is None
+    assert os.listdir(tmp_path) == []  # nothing written, ever
+
+
+def test_in_memory_ingest_unchanged_vs_streaming_suite(tmp_path, monkeypatch):
+    """The PR-1 regression: same batches, same stats, same row ranges."""
+    monkeypatch.chdir(tmp_path)
+    db = LawsDatabase(ingest_batch_size=10)
+    db.load_dict("s", {"x": [0.0], "y": [0.0]})
+    first = db.ingest("s", [(float(i), float(i)) for i in range(25)])
+    assert [(b.start_row, b.end_row) for b in first] == [(1, 11), (11, 21)]
+    assert db.ingestor.pending("s") == 5
+    rest = db.flush_ingest("s")
+    assert [(b.start_row, b.end_row) for b in rest] == [(21, 26)]
+    stats = db.ingest_stats("s")
+    assert stats.rows_ingested == 25 and stats.batches_flushed == 3
+    assert os.listdir(tmp_path) == []
+
+
+def test_persistence_calls_require_opt_in():
+    db = LawsDatabase()
+    with pytest.raises(PersistenceError, match="opt-in"):
+        db.checkpoint()
+    with pytest.raises(PersistenceError, match="opt-in"):
+        db.recall_archive("s")
+    db.close()  # close on an unopened database is a harmless no-op
+
+
+def test_context_manager_on_memory_database_is_noop(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with LawsDatabase() as db:
+        db.load_dict("s", sensor_rows(50))
+    assert os.listdir(tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# Satellite: context manager → checkpoint() + close()
+# ---------------------------------------------------------------------------
+
+
+def test_context_manager_checkpoints_and_closes(tmp_path):
+    root = tmp_path / "store"
+    with LawsDatabase.open(root) as db:
+        db.load_dict("s", sensor_rows())
+        db.fit("s", "y ~ linear(x)")
+        db.ingest("s", [(21.0, 45.0)] * 10)  # buffered, not yet flushed
+        assert db.durable is not None
+    assert db.durable is None  # closed on exit
+
+    reopened = LawsDatabase.open(root)
+    # The exit checkpoint flushed the buffered ingest rows first.
+    assert reopened.table("s").num_rows == 410
+    assert reopened.last_recovery.models_restored == 1
+    assert reopened.last_recovery.wal_records_replayed == 0  # all in the snapshot
+
+
+def test_context_manager_skips_checkpoint_on_exception(tmp_path):
+    root = tmp_path / "store"
+    with pytest.raises(RuntimeError):
+        with LawsDatabase.open(root) as db:
+            db.load_dict("s", sensor_rows())
+            raise RuntimeError("boom")
+    # No checkpoint happened, but the WAL carried the load.
+    reopened = LawsDatabase.open(root)
+    assert reopened.last_recovery.checkpoint_id == 0
+    assert reopened.table("s").num_rows == 400
+
+
+# ---------------------------------------------------------------------------
+# Cold start: a reopened database serves from models immediately
+# ---------------------------------------------------------------------------
+
+
+def test_cold_start_serves_models_without_refitting(tmp_path):
+    root = tmp_path / "store"
+    with LawsDatabase.open(root) as db:
+        db.load_dict("s", sensor_rows())
+        db.fit("s", "y ~ linear(x)")
+        warm = db.query(
+            "SELECT AVG(y) FROM s", AccuracyContract(mode="approx", verify_fraction=0.0)
+        )
+
+    cold = LawsDatabase.open(root)
+    answer = cold.query(
+        "SELECT AVG(y) FROM s", AccuracyContract(mode="approx", verify_fraction=0.0)
+    )
+    assert not answer.is_exact
+    assert answer.table.to_pydict() == warm.table.to_pydict()
+    assert [m.model_id for m in cold.captured_models()] == [
+        m.model_id for m in db.captured_models()
+    ]
+    # New captures continue the id sequence instead of colliding.
+    report = cold.fit("s", "y ~ poly(x, degree=2)")
+    assert report.model.model_id > max(m.model_id for m in db.captured_models())
+
+
+def test_numpy_typed_ingest_survives_the_wal(tmp_path):
+    """Producers hand rows straight from NumPy; the WAL must frame them."""
+    root = tmp_path / "store"
+    rng = np.random.default_rng(1)
+    db = LawsDatabase.open(root, ingest_batch_size=8)
+    db.load_dict("s", sensor_rows(16))
+    db.checkpoint()
+    rows = [(np.float64(30.0 + i), np.float64(2.0 * i)) for i in range(16)]
+    db.ingest("s", rows, flush=True)
+    db.ingest("s", [(float(rng.standard_normal()), np.int64(4))], flush=True)
+    db.durable.wal.close()
+
+    reopened = LawsDatabase.open(root)
+    assert reopened.table("s").num_rows == 16 + 16 + 1
+    assert reopened.table("s").column("y")[-1] == 4.0
+
+
+def test_planner_calibration_round_trips(tmp_path):
+    root = tmp_path / "store"
+    with LawsDatabase.open(root) as db:
+        db.load_dict("s", sensor_rows(60))
+        costs = db.planner.cost_model.costs
+    reopened = LawsDatabase.open(root)
+    assert reopened.planner.cost_model.costs == costs
+
+
+def test_open_passes_constructor_kwargs_through(tmp_path):
+    db = LawsDatabase.open(tmp_path / "store", ingest_batch_size=7, verify_seed=123)
+    assert db.ingestor.batch_size == 7
+
+
+def test_future_format_version_is_refused(tmp_path):
+    root = tmp_path / "store"
+    with LawsDatabase.open(root) as db:
+        db.load_dict("s", sensor_rows(40))
+    manifest = root / "MANIFEST.json"
+    manifest.write_text(manifest.read_text().replace('"format_version": 1', '"format_version": 99'))
+    with pytest.raises(FormatVersionError, match="v99"):
+        LawsDatabase.open(root)

@@ -1,0 +1,186 @@
+"""Model-warehouse serialization round trips across every model family."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.captured_model import CapturedModel, ModelCoverage
+from repro.core.model_store import ModelStore
+from repro.core.quality import judge_fit
+from repro.errors import FormatVersionError
+from repro.fitting.fit import fit_model
+from repro.fitting.families import family_by_name
+from repro.fitting.grouped import fit_grouped
+from repro.fitting.piecewise import fit_piecewise
+from repro.db.table import Table
+from repro.persist.warehouse import (
+    WAREHOUSE_FORMAT_VERSION,
+    deserialize_model,
+    restore_store,
+    serialize_model,
+    serialize_store,
+)
+
+RNG = np.random.default_rng(42)
+X = np.linspace(0.5, 8.0, 200)
+
+#: (family name, kwargs, ground-truth generator) for every registered family.
+FAMILY_CASES = [
+    ("powerlaw", {}, lambda x: 2.5 * x**-0.8),
+    ("exponential", {}, lambda x: 1.5 * np.exp(0.3 * x)),
+    ("linear", {"input_names": ("x",)}, lambda x: 2.0 + 3.0 * x),
+    ("polynomial", {"degree": 3}, lambda x: 1.0 - 0.5 * x + 0.25 * x**3),
+    ("constant", {}, lambda x: np.full_like(x, 4.2)),
+    ("logistic", {}, lambda x: 10.0 / (1.0 + np.exp(-1.2 * (x - 4.0)))),
+    ("sinusoid", {}, lambda x: 2.0 * np.sin(1.5 * x + 0.3) + 5.0),
+]
+
+
+def capture_from_fit(fit, quality=None, **overrides) -> CapturedModel:
+    input_names = getattr(fit, "input_names", None) or fit.input_columns
+    output_name = getattr(fit, "output_name", None) or fit.output_column
+    coverage = ModelCoverage(
+        table_name="t",
+        input_columns=tuple(input_names),
+        output_column=output_name,
+        group_columns=overrides.pop("group_columns", ()),
+        predicate_sql=overrides.pop("predicate_sql", None),
+    )
+    formula_default = f"{output_name} ~ test"
+    return CapturedModel(
+        coverage=coverage,
+        formula=overrides.pop("formula", formula_default),
+        fit=fit,
+        quality=quality if quality is not None else judge_fit(fit),
+        accepted=True,
+        **overrides,
+    )
+
+
+def json_round_trip(model: CapturedModel) -> CapturedModel:
+    # Through real JSON text, not just dict identity: the warehouse file is
+    # a format, and the round trip must survive the serializer.
+    payload = json.loads(json.dumps(serialize_model(model)))
+    return deserialize_model(payload)
+
+
+@pytest.mark.parametrize("name,kwargs,truth", FAMILY_CASES, ids=[c[0] for c in FAMILY_CASES])
+def test_every_family_round_trips(name, kwargs, truth):
+    family = family_by_name(name, **kwargs)
+    y = truth(X) * (1.0 + 0.01 * RNG.standard_normal(len(X)))
+    fit = fit_model(family, {"x": X}, y, output_name="y")
+    quality = judge_fit(fit, y=y, inputs={"x": X})  # includes the F-test
+    model = capture_from_fit(fit, quality=quality)
+
+    restored = json_round_trip(model)
+
+    assert restored.model_id == model.model_id
+    assert restored.family_name == model.family_name
+    np.testing.assert_array_equal(restored.fit.params, model.fit.params)
+    assert restored.quality == model.quality  # dataclass equality incl. F-test
+    probe = {"x": np.linspace(0.7, 7.3, 37)}
+    np.testing.assert_array_equal(restored.predict(probe), model.predict(probe))
+
+
+def test_multi_input_linear_round_trips():
+    family = family_by_name("linear", input_names=("a", "b"))
+    inputs = {"a": X, "b": np.sqrt(X)}
+    y = 1.0 + 2.0 * inputs["a"] - 3.0 * inputs["b"]
+    fit = fit_model(family, inputs, y, output_name="y")
+    restored = json_round_trip(capture_from_fit(fit))
+    probe = {"a": X[:11], "b": np.sqrt(X[:11])}
+    np.testing.assert_array_equal(restored.predict(probe), fit.predict(probe))
+
+
+def test_piecewise_round_trips():
+    x = np.linspace(0.0, 10.0, 400)
+    y = np.where(x < 5.0, 1.0 + 0.5 * x, 8.0 - 0.9 * x)
+    fit = fit_piecewise(x, y, num_segments=4, degree=1, output_name="y", input_name="x")
+    restored = json_round_trip(capture_from_fit(fit))
+    assert restored.family_name == "piecewise"
+    assert restored.fit.family.degree == 1
+    assert len(restored.fit.family.segments) == 4
+    np.testing.assert_array_equal(restored.predict({"x": x}), fit.predict({"x": x}))
+
+
+def test_grouped_model_round_trips_including_failed_groups():
+    rows = []
+    for group in ("alpha", "beta", "gamma"):
+        scale = {"alpha": 1.0, "beta": 2.0, "gamma": 3.0}[group]
+        for x in np.linspace(1.0, 4.0, 30):
+            rows.append((group, float(x), float(scale * x**-0.5)))
+    rows.append(("lonely", 1.0, 1.0))  # too few observations: a failed group
+    table = Table.from_dict(
+        "t",
+        {
+            "g": [r[0] for r in rows],
+            "x": [r[1] for r in rows],
+            "y": [r[2] for r in rows],
+        },
+    )
+    grouped = fit_grouped(table, family_by_name("powerlaw"), ["x"], "y", ["g"])
+    assert grouped.failed  # the lonely group must be preserved through the trip
+    model = capture_from_fit(
+        grouped,
+        quality=judge_fit(grouped.fitted[0].result),
+        group_columns=("g",),
+        group_fit_fraction=0.75,
+    )
+    restored = json_round_trip(model)
+
+    assert restored.is_grouped
+    assert restored.fit.group_columns == ("g",)
+    assert len(restored.fit.records) == len(grouped.records)
+    assert [r.key for r in restored.fit.records] == [r.key for r in grouped.records]
+    failed = [r for r in restored.fit.records if not r.succeeded]
+    assert len(failed) == 1 and failed[0].key == ("lonely",)
+    np.testing.assert_array_equal(
+        restored.predict({"x": np.array([2.0])}, group_key=("beta",)),
+        model.predict({"x": np.array([2.0])}, group_key=("beta",)),
+    )
+    # The parameter table (Table 1 of the paper) regenerates identically.
+    assert restored.parameter_table().to_pydict() == model.parameter_table().to_pydict()
+
+
+def test_lifecycle_and_evidence_round_trip():
+    family = family_by_name("linear", input_names=("x",))
+    fit = fit_model(family, {"x": X}, 2.0 * X, output_name="y")
+    model = capture_from_fit(
+        fit,
+        predicate_sql="x >= 1.5",
+        formula="y ~ linear(x)",
+        fitted_row_count=123,
+        metadata={"robust": True, "method": "gn", "planner_demoted": "observed errors"},
+        status="stale",
+        observed_errors=[0.01, 0.5, float("inf")],
+    )
+    restored = json_round_trip(model)
+    assert restored.status == "stale"
+    assert restored.coverage.predicate_sql == "x >= 1.5"
+    assert restored.fitted_row_count == 123
+    assert restored.metadata["planner_demoted"] == "observed errors"
+    assert restored.metadata["robust"] is True
+    assert restored.observed_errors[:2] == [0.01, 0.5]
+    assert restored.observed_errors[2] == float("inf")
+    assert restored.formula == "y ~ linear(x)"
+    assert not restored.is_usable and restored.is_servable
+
+
+def test_store_payload_round_trips_and_gates_future_versions():
+    store = ModelStore()
+    family = family_by_name("constant")
+    fit = fit_model(family, {"x": X}, np.full_like(X, 3.0), output_name="y")
+    store.add(capture_from_fit(fit))
+    payload = json.loads(json.dumps(serialize_store(store)))
+    assert payload["format_version"] == WAREHOUSE_FORMAT_VERSION
+
+    target = ModelStore()
+    restored = restore_store(payload, target)
+    assert len(restored) == 1 and len(target) == 1
+
+    payload["format_version"] = WAREHOUSE_FORMAT_VERSION + 1
+    with pytest.raises(FormatVersionError):
+        restore_store(payload, ModelStore())

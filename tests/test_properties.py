@@ -117,6 +117,12 @@ class TestFittingProperties:
             return  # degenerate design, covered by rank-deficiency unit tests
         y = intercept + slope * x
         X = np.column_stack([np.ones(len(x)), x])
+        if np.linalg.cond(X) > 1e7:
+            # Normal equations square the condition number; on a nearly
+            # rank-deficient design (e.g. x values of 1e-158 next to zeros)
+            # the two solvers legitimately diverge — that regime belongs to
+            # the rank-deficiency unit tests, not this equivalence property.
+            return
         beta_a, _, _ = fit_ols(X, y)
         beta_b = solve_normal_equations(X, y)
         assert np.allclose(beta_a, beta_b, atol=1e-6)

@@ -44,7 +44,9 @@ SUITE = [
 
 def _build_db(rows: int, seed: int = 42) -> LawsDatabase:
     rng = np.random.default_rng(seed)
-    db = LawsDatabase(verify_sample_fraction=0.0)
+    # Observability off: this bench gates the *uninstrumented* planning
+    # path; benchmarks/bench_observability.py owns the instrumented one.
+    db = LawsDatabase(verify_sample_fraction=0.0, observability=False)
     g = rng.integers(0, 8, rows)
     x = rng.integers(0, 4, rows).astype(np.float64)
     y = 1.0 + 2.0 * g + 0.7 * x + rng.normal(0.0, 0.1, rows)

@@ -1,0 +1,126 @@
+"""Observability tour: traces, EXPLAIN ANALYZE, metrics, events, compliance.
+
+Walks the query-lifecycle telemetry end to end on a sensor workload:
+
+1. ``explain_analyze()`` — the span tree of a live query: per-stage wall
+   time, simulated page IO, the route decision with rejected candidates,
+   and predicted vs observed error for model-served answers;
+2. ``last_trace()`` — programmatic access to the same span tree;
+3. ``metrics()`` / ``metrics_prometheus()`` — counters, gauges and latency
+   histograms, including plan-cache and storage-savings gauges;
+4. the event journal — model captures, drift, maintenance refits;
+5. the contract-compliance ledger — per-route promised vs delivered error;
+6. the slow-query log.
+
+Run with::
+
+    PYTHONPATH=src python examples/observability_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AccuracyContract, LawsDatabase
+
+
+def build_database(seed: int = 11) -> LawsDatabase:
+    rng = np.random.default_rng(seed)
+    # slow_query_seconds=0.0 logs every query so the tour has entries to show.
+    db = LawsDatabase(verify_sample_fraction=0.0, slow_query_seconds=0.0)
+    rows = 4000
+    sensor = rng.integers(0, 8, rows)
+    load = rng.integers(0, 6, rows).astype(float)
+    temperature = 15.0 + 2.5 * sensor + 1.8 * load + rng.normal(0.0, 0.3, rows)
+    db.load_dict(
+        "readings",
+        {
+            "sensor": [int(v) for v in sensor],
+            "load": [float(v) for v in load],
+            "temperature": [float(v) for v in temperature],
+        },
+    )
+    report = db.fit("readings", "temperature ~ linear(load)", group_by="sensor")
+    assert report.accepted
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    contract = AccuracyContract(max_relative_error=0.05)
+    grouped_sql = (
+        "SELECT sensor, avg(temperature) AS t FROM readings "
+        "GROUP BY sensor ORDER BY sensor"
+    )
+
+    print("=" * 72)
+    print("1. EXPLAIN ANALYZE — a model-served query, verified against exact")
+    print("=" * 72)
+    print(db.explain_analyze(grouped_sql, contract))
+
+    print()
+    print("=" * 72)
+    print("2. The same span tree, programmatically")
+    print("=" * 72)
+    db.query(grouped_sql, contract)
+    trace = db.last_trace()
+    print(f"spans: {trace.span_names()}")
+    plan_span = trace.find("plan")
+    print(f"decision: {plan_span.attributes['decision']}")
+    for line in plan_span.attributes["candidates"]:
+        print(f"  candidate: {line}")
+    print(f"total wall time: {trace.elapsed_seconds * 1e3:.3f}ms, pages read: {trace.pages_read:g}")
+
+    print()
+    print("=" * 72)
+    print("3. Metrics — a hybrid and an exact query, then the snapshot")
+    print("=" * 72)
+    # A sensor the model never saw forces the hybrid route's exact fill-in.
+    db.insert_rows("readings", [(9, float(x), 70.0 + 1.8 * x) for x in range(6)])
+    hybrid = db.query(grouped_sql, contract)
+    print(f"after insert, route: {hybrid.route_taken}")
+    db.query("SELECT count(*) AS n FROM readings")
+    snapshot = db.metrics()
+    for entry in snapshot["counters"]["queries_total"]:
+        print(f"queries_total{entry['labels']} = {entry['value']:g}")
+    for name in ("plan_cache_hits", "storage_total_raw_bytes", "storage_total_model_bytes"):
+        for entry in snapshot["gauges"][name]:
+            print(f"{name}{entry['labels']} = {entry['value']:g}")
+    print()
+    print("Prometheus exposition (first lines):")
+    for line in db.metrics_prometheus().splitlines()[:6]:
+        print(f"  {line}")
+
+    print()
+    print("=" * 72)
+    print("4. The event journal")
+    print("=" * 72)
+    for event in db.events():
+        print(event.describe())
+
+    print()
+    print("=" * 72)
+    print("5. Contract compliance — promised vs delivered, per route")
+    print("=" * 72)
+    # Force verification via EXPLAIN ANALYZE (it samples at fraction 1.0).
+    db.explain_analyze(grouped_sql, contract)
+    for route, entry in db.compliance_report()["routes"].items():
+        predicted = entry["mean_predicted_relative_error"]
+        observed = entry["mean_observed_relative_error"]
+        print(
+            f"{route}: served={entry['served']} verified={entry['verified']} "
+            f"predicted={predicted if predicted is None else f'{predicted:.2%}'} "
+            f"observed={observed if observed is None else f'{observed:.2%}'} "
+            f"violations={entry['budget_violations']}"
+        )
+
+    print()
+    print("=" * 72)
+    print("6. The slow-query log (threshold 0.0s here, so everything logs)")
+    print("=" * 72)
+    for slow in db.slow_queries(limit=3):
+        print(slow.describe())
+
+
+if __name__ == "__main__":
+    main()

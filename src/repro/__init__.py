@@ -15,6 +15,9 @@ The package is organised as:
 * :mod:`repro.persist` — durable storage: columnar snapshots, checksummed
   WAL, the versioned model warehouse and the model-only archive tier
   (opt-in via ``LawsDatabase.open(path)``).
+* :mod:`repro.obs` — observability: query-lifecycle tracing (span trees,
+  ``EXPLAIN ANALYZE``), the metrics registry (JSON + Prometheus exporters),
+  the lifecycle event journal and contract-compliance accounting.
 * :mod:`repro.datasets` — synthetic data generators (LOFAR transients,
   TPC-DS-lite, sensor networks, generic time series).
 * :mod:`repro.bench` — the experiment harness used by the benchmark suite.
@@ -39,5 +42,15 @@ from repro._version import __version__
 from repro.core.planner import AccuracyContract
 from repro.core.system import LawsDatabase
 from repro.db import Database
+from repro.obs import MetricsRegistry, Observability, Span, Tracer
 
-__all__ = ["AccuracyContract", "Database", "LawsDatabase", "__version__"]
+__all__ = [
+    "AccuracyContract",
+    "Database",
+    "LawsDatabase",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "__version__",
+]

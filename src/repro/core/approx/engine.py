@@ -78,6 +78,7 @@ from repro.errors import (
     ModelNotFoundError,
     SQLError,
 )
+from repro.obs.trace import NULL_TRACER, traced_operator_execute
 
 __all__ = ["ApproximateAnswer", "ApproximateQueryEngine", "RouteSketch"]
 
@@ -183,6 +184,9 @@ class ApproximateQueryEngine:
         self.use_legal_filter = use_legal_filter
         #: Per-group model-vs-exact routing thresholds for the grouped route.
         self.routing_policy = routing_policy or RoutingPolicy()
+        #: :class:`repro.obs.Tracer` for per-route spans.  Defaults to the
+        #: shared disabled tracer, so span calls cost one attribute check.
+        self.tracer = NULL_TRACER
         #: Optional callback ``(table, output_column, group_columns) ->
         #: CapturedModel | None`` that harvests a grouped model on demand when
         #: a GROUP BY query finds only ungrouped captures (wired to
@@ -614,14 +618,22 @@ class ApproximateQueryEngine:
         if route_plan is None:
             return None
         stats = self.database.stats(table_name)
-        result = answer_grouped(
-            statement,
-            self.store,
-            stats,
-            self._execute_exact_groups,
-            policy=self.routing_policy,
-            route_plan=route_plan,
-        )
+        tracer = self.tracer
+        with tracer.span("route:grouped") as span:
+            if tracer.active:
+                span.annotate(
+                    model_groups=route_plan.n_model_groups,
+                    exact_groups=route_plan.n_exact_groups,
+                    models=list(route_plan.used_model_ids),
+                )
+            result = answer_grouped(
+                statement,
+                self.store,
+                stats,
+                self._execute_exact_groups,
+                policy=self.routing_policy,
+                route_plan=route_plan,
+            )
         if result is None:
             return None
         return ApproximateAnswer(
@@ -664,6 +676,10 @@ class ApproximateQueryEngine:
             distinct=False,
         )
         planned = plan_select(sub_statement, self.database.catalog, io_model=self.database.io_model)
+        tracer = self.tracer
+        if tracer.active:
+            with tracer.span("exact-fill-in"):
+                return traced_operator_execute(planned.root, tracer)
         return planned.root.execute()
 
     def _try_range_route(
@@ -768,8 +784,12 @@ class ApproximateQueryEngine:
         pinned: dict[str, list[Any]],
     ) -> ApproximateAnswer:
         stats = self.database.stats(model.table_name)
+        tracer = self.tracer
         plan = build_enumeration_plan(model, stats, pinned_values=pinned, max_rows=self.max_virtual_rows)
-        virtual = generate_virtual_table(model, plan, table_name=model.table_name)
+        with tracer.span("enumerate") as span:
+            virtual = generate_virtual_table(model, plan, table_name=model.table_name)
+            if tracer.active:
+                span.annotate(plan=plan.describe(), virtual_rows=virtual.num_rows)
 
         if self.use_legal_filter:
             legal = self._legal_filter_for(model)
@@ -780,7 +800,11 @@ class ApproximateQueryEngine:
         shadow_catalog.register_table(virtual)
         try:
             planned = plan_select(statement, shadow_catalog, io_model=None)
-            result = planned.root.execute()
+            with tracer.span("evaluate"):
+                if tracer.active:
+                    result = traced_operator_execute(planned.root, tracer)
+                else:
+                    result = planned.root.execute()
         except (SQLError, ExecutionError) as exc:
             # e.g. an aggregate/function outside the supported set: record it
             # as a fallback reason instead of crashing the engine mid-route.

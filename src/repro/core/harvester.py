@@ -87,6 +87,8 @@ class ModelHarvester:
         #: every capture path (fit(), strawman, UDF interception, grouped
         #: on-demand harvest, maintenance refits) runs through.
         self.fit_guard: Any = None
+        #: Optional :class:`repro.obs.EventJournal` recording every capture.
+        self.journal: Any = None
         # Capture fits that go through the in-database UDF path as well.
         self.database.udfs.add_fit_listener(self._on_udf_fit)
 
@@ -156,6 +158,16 @@ class ModelHarvester:
             metadata={"robust": robust, "method": method},
         )
         self.store.add(model)
+        if self.journal is not None:
+            self.journal.record(
+                "model-capture",
+                model_id=model.model_id,
+                table=table_name,
+                column=parsed.output,
+                formula=formula,
+                accepted=accepted,
+                grouped=bool(group_columns),
+            )
         return HarvestReport(model=model, quality=quality, accepted=accepted)
 
     def ensure_grouped(

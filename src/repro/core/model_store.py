@@ -37,6 +37,9 @@ class ModelStore:
         #: planner keys its plan cache on this so routing decisions are
         #: invalidated when the serving model population changes.
         self._version = 0
+        #: Optional :class:`repro.obs.EventJournal` recording demotions,
+        #: supersedes and retirements.
+        self.journal = None
 
     @property
     def version(self) -> int:
@@ -231,6 +234,14 @@ class ModelStore:
             model.mark_stale()
         model.metadata["planner_demoted"] = reason
         self._bump()
+        if self.journal is not None:
+            self.journal.record(
+                "model-demotion",
+                model_id=model_id,
+                table=model.table_name,
+                column=model.output_column,
+                reason=reason,
+            )
         return model
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -249,6 +260,8 @@ class ModelStore:
     def retire_model(self, model_id: int) -> None:
         self.get(model_id).retire()
         self._bump()
+        if self.journal is not None:
+            self.journal.record("model-retire", model_id=model_id)
 
     def reactivate(self, model_id: int) -> None:
         """Reactivate a stale model (e.g. after re-validation against new data)."""
@@ -271,6 +284,14 @@ class ModelStore:
         old.metadata["superseded_by"] = successor.model_id
         successor.metadata.setdefault("supersedes", []).append(old.model_id)
         self._bump()
+        if self.journal is not None:
+            self.journal.record(
+                "model-supersede",
+                model_id=model_id,
+                successor_id=successor_id,
+                table=old.table_name,
+                column=old.output_column,
+            )
         return old
 
     # -- accounting --------------------------------------------------------------------------

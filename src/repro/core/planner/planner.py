@@ -36,8 +36,14 @@ from repro.db.sql.executor import QueryResult
 from repro.db.stats import TableStats
 from repro.errors import ApproximationError
 from repro.db.table import Table
+from repro.obs.hub import normalize_reason
+from repro.obs.trace import Span, Tracer
 
 __all__ = ["PlannedAnswer", "UnifiedPlanner"]
+
+#: Shared disabled tracer for planners running without an observability
+#: hub: every span call degrades to a single attribute check.
+_OFF_TRACER = Tracer(enabled=False)
 
 #: Aggregate-specific scaling of the model's base relative error: counts
 #: come from (near-live) cardinalities, extremes pay the Gaussian
@@ -116,6 +122,10 @@ class UnifiedPlanner:
         #: tier's model-only guard).  When it fires, only pure model routes
         #: may execute; anything else raises with the reason.
         self.archive_guard = None
+        #: Optional :class:`repro.obs.Observability` hub.  When set and
+        #: enabled, every execution is traced, metered, compliance-accounted
+        #: and slow-logged; when absent, execution pays one attribute check.
+        self.obs = None
         self.plan_cache_size = plan_cache_size
         self._plan_cache: OrderedDict[tuple, UnifiedPlan] = OrderedDict()
         self._cache_hits = 0
@@ -440,15 +450,38 @@ class UnifiedPlanner:
     ) -> PlannedAnswer:
         """Plan and execute ``sql`` under ``contract``."""
         contract = contract or AUTO
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return self._execute(sql, contract, _OFF_TRACER)
+        tracer = obs.tracer
+        started = perf_counter()
+        with tracer.trace("query", sql=sql.strip()) as root:
+            try:
+                answer = self._execute(sql, contract, tracer)
+            except Exception as exc:
+                obs.metrics.inc("query_errors_total", error=type(exc).__name__)
+                raise
+        self._account(obs, answer, root, perf_counter() - started)
+        return answer
+
+    def _execute(
+        self, sql: str, contract: AccuracyContract, tracer: Tracer
+    ) -> PlannedAnswer:
         started = perf_counter()
         # IO is measured around planning *and* execution: planning may
         # trigger the one-off on-demand grouped harvest, whose scan is
         # charged to the query that caused it (as the engine always did).
         io_before = self.database.io_snapshot()
-        plan = self.plan(sql, contract, for_execution=True)
+        with tracer.span("parse"):
+            self.database.parse_sql(sql)
+        with tracer.span("plan") as plan_span:
+            plan = self.plan(sql, contract, for_execution=True)
+        if tracer.active:
+            _annotate_plan_span(plan_span, plan)
 
         if plan.statement_type != "select":
-            result = self.database.sql(sql)
+            with tracer.span("execute", route_taken=plan.statement_type):
+                result = self.database.sql(sql)
             return PlannedAnswer(
                 sql=sql,
                 contract=contract,
@@ -468,26 +501,37 @@ class UnifiedPlanner:
 
         if plan.is_model_route or contract.mode == "approx":
             statement = self.database.parse_sql(sql)
-            try:
-                approx = self.engine.answer(
-                    sql,
-                    # Falling back to exact is dishonest when raw rows are
-                    # archived: a mid-route failure must surface, not degrade
-                    # into an answer over the partial table.
-                    allow_fallback=(
-                        contract.allow_exact_fallback and plan.archived_reason is None
-                    ),
-                    statement=statement,
-                    grouped_route_plan=(
-                        plan.sketch.grouped_plan if plan.sketch is not None else None
-                    ),
-                )
-            except ApproximationError as exc:
-                if plan.archived_reason is not None:
-                    raise ApproximationError(
-                        f"{exc}; {plan.archived_reason}"
-                    ) from exc
-                raise
+            with tracer.span("execute") as exec_span:
+                try:
+                    approx = self.engine.answer(
+                        sql,
+                        # Falling back to exact is dishonest when raw rows are
+                        # archived: a mid-route failure must surface, not
+                        # degrade into an answer over the partial table.
+                        allow_fallback=(
+                            contract.allow_exact_fallback
+                            and plan.archived_reason is None
+                        ),
+                        statement=statement,
+                        grouped_route_plan=(
+                            plan.sketch.grouped_plan if plan.sketch is not None else None
+                        ),
+                    )
+                except ApproximationError as exc:
+                    if plan.archived_reason is not None:
+                        raise ApproximationError(
+                            f"{exc}; {plan.archived_reason}"
+                        ) from exc
+                    raise
+                if tracer.active:
+                    exec_span.annotate(
+                        route_taken=approx.route,
+                        rows=approx.table.num_rows,
+                    )
+                    if approx.used_model_ids:
+                        exec_span.annotate(models=list(approx.used_model_ids))
+                    if approx.route == "exact-fallback":
+                        exec_span.annotate(fallback_reason=approx.reason)
             io_after = self.database.io_snapshot()
             approx.io = {
                 key: io_after[key] - io_before.get(key, 0.0) for key in io_after
@@ -511,11 +555,17 @@ class UnifiedPlanner:
                 and plan.archived_reason is None
                 and self.feedback.should_verify(contract)
             ):
-                answer.feedback = self.feedback.verify(sql, approx)
+                with tracer.span("verify-sample") as verify_span:
+                    answer.feedback = self.feedback.verify(sql, approx)
+                if tracer.active:
+                    _annotate_verify_span(verify_span, answer.feedback, plan, contract)
             answer.elapsed_seconds = perf_counter() - started
             return answer
 
-        result = self.database.sql(sql)
+        with tracer.span("execute", route_taken="exact") as exec_span:
+            result = self.database.sql(sql)
+        if tracer.active:
+            exec_span.annotate(rows=result.table.num_rows)
         return PlannedAnswer(
             sql=sql,
             contract=contract,
@@ -526,3 +576,96 @@ class UnifiedPlanner:
             query_result=result,
             elapsed_seconds=perf_counter() - started,
         )
+
+    def _account(
+        self, obs: Any, answer: PlannedAnswer, root: Span, elapsed_seconds: float
+    ) -> None:
+        """Post-execution metrics, compliance and slow-log accounting."""
+        metrics = obs.metrics
+        route = answer.route_taken
+        metrics.inc("queries_total", route=route)
+        metrics.observe("query_seconds", elapsed_seconds)
+        io = answer.approx.io if answer.approx is not None else (
+            answer.query_result.io if answer.query_result is not None else {}
+        )
+        pages = io.get("pages_read", 0.0)
+        if pages:
+            metrics.inc("pages_read_total", pages, route=route)
+        if route == "exact-fallback":
+            reason = answer.approx.reason if answer.approx is not None else None
+            metrics.inc("fallbacks_total", reason=normalize_reason(reason))
+        model_ids = (
+            list(answer.approx.used_model_ids) if answer.approx is not None else []
+        )
+        obs.compliance.record_served(
+            route,
+            answer.plan.chosen.predicted_relative_error
+            if answer.plan.is_model_route
+            else None,
+            model_ids=model_ids,
+        )
+        feedback = answer.feedback
+        if feedback is not None:
+            metrics.inc("feedback_verifications_total")
+            if feedback.demoted_model_ids:
+                metrics.inc(
+                    "feedback_demotions_total", float(len(feedback.demoted_model_ids))
+                )
+            if feedback.observed_relative_error is not None:
+                violated = obs.compliance.record_verified(
+                    route,
+                    feedback.observed_relative_error,
+                    answer.contract.error_budget,
+                    model_ids=feedback.recorded_model_ids,
+                    demoted_ids=feedback.demoted_model_ids,
+                )
+                if violated:
+                    metrics.inc("contract_violations_total", route=route)
+        obs.slow_log.observe(
+            answer.sql,
+            route,
+            elapsed_seconds,
+            trace_summary=root.summary(),
+            contract=answer.contract.describe(),
+        )
+
+
+def _annotate_plan_span(span: Span, plan: UnifiedPlan) -> None:
+    """Attach the route decision — chosen and rejected — to the plan span."""
+    span.annotate(
+        decision=plan.chosen.route,
+        reason=plan.reason,
+        candidates=[_candidate_line(plan, node) for node in plan.candidates],
+    )
+    if plan.archived_reason is not None:
+        span.annotate(archived=plan.archived_reason)
+
+
+def _candidate_line(plan: UnifiedPlan, node: PlanNode) -> str:
+    status = "chosen" if node is plan.chosen else "rejected"
+    return f"{status} — {node.render(0)[0]}"
+
+
+def _annotate_verify_span(
+    span: Span,
+    feedback: FeedbackResult | None,
+    plan: UnifiedPlan,
+    contract: AccuracyContract,
+) -> None:
+    if feedback is None:
+        return
+    if feedback.observed_relative_error is None:
+        span.annotate(outcome="no numeric columns to verify")
+        return
+    span.annotate(
+        predicted_relative_error=f"{plan.chosen.predicted_relative_error:.2%}",
+        observed_relative_error=f"{feedback.observed_relative_error:.2%}",
+    )
+    if contract.max_relative_error is not None:
+        span.annotate(
+            budget=f"{contract.max_relative_error:.2%}",
+            within_budget=feedback.observed_relative_error
+            <= contract.max_relative_error,
+        )
+    if feedback.demoted_model_ids:
+        span.annotate(demoted_models=list(feedback.demoted_model_ids))

@@ -38,6 +38,7 @@ from repro.db.sql.ast import InsertStatement
 from repro.db.sql.executor import QueryResult
 from repro.db.table import Table
 from repro.errors import ApproximationError, ArchiveError, PersistenceError
+from repro.obs import Event, Observability, SlowQuery, Span
 from repro.persist.archive import ArchiveReport, ArchiveTier
 from repro.persist.store import CheckpointReport, DurableStore, RecoveryReport
 from repro.streaming.ingest import IngestBatch, IngestStats, StreamIngestor
@@ -57,6 +58,8 @@ class LawsDatabase:
         ingest_batch_size: int = 512,
         verify_sample_fraction: float = 0.05,
         verify_seed: int | None = None,
+        observability: bool = True,
+        slow_query_seconds: float = 0.25,
     ) -> None:
         self.database = Database(io_parameters)
         self.models = ModelStore()
@@ -101,6 +104,20 @@ class LawsDatabase:
         self.durable: DurableStore | None = None
         self.archive_tier: ArchiveTier | None = None
         self.last_recovery: RecoveryReport | None = None
+        # The observability hub: one tracer/metrics/journal/compliance/
+        # slow-log bundle threaded through every layer.  ``observability=
+        # False`` leaves every collector a single attribute check.
+        self.obs = Observability(
+            io_snapshot=self.database.io_snapshot,
+            enabled=observability,
+            slow_query_seconds=slow_query_seconds,
+        )
+        self.planner.obs = self.obs
+        self.database.executor.tracer = self.obs.tracer
+        self.approx.tracer = self.obs.tracer
+        self.maintenance.journal = self.obs.journal
+        self.harvester.journal = self.obs.journal
+        self.models.journal = self.obs.journal
 
     # -- durable storage -----------------------------------------------------------
 
@@ -124,6 +141,8 @@ class LawsDatabase:
         """
         system = cls(**kwargs)
         store = DurableStore(path, rows_per_segment=rows_per_segment, fsync=fsync)
+        # Journal wired before recover() so the recovery event is recorded.
+        store.journal = system.obs.journal
         system.durable = store
         system.archive_tier = ArchiveTier(system.database, store.archive_dir)
         system.planner.archive_guard = system.archive_tier.blocking_reason
@@ -195,6 +214,12 @@ class LawsDatabase:
         # Logged like every other acknowledged mutation: an archive that a
         # crash silently undoes would reload the shed rows into memory.
         store.log_archive(table_name, predicate_sql)
+        self.obs.journal.record(
+            "archive",
+            table=table_name,
+            predicate=predicate_sql,
+            rows=report.rows_archived,
+        )
         return report
 
     def recall_archive(self, table_name: str) -> int:
@@ -204,6 +229,7 @@ class LawsDatabase:
             raise ArchiveError("no archive tier attached")
         restored = self.archive_tier.recall(table_name)
         store.log_recall(table_name)
+        self.obs.journal.record("archive-recall", table=table_name, rows=restored)
         return restored
 
     # -- data management (delegated to the substrate) -----------------------------
@@ -366,6 +392,111 @@ class LawsDatabase:
     ) -> UnifiedPlan:
         """The :class:`UnifiedPlan` for ``sql`` (side-effect free)."""
         return self.planner.plan(sql, contract, for_execution=False)
+
+    # -- observability -----------------------------------------------------------------
+
+    def explain_analyze(
+        self, sql: str, contract: AccuracyContract | None = None
+    ) -> str:
+        """Execute ``sql`` under tracing and render the span tree.
+
+        Unlike :meth:`explain` this *runs* the query: every stage's wall
+        time and simulated page IO, the route decision (with the rejected
+        candidates and their predicted cost/error), per-operator execution
+        spans, and — for model routes — the predicted vs. observed relative
+        error (verification is forced, not sampled).  A leading ``EXPLAIN
+        ANALYZE`` prefix in the SQL text is accepted and stripped.
+        """
+        from dataclasses import replace
+
+        stripped = sql.strip()
+        if stripped[:15].upper() == "EXPLAIN ANALYZE":
+            stripped = stripped[15:].strip()
+        contract = replace(contract or AccuracyContract(), verify_fraction=1.0)
+        obs = self.obs
+        was_enabled = obs.enabled
+        if not was_enabled:
+            obs.enable()
+        try:
+            answer = self.query(stripped, contract)
+            trace = obs.tracer.last_trace()
+        finally:
+            if not was_enabled:
+                obs.disable()
+        lines = [
+            f"EXPLAIN ANALYZE: {stripped}",
+            f"Route: {answer.route_taken} — {answer.plan.reason}",
+        ]
+        if trace is not None:
+            lines.append(trace.to_text())
+        return "\n".join(lines)
+
+    def last_trace(self) -> Span | None:
+        """The span tree of the most recently traced query."""
+        return self.obs.tracer.last_trace()
+
+    def metrics(self) -> dict[str, Any]:
+        """A stable snapshot of every counter, gauge and histogram.
+
+        Derived gauges — plan-cache hit/miss stats of both caching layers,
+        storage savings, model population by status, cumulative simulated
+        IO — are refreshed on every call, so the snapshot is always
+        current without per-query bookkeeping.
+        """
+        self._refresh_gauges()
+        return self.obs.metrics.snapshot()
+
+    def metrics_json(self, indent: int | None = 2) -> str:
+        self._refresh_gauges()
+        return self.obs.metrics.to_json(indent=indent)
+
+    def metrics_prometheus(self) -> str:
+        """The metrics snapshot in the Prometheus text exposition format."""
+        self._refresh_gauges()
+        return self.obs.metrics.to_prometheus_text()
+
+    def _refresh_gauges(self) -> None:
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        for layer, info in (
+            ("sql", self.database.plan_cache_info()),
+            ("planner", self.planner.plan_cache_info()),
+        ):
+            for key, value in info.items():
+                metrics.set_gauge(f"plan_cache_{key}", value, layer=layer)
+        report = self.storage_report()
+        for name, entry in report["tables"].items():
+            for key, value in entry.items():
+                metrics.set_gauge(f"storage_{key}", value, table=name)
+        metrics.set_gauge("storage_total_raw_bytes", report["total_raw_bytes"])
+        metrics.set_gauge("storage_total_model_bytes", report["total_model_bytes"])
+        metrics.set_gauge(
+            "storage_total_archived_bytes", report["total_archived_bytes"]
+        )
+        status_counts: dict[str, int] = {}
+        for model in self.models.all_models():
+            status_counts[model.status] = status_counts.get(model.status, 0) + 1
+        for status, count in status_counts.items():
+            metrics.set_gauge("models", count, status=status)
+        for key, value in self.database.io_snapshot().items():
+            metrics.set_gauge(f"io_{key}", value)
+        metrics.set_gauge("slow_queries", self.obs.slow_log.total)
+
+    def events(
+        self, kind: str | None = None, limit: int | None = None, **field_filters: Any
+    ) -> list[Event]:
+        """Lifecycle events from the journal (drift, changepoints, model
+        captures/demotions/refits, checkpoint/recovery/archive operations)."""
+        return self.obs.journal.events(kind=kind, limit=limit, **field_filters)
+
+    def slow_queries(self, limit: int | None = None) -> list[SlowQuery]:
+        """Queries that exceeded the slow-query wall-time threshold."""
+        return self.obs.slow_log.entries(limit=limit)
+
+    def compliance_report(self) -> dict[str, Any]:
+        """Per-route and per-model predicted-vs-observed error accounting."""
+        return self.obs.compliance.report()
 
     # -- SQL: deprecated pre-planner entry points -------------------------------------
 

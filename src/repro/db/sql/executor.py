@@ -62,6 +62,10 @@ class SQLExecutor:
         self.catalog = catalog
         self.io_model = io_model or IOModel()
         self.plan_cache_size = plan_cache_size
+        #: Optional :class:`repro.obs.Tracer`.  When set *and* a trace is
+        #: open, SELECT operator trees execute with one span per operator;
+        #: otherwise execution pays a single attribute check.
+        self.tracer = None
         self._parse_cache: OrderedDict[str, Statement] = OrderedDict()
         #: sql text -> (catalog version, plan, rendered plan text)
         self._plan_cache: OrderedDict[str, tuple[int, PlannedQuery, str]] = OrderedDict()
@@ -93,7 +97,7 @@ class SQLExecutor:
             plan_text = f"Insert({statement.name}, rows={len(statement.rows)})"
         elif isinstance(statement, SelectStatement):
             planned, plan_text = self._plan(sql, statement)
-            table = planned.root.execute()
+            table = self._run_root(planned)
             kind = "select"
         else:  # pragma: no cover - parser only produces the three kinds above
             raise UnsupportedSQLError(f"unsupported statement type {type(statement).__name__}")
@@ -107,7 +111,7 @@ class SQLExecutor:
         """Execute an already-planned SELECT (the plan-cache hit path)."""
         started = perf_counter()
         io_before = self.io_model.snapshot()
-        table = planned.root.execute()
+        table = self._run_root(planned)
         elapsed = perf_counter() - started
         io_after = self.io_model.snapshot()
         io_delta = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
@@ -118,6 +122,15 @@ class SQLExecutor:
             io=io_delta,
             plan_text=plan_text,
         )
+
+    def _run_root(self, planned: PlannedQuery) -> Table:
+        """Execute a plan's root, per-operator traced when a trace is open."""
+        tracer = self.tracer
+        if tracer is not None and tracer.active:
+            from repro.obs.trace import traced_operator_execute
+
+            return traced_operator_execute(planned.root, tracer)
+        return planned.root.execute()
 
     def explain(self, sql: str) -> str:
         """Return the physical plan for a SELECT without executing it."""

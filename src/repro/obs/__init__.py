@@ -1,0 +1,28 @@
+"""Observability: query-lifecycle tracing, metrics, and the event journal.
+
+See the README's "Observability" section for the trace anatomy, the
+metrics catalog, and exporter usage.
+"""
+
+from .events import ComplianceLedger, Event, EventJournal
+from .hub import Observability, normalize_reason
+from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+from .slowlog import SlowQuery, SlowQueryLog
+from .trace import NULL_TRACER, Span, Tracer, traced_operator_execute
+
+__all__ = [
+    "ComplianceLedger",
+    "NULL_TRACER",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Event",
+    "EventJournal",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "normalize_reason",
+    "traced_operator_execute",
+]

@@ -1,0 +1,246 @@
+"""Query-lifecycle tracing: a span tree per query.
+
+A :class:`Span` is one timed stage of a query's life — parse, plan/probe,
+the route decision, execution (with one child span per physical operator),
+the verification sample — carrying its wall time, the simulated page IO it
+charged (from :class:`repro.db.io_model.IOModel`), and free-form
+attributes.  The :class:`Tracer` assembles spans into a tree per traced
+query and keeps the last completed trace for ``db.last_trace()`` /
+``EXPLAIN ANALYZE``.
+
+Overhead discipline: a disabled tracer (or a span opened outside any active
+trace) costs one attribute check and allocates nothing — the hot paths the
+``BENCH_hotpaths`` suite gates stay untouched when tracing is off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Iterator
+
+__all__ = ["NULL_TRACER", "Span", "Tracer", "traced_operator_execute"]
+
+#: IO counters copied onto spans (a subset of the accountant snapshot —
+#: the two numbers the paper's zero-IO argument is about).
+_IO_KEYS = ("pages_read", "virtual_io_seconds")
+
+
+@dataclass
+class Span:
+    """One timed stage of a traced query (a node in the span tree)."""
+
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    #: Simulated IO charged while this span (including children) was open.
+    io: dict[str, float] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def pages_read(self) -> float:
+        return float(self.io.get("pages_read", 0.0))
+
+    def annotate(self, **attributes: Any) -> None:
+        self.attributes.update(attributes)
+
+    # -- navigation -----------------------------------------------------------
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given span name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def span_names(self) -> list[str]:
+        """Depth-first span names — the golden-trace shape tests key on this."""
+        return [span.name for span in self.walk()]
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        parts = [f"{pad}{self.name}  [{self.elapsed_seconds * 1000.0:.3f}ms"]
+        pages = self.pages_read
+        if pages:
+            parts.append(f", io={pages:.0f} page(s)")
+        parts.append("]")
+        lines = ["".join(parts)]
+        for key, value in self.attributes.items():
+            if isinstance(value, (list, tuple)):
+                for entry in value:
+                    lines.append(f"{pad}  · {key}: {entry}")
+            else:
+                lines.append(f"{pad}  · {key}: {value}")
+        for child in self.children:
+            lines.extend(child.render(indent + 1))
+        return lines
+
+    def summary(self) -> str:
+        """One line per stage — what the slow-query log stores."""
+        stages = ", ".join(
+            f"{child.name}={child.elapsed_seconds * 1000.0:.2f}ms"
+            for child in self.children
+        )
+        return f"{self.name} {self.elapsed_seconds * 1000.0:.2f}ms ({stages})"
+
+    def to_text(self) -> str:
+        return "\n".join(self.render())
+
+
+class Tracer:
+    """Builds one span tree per traced query.
+
+    ``io_snapshot`` is a zero-argument callable returning the cumulative
+    simulated-IO counters (:meth:`repro.db.database.Database.io_snapshot`);
+    every span records the delta across its lifetime.
+    """
+
+    def __init__(
+        self,
+        io_snapshot: Callable[[], dict[str, float]] | None = None,
+        enabled: bool = True,
+        keep_traces: int = 8,
+    ) -> None:
+        self.enabled = enabled
+        self.io_snapshot = io_snapshot
+        self.keep_traces = keep_traces
+        self._stack: list[Span] = []
+        self._io_stack: list[dict[str, float]] = []
+        self._traces: list[Span] = []
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while a trace is open (spans will actually be recorded)."""
+        return self.enabled and bool(self._stack)
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def last_trace(self) -> Span | None:
+        """The root span of the most recently completed trace."""
+        return self._traces[-1] if self._traces else None
+
+    def traces(self) -> list[Span]:
+        return list(self._traces)
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+    # -- span management -------------------------------------------------------
+
+    def _io(self) -> dict[str, float]:
+        return self.io_snapshot() if self.io_snapshot is not None else {}
+
+    @contextmanager
+    def trace(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a root span (a no-op yielding a throwaway span when disabled)."""
+        if not self.enabled or self._stack:
+            # Disabled, or a trace is already open (a nested query() from the
+            # feedback verifier): record as a child span instead of clobbering
+            # the open trace.
+            with self.span(name, **attributes) as span:
+                yield span
+            return
+        root = Span(name=name, attributes=dict(attributes))
+        self._stack.append(root)
+        self._io_stack.append(self._io())
+        started = perf_counter()
+        try:
+            yield root
+        finally:
+            root.elapsed_seconds = perf_counter() - started
+            io_before = self._io_stack.pop()
+            root.io = _io_delta(io_before, self._io())
+            self._stack.pop()
+            self._traces.append(root)
+            if len(self._traces) > self.keep_traces:
+                del self._traces[: len(self._traces) - self.keep_traces]
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span under the current one (no-op outside a trace)."""
+        if not self.enabled or not self._stack:
+            yield _DISCARDED
+            return
+        span = Span(name=name, attributes=dict(attributes))
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        self._io_stack.append(self._io())
+        started = perf_counter()
+        try:
+            yield span
+        finally:
+            span.elapsed_seconds = perf_counter() - started
+            io_before = self._io_stack.pop()
+            span.io = _io_delta(io_before, self._io())
+            self._stack.pop()
+
+
+#: Shared throwaway span handed out when tracing is off: callers may
+#: annotate it freely; nothing is retained.
+_DISCARDED = Span(name="discarded")
+
+#: Shared always-disabled tracer: components default to it so their span
+#: calls degrade to a single attribute check when no hub is wired in.
+NULL_TRACER = Tracer(enabled=False)
+
+
+def _io_delta(before: dict[str, float], after: dict[str, float]) -> dict[str, float]:
+    delta = {}
+    for key in _IO_KEYS:
+        if key in after:
+            value = after[key] - before.get(key, 0.0)
+            if value:
+                delta[key] = value
+    return delta
+
+
+def traced_operator_execute(root: Any, tracer: Tracer):
+    """Execute a physical operator tree with one span per operator.
+
+    Works on any pull-based operator tree exposing ``execute()``,
+    ``children()`` and ``describe()`` (:class:`repro.db.operators.base.
+    Operator`).  Each node's bound ``execute`` is shadowed with a
+    span-opening wrapper for the duration of this one call — plans are
+    cached and reused, so the shadowing is always undone, even on error.
+    Child operators execute inside their parent's ``execute()``, so the
+    spans nest into the plan shape by construction.
+    """
+    wrapped: list[Any] = []
+
+    def _wrap(node: Any) -> None:
+        original = type(node).execute
+
+        def _traced(_node=node, _original=original):
+            with tracer.span(f"op:{type(_node).__name__}") as span:
+                span.annotate(operator=_node.describe())
+                result = _original(_node)
+                if result is not None:
+                    span.annotate(rows_out=result.num_rows)
+                return result
+
+        node.__dict__["execute"] = _traced
+        wrapped.append(node)
+        for child in node.children():
+            _wrap(child)
+
+    _wrap(root)
+    try:
+        return root.execute()
+    finally:
+        for node in wrapped:
+            node.__dict__.pop("execute", None)

@@ -137,6 +137,9 @@ class DurableStore:
         #: False while recovery replays the WAL, so replayed appends are not
         #: re-logged; True once the store is live.
         self.accepting_writes = False
+        #: Optional :class:`repro.obs.EventJournal` recording checkpoint and
+        #: recovery operations.
+        self.journal: Any = None
         self._closed = False
         #: Sequence for snapshot-backed WAL load records; resumes past any
         #: directories a previous incarnation left under walseg/.
@@ -326,6 +329,15 @@ class DurableStore:
             # segments are unreferenced garbage.
             system.archive_tier.purge_unreferenced()
         report.elapsed_seconds = perf_counter() - started
+        if self.journal is not None:
+            self.journal.record(
+                "checkpoint",
+                checkpoint_id=report.checkpoint_id,
+                tables=report.tables,
+                rows=report.rows,
+                models=report.models,
+                segment_files=report.segment_files,
+            )
         return report
 
     def _cleanup_stale_artifacts(self, keep_id: int) -> None:
@@ -446,6 +458,18 @@ class DurableStore:
             report.archived_tables = system.archive_tier.archived_tables()
 
         self.accepting_writes = True
+        if self.journal is not None:
+            self.journal.record(
+                "recovery",
+                checkpoint_id=report.checkpoint_id,
+                tables_loaded=report.tables_loaded,
+                rows_loaded=report.rows_loaded,
+                models_restored=report.models_restored,
+                watches_restored=report.watches_restored,
+                wal_records_replayed=report.wal_records_replayed,
+                wal_rows_replayed=report.wal_rows_replayed,
+                wal_truncated_bytes=report.wal_truncated_bytes,
+            )
         return report
 
     # -- lifecycle ---------------------------------------------------------------------

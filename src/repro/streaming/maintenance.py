@@ -136,7 +136,15 @@ class ModelMaintenancePolicy:
         #: model-only tier would fit only the (predicate-biased) live
         #: remainder yet be served as covering the full logical table.
         self.refit_guard: Any = None
+        #: Optional :class:`repro.obs.EventJournal`.  When set, drift
+        #: transitions, change-point localizations and every maintenance
+        #: action are recorded as queryable events.
+        self.journal: Any = None
         self._targets: dict[tuple[str, str], WatchTarget] = {}
+
+    def _journal_record(self, kind: str, **fields: Any) -> None:
+        if self.journal is not None:
+            self.journal.record(kind, **fields)
 
     # -- registration ------------------------------------------------------------
 
@@ -271,8 +279,20 @@ class ModelMaintenancePolicy:
                 continue
             arrays, group_keys = self._batch_columns(batch.table_name, rows, model)
             residuals = _model_residuals(model, arrays, group_keys)
+            was_drifted = (
+                target.last_verdict is not None and target.last_verdict.drifted
+            )
             target.detector.observe(residuals)
             target.batches_seen += 1
+            verdict = target.last_verdict
+            if verdict is not None and verdict.drifted and not was_drifted:
+                self._journal_record(
+                    "drift-detected",
+                    table=target.table_name,
+                    column=target.output_column,
+                    model_id=target.model_id,
+                    detail=verdict.describe(),
+                )
 
     # -- the maintenance tick ---------------------------------------------------------
 
@@ -297,6 +317,26 @@ class ModelMaintenancePolicy:
                         details=f"{type(exc).__name__}: {exc}",
                     )
                 )
+        if self.journal is not None:
+            for action in report.actions:
+                if action.kind == "none":
+                    continue
+                self._journal_record(
+                    "maintenance",
+                    table=action.table_name,
+                    column=action.output_column,
+                    action=action.kind,
+                    old_model_ids=list(action.old_model_ids),
+                    new_model_ids=list(action.new_model_ids),
+                    detail=action.details,
+                )
+                if action.changepoint_indices:
+                    self._journal_record(
+                        "changepoint",
+                        table=action.table_name,
+                        column=action.output_column,
+                        indices=list(action.changepoint_indices),
+                    )
         return report
 
     def _maintain_target(self, target: WatchTarget) -> MaintenanceAction:

@@ -1,0 +1,305 @@
+"""The lifecycle event journal, contract-compliance ledger and slow-query
+log, exercised through the real subsystems they instrument: harvest,
+maintenance (drift → changepoint → refit), demotion, checkpoint/recovery,
+archive, and the planner's feedback loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AccuracyContract, LawsDatabase
+from repro.obs import ComplianceLedger, EventJournal, SlowQueryLog, normalize_reason
+
+
+# ---------------------------------------------------------------------------
+# Unit level
+# ---------------------------------------------------------------------------
+
+
+class TestEventJournal:
+    def test_record_and_filter(self):
+        j = EventJournal()
+        j.record("model-capture", model_id=1, table="t")
+        j.record("model-capture", model_id=2, table="u")
+        j.record("checkpoint", checkpoint_id=1)
+        assert [e.kind for e in j.events()] == [
+            "model-capture",
+            "model-capture",
+            "checkpoint",
+        ]
+        assert [e.fields["model_id"] for e in j.events("model-capture")] == [1, 2]
+        assert [e.fields["model_id"] for e in j.events("model-capture", table="u")] == [2]
+        assert j.totals() == {"model-capture": 2, "checkpoint": 1}
+
+    def test_ring_buffer_evicts_but_totals_are_monotonic(self):
+        j = EventJournal(capacity=2)
+        for i in range(5):
+            j.record("e", i=i)
+        assert [e.fields["i"] for e in j.events()] == [3, 4]
+        assert j.totals() == {"e": 5}
+
+    def test_limit_returns_newest(self):
+        j = EventJournal()
+        for i in range(4):
+            j.record("e", i=i)
+        assert [e.fields["i"] for e in j.events(limit=2)] == [2, 3]
+
+    def test_disabled_journal_records_nothing(self):
+        j = EventJournal()
+        j.enabled = False
+        assert j.record("e") is None
+        assert j.events() == []
+        assert j.totals() == {}
+
+    def test_on_record_hook(self):
+        seen = []
+        j = EventJournal()
+        j.on_record = seen.append
+        j.record("e", x=1)
+        assert len(seen) == 1 and seen[0].kind == "e"
+
+
+class TestComplianceLedger:
+    def test_served_and_verified_accounting(self):
+        ledger = ComplianceLedger()
+        ledger.record_served("grouped-model", 0.01, model_ids=[7])
+        ledger.record_served("grouped-model", 0.03, model_ids=[7])
+        violated = ledger.record_verified(
+            "grouped-model", 0.02, error_budget=0.05, model_ids=[7]
+        )
+        assert violated is False
+        routes = ledger.report()["routes"]
+        entry = routes["grouped-model"]
+        assert entry["served"] == 2
+        assert entry["verified"] == 1
+        assert entry["mean_predicted_relative_error"] == pytest.approx(0.02)
+        assert entry["mean_observed_relative_error"] == pytest.approx(0.02)
+        assert entry["budget_checks"] == 1
+        assert entry["budget_violations"] == 0
+        models = ledger.report()["models"]
+        assert models[7]["served"] == 2 and models[7]["verified"] == 1
+
+    def test_budget_violation_and_lying_models(self):
+        ledger = ComplianceLedger()
+        ledger.record_served("grouped-model", 0.01, model_ids=[9])
+        violated = ledger.record_verified(
+            "grouped-model", 0.30, error_budget=0.05, model_ids=[9], demoted_ids=[9]
+        )
+        assert violated is True
+        entry = ledger.report()["routes"]["grouped-model"]
+        assert entry["budget_violations"] == 1
+        model = ledger.report()["models"][9]
+        assert model["budget_violations"] == 1 and model["demotions"] == 1
+        liars = ledger.lying_models()
+        assert [liar["model_id"] for liar in liars] == [9]
+
+    def test_no_budget_means_no_check(self):
+        ledger = ComplianceLedger()
+        ledger.record_served("range-aggregate", 0.01)
+        assert (
+            ledger.record_verified("range-aggregate", 0.5, error_budget=float("inf"))
+            is False
+        )
+        entry = ledger.report()["routes"]["range-aggregate"]
+        assert entry["budget_checks"] == 0 and entry["budget_violations"] == 0
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self):
+        log = SlowQueryLog(threshold_seconds=0.1)
+        log.observe("SELECT fast", "exact", 0.01)
+        log.observe("SELECT slow", "exact", 0.5)
+        assert [e.sql for e in log.entries()] == ["SELECT slow"]
+        assert log.total == 1
+
+    def test_capacity_ring_and_total(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=2)
+        for i in range(4):
+            log.observe(f"q{i}", "exact", 1.0)
+        assert [e.sql for e in log.entries()] == ["q2", "q3"]
+        assert log.total == 4
+
+    def test_disabled_log_records_nothing(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.enabled = False
+        log.observe("q", "exact", 1.0)
+        assert log.entries() == [] and log.total == 0
+
+
+def test_normalize_reason():
+    assert normalize_reason(None) == "unspecified"
+    assert normalize_reason("  ") == "unspecified"
+    assert normalize_reason("no usable model; tried 3 candidates") == "no usable model"
+    assert len(normalize_reason("x" * 200)) == 80
+
+
+# ---------------------------------------------------------------------------
+# Through the real subsystems
+# ---------------------------------------------------------------------------
+
+
+def _regime(rng, t_start, t_stop, intercept, slope, noise=0.2, step=0.25):
+    t = np.arange(t_start, t_stop, step)
+    return t, intercept + slope * t + rng.normal(0, noise, len(t))
+
+
+def test_capture_event_recorded():
+    db = LawsDatabase()
+    db.load_dict("t", {"x": [float(i) for i in range(20)], "y": [2.0 * i for i in range(20)]})
+    db.fit("t", "y ~ linear(x)")
+    events = db.events("model-capture")
+    assert len(events) == 1
+    event = events[0]
+    assert event.fields["table"] == "t"
+    assert event.fields["column"] == "y"
+    assert event.fields["accepted"] is True
+    assert db.metrics()["counters"]["events_total"] == [
+        {"labels": {"kind": "model-capture"}, "value": 1.0}
+    ]
+
+
+def test_drift_maintenance_and_changepoint_events():
+    rng = np.random.default_rng(7)
+    t, v = _regime(rng, 0.0, 100.0, intercept=2.0, slope=0.5)
+    db = LawsDatabase(ingest_batch_size=100)
+    db.load_dict("readings", {"t": t, "value": v})
+    assert db.fit("readings", "value ~ linear(t)").accepted
+    db.watch("readings", "value", order_column="t")
+
+    # Level shift at t=100: the drift monitor must fire once.
+    t2, v2 = _regime(rng, 100.0, 200.0, intercept=26.0, slope=0.5)
+    for start in range(0, len(t2), 50):
+        db.ingest("readings", list(zip(t2[start : start + 50], v2[start : start + 50])))
+    db.flush_ingest()
+
+    drift = db.events("drift-detected")
+    assert len(drift) == 1
+    assert drift[0].fields["table"] == "readings"
+    assert drift[0].fields["column"] == "value"
+
+    db.maintain()
+    maintenance = db.events("maintenance")
+    assert len(maintenance) == 1
+    assert maintenance[0].fields["action"] == "segmented"
+    changepoints = db.events("changepoint")
+    assert len(changepoints) == 1
+    assert len(changepoints[0].fields["indices"]) == 1
+    supersedes = db.events("model-supersede")
+    assert len(supersedes) == 1
+
+
+def test_demotion_event_via_model_store():
+    db = LawsDatabase()
+    db.load_dict("t", {"x": [float(i) for i in range(20)], "y": [2.0 * i for i in range(20)]})
+    report = db.fit("t", "y ~ linear(x)")
+    db.models.demote(report.model.model_id, "observed errors exceeded the budget")
+    events = db.events("model-demotion")
+    assert len(events) == 1
+    assert events[0].fields["model_id"] == report.model.model_id
+    assert "budget" in events[0].fields["reason"]
+
+
+def test_checkpoint_recovery_and_archive_events(tmp_path):
+    db = LawsDatabase.open(tmp_path / "store")
+    db.load_dict(
+        "m",
+        {
+            "ts": [float(i) for i in range(40)],
+            "x": [float(i % 5) for i in range(40)],
+            "y": [1.0 + 2.0 * (i % 5) for i in range(40)],
+        },
+    )
+    assert db.fit("m", "y ~ linear(x)").accepted
+    report = db.checkpoint()
+    checkpoints = db.events("checkpoint")
+    assert len(checkpoints) >= 1
+    assert checkpoints[-1].fields["checkpoint_id"] == report.checkpoint_id
+
+    archived = db.archive("m", "ts < 20")
+    archive_events = db.events("archive")
+    assert len(archive_events) == 1
+    assert archive_events[0].fields["rows"] == archived.rows_archived
+    restored = db.recall_archive("m")
+    recall_events = db.events("archive-recall")
+    assert len(recall_events) == 1
+    assert recall_events[0].fields["rows"] == restored
+    db.close()
+
+    # Reopen: recovery must be journaled in the *new* session's journal.
+    db2 = LawsDatabase.open(tmp_path / "store")
+    recoveries = db2.events("recovery")
+    assert len(recoveries) == 1
+    assert recoveries[0].fields["tables_loaded"] >= 1
+    db2.close()
+
+
+def test_slow_query_log_through_database():
+    db = LawsDatabase(verify_sample_fraction=0.0, slow_query_seconds=0.0)
+    db.load_dict("t", {"x": [float(i) for i in range(20)], "y": [2.0 * i for i in range(20)]})
+    db.query("SELECT count(*) AS n FROM t")
+    entries = db.slow_queries()
+    assert len(entries) == 1
+    assert entries[0].sql == "SELECT count(*) AS n FROM t"
+    assert entries[0].route == "exact"
+    assert "query" in entries[0].trace_summary
+    assert db.metrics()["gauges"]["slow_queries"] == [{"labels": {}, "value": 1.0}]
+
+
+def test_plan_cache_and_storage_gauges_in_snapshot():
+    db = LawsDatabase(verify_sample_fraction=0.0)
+    db.load_dict("t", {"x": [float(i) for i in range(30)], "y": [2.0 * i for i in range(30)]})
+    assert db.fit("t", "y ~ linear(x)").accepted
+    contract = AccuracyContract(max_relative_error=0.5)
+    for _ in range(3):
+        db.query("SELECT avg(y) AS m FROM t WHERE x BETWEEN 1 AND 20", contract)
+    snapshot = db.metrics()
+    gauges = snapshot["gauges"]
+
+    def gauge(name, **labels):
+        for entry in gauges[name]:
+            if entry["labels"] == {k: str(v) for k, v in labels.items()}:
+                return entry["value"]
+        raise AssertionError(f"no gauge {name} with labels {labels}: {gauges.get(name)}")
+
+    # Plan-cache stats per layer reconcile with the live introspection APIs.
+    planner_info = db.planner.plan_cache_info()
+    assert gauge("plan_cache_hits", layer="planner") == planner_info["hits"]
+    assert gauge("plan_cache_misses", layer="planner") == planner_info["misses"]
+    assert gauge("plan_cache_size", layer="sql") == db.database.plan_cache_info()["size"]
+    assert planner_info["hits"] >= 2  # the repeated query actually hit
+
+    # Storage savings per table and in total.
+    report = db.storage_report()
+    assert gauge("storage_raw_bytes", table="t") == report["tables"]["t"]["raw_bytes"]
+    assert gauge("storage_model_bytes", table="t") == report["tables"]["t"]["model_bytes"]
+    assert gauge("storage_total_raw_bytes") == report["total_raw_bytes"]
+    assert gauge("storage_total_model_bytes") == report["total_model_bytes"]
+    assert gauge("models", status="active") == 1
+    assert gauge("io_pages_read") == db.database.io_snapshot()["pages_read"]
+
+
+def test_compliance_report_through_database():
+    db = LawsDatabase(verify_sample_fraction=1.0)
+    rows = [
+        (g, float(x), 10.0 * g + 2.0 * x)
+        for g in range(2)
+        for x in range(4)
+        for _ in range(6)
+    ]
+    db.load_dict(
+        "t",
+        {"g": [r[0] for r in rows], "x": [r[1] for r in rows], "y": [r[2] for r in rows]},
+    )
+    assert db.fit("t", "y ~ linear(x)", group_by="g").accepted
+    db.query(
+        "SELECT g, avg(y) AS m FROM t GROUP BY g ORDER BY g",
+        AccuracyContract(max_relative_error=0.05),
+    )
+    report = db.compliance_report()
+    entry = report["routes"]["grouped-model"]
+    assert entry["served"] == 1 and entry["verified"] == 1
+    assert entry["budget_violations"] == 0
+    # The law is exact, so the model keeps its promise.
+    assert entry["mean_observed_relative_error"] <= entry["mean_predicted_relative_error"] + 1e-9
+    assert db.obs.compliance.lying_models() == []

@@ -1,0 +1,119 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms,
+the disabled no-op path, and the JSON / Prometheus exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        m = MetricsRegistry()
+        m.inc("queries_total", route="exact")
+        m.inc("queries_total", route="exact")
+        m.inc("queries_total", 3.0, route="grouped-model")
+        assert m.counter_value("queries_total", route="exact") == 2.0
+        assert m.counter_value("queries_total", route="grouped-model") == 3.0
+        assert m.counter_total("queries_total") == 5.0
+
+    def test_missing_counter_is_zero(self):
+        m = MetricsRegistry()
+        assert m.counter_value("nope") == 0.0
+        assert m.counter_total("nope") == 0.0
+
+    def test_label_order_does_not_matter(self):
+        m = MetricsRegistry()
+        m.inc("c", a="1", b="2")
+        m.inc("c", b="2", a="1")
+        assert m.counter_value("c", b="2", a="1") == 2.0
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        m = MetricsRegistry()
+        m.set_gauge("models", 3, status="active")
+        m.set_gauge("models", 5, status="active")
+        assert m.gauge_value("models", status="active") == 5.0
+
+    def test_missing_gauge_is_none(self):
+        assert MetricsRegistry().gauge_value("nope") is None
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram(buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+        # Cumulative: ≤0.1 → 1, ≤1.0 → 3, ≤10.0 → 4, +Inf → 5.
+        assert snap["buckets"] == [[0.1, 1], [1.0, 3], [10.0, 4], ["+Inf", 5]]
+
+    def test_boundary_value_falls_in_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.snapshot()["buckets"][0] == [1.0, 1]
+
+    def test_registry_observe_uses_default_buckets(self):
+        m = MetricsRegistry()
+        m.observe("query_seconds", 0.002)
+        snap = m.snapshot()["histograms"]["query_seconds"]
+        assert snap["count"] == 1
+        assert len(snap["buckets"]) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        m = MetricsRegistry(enabled=False)
+        m.inc("c")
+        m.set_gauge("g", 1.0)
+        m.observe("h", 0.5)
+        snap = m.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_reset_clears_everything(self):
+        m = MetricsRegistry()
+        m.inc("c")
+        m.set_gauge("g", 1.0)
+        m.observe("h", 0.5)
+        m.reset()
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestExporters:
+    def _registry(self):
+        m = MetricsRegistry()
+        m.inc("queries_total", 2, route="exact")
+        m.set_gauge("models", 4, status="active")
+        m.observe("query_seconds", 0.002)
+        return m
+
+    def test_json_round_trips(self):
+        payload = json.loads(self._registry().to_json())
+        assert payload["counters"]["queries_total"] == [
+            {"labels": {"route": "exact"}, "value": 2.0}
+        ]
+        assert payload["gauges"]["models"] == [
+            {"labels": {"status": "active"}, "value": 4.0}
+        ]
+        assert payload["histograms"]["query_seconds"]["count"] == 1
+
+    def test_prometheus_text_exposition(self):
+        text = self._registry().to_prometheus_text()
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{route="exact"} 2' in text
+        assert "# TYPE repro_models gauge" in text
+        assert 'repro_models{status="active"} 4' in text
+        assert "# TYPE repro_query_seconds histogram" in text
+        assert 'repro_query_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_query_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_escapes_label_values(self):
+        m = MetricsRegistry()
+        m.inc("c", reason='say "hi"\nbye\\')
+        text = m.to_prometheus_text()
+        assert 'reason="say \\"hi\\"\\nbye\\\\"' in text

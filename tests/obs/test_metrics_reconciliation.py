@@ -1,0 +1,132 @@
+"""Reconciliation: the metrics counters must agree exactly with the
+ground-truth tallies computed from the differential harness's own
+``PlannedAnswer`` objects — route counts, fallback reasons, and feedback
+verifications all come from the same seeded query workload the PR-2
+differential harness generates."""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import AccuracyContract, LawsDatabase
+from repro.obs import normalize_reason
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "approx"))
+
+from query_gen import TableProfile, generate_queries  # noqa: E402
+
+GROUPS = tuple(range(10))
+X_DOMAIN = tuple(float(v) for v in range(6))
+
+PROFILE = TableProfile(
+    name="readings",
+    group_column="g",
+    input_column="x",
+    output_column="y",
+    group_values=GROUPS,
+    input_domain=X_DOMAIN,
+    input_low=min(X_DOMAIN),
+    input_high=max(X_DOMAIN),
+)
+
+#: Handcrafted queries that must take the exact-fallback route when the
+#: contract forces the approximate engine.
+FALLBACK_SQL = [
+    "SELECT noise FROM readings",
+    "SELECT noise FROM readings WHERE g = 1",
+    "SELECT * FROM readings",
+]
+
+
+@pytest.fixture(scope="module")
+def harness_db():
+    rng = np.random.default_rng(2024)
+    rows = []
+    for g in GROUPS:
+        intercept, slope = 2.0 + 0.8 * g, 0.4 + 0.15 * g
+        for x in X_DOMAIN:
+            for _ in range(6):
+                rows.append((g, x, intercept + slope * x + rng.normal(0.0, 0.3)))
+    db = LawsDatabase(verify_sample_fraction=1.0)
+    db.load_dict(
+        "readings",
+        {
+            "g": [r[0] for r in rows],
+            "x": [r[1] for r in rows],
+            "y": [r[2] for r in rows],
+            "noise": rng.uniform(0, 1, size=len(rows)).tolist(),
+        },
+    )
+    assert db.fit("readings", "y ~ linear(x)", group_by="g").accepted
+    return db
+
+
+def test_metrics_reconcile_with_differential_harness_tallies(harness_db):
+    db = harness_db
+    rng = np.random.default_rng(77)
+    queries = generate_queries(rng, PROFILE, count=60)
+    contract = AccuracyContract(max_relative_error=0.5)
+    fallback_contract = AccuracyContract(mode="approx")
+
+    db.obs.metrics.reset()
+
+    route_tally: Counter[str] = Counter()
+    reason_tally: Counter[str] = Counter()
+    verified = 0
+
+    def _run(sql: str, active_contract: AccuracyContract) -> None:
+        nonlocal verified
+        answer = db.query(sql, active_contract)
+        route_tally[answer.route_taken] += 1
+        if answer.route_taken == "exact-fallback":
+            reason_tally[normalize_reason(answer.approx.reason)] += 1
+        if answer.feedback is not None:
+            verified += 1
+
+    for query in queries:
+        _run(query.sql, contract)
+    for sql in FALLBACK_SQL:
+        _run(sql, fallback_contract)
+
+    assert route_tally["exact-fallback"] == len(FALLBACK_SQL)
+    assert sum(route_tally.values()) == len(queries) + len(FALLBACK_SQL)
+    # The generated workload must actually exercise the model routes.
+    assert route_tally["grouped-model"] + route_tally["grouped-hybrid"] > 0
+    assert route_tally["range-aggregate"] > 0
+    assert verified > 0
+
+    metrics = db.obs.metrics
+    snapshot = db.metrics()
+
+    # Route counts: one counter sample per route, values matching the tally.
+    counted_routes = {
+        entry["labels"]["route"]: entry["value"]
+        for entry in snapshot["counters"]["queries_total"]
+    }
+    assert counted_routes == {route: float(n) for route, n in route_tally.items()}
+
+    # Fallback reasons reconcile label-for-label.
+    counted_reasons = {
+        entry["labels"]["reason"]: entry["value"]
+        for entry in snapshot["counters"].get("fallbacks_total", [])
+    }
+    assert counted_reasons == {reason: float(n) for reason, n in reason_tally.items()}
+
+    # Feedback verifications.
+    assert metrics.counter_total("feedback_verifications_total") == float(verified)
+
+    # Every query landed in the latency histogram.
+    histogram = snapshot["histograms"]["query_seconds"]
+    assert histogram["count"] == len(queries) + len(FALLBACK_SQL)
+
+    # The compliance ledger served-counts agree with the same tally.
+    served = {
+        route: entry["served"]
+        for route, entry in db.compliance_report()["routes"].items()
+    }
+    assert served == dict(route_tally)

@@ -16,6 +16,7 @@ from repro.core.captured_model import CapturedModel, ModelCoverage
 from repro.core.harvester import HarvestReport, ModelHarvester
 from repro.core.model_store import ModelStore
 from repro.core.quality import ModelQuality, QualityPolicy, judge_fit, judge_grouped
+from repro.core.snapshot import Snapshot
 from repro.core.strawman import StrawmanFrame
 from repro.core.system import LawsDatabase
 
@@ -28,6 +29,7 @@ __all__ = [
     "ModelQuality",
     "ModelStore",
     "QualityPolicy",
+    "Snapshot",
     "StrawmanFrame",
     "judge_fit",
     "judge_grouped",

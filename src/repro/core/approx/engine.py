@@ -215,29 +215,29 @@ class ApproximateQueryEngine:
         built against the current catalog/store state).
         """
         started = perf_counter()
-        io_before = self.database.io_snapshot()
-        try:
-            answer = self._answer_from_models(
-                sql, statement=statement, grouped_route_plan=grouped_route_plan
-            )
-            self._note_staleness(answer)
-        except (ApproximationError, EnumerationError, ModelNotFoundError) as exc:
-            if not allow_fallback:
-                raise
-            answer = self._exact(sql, reason=str(exc))
+        # Per-execution IO scope: interleaved queries on other threads never
+        # leak pages into this answer's attribution.
+        with self.database.io_model.scope() as io_scope:
+            try:
+                answer = self._answer_from_models(
+                    sql, statement=statement, grouped_route_plan=grouped_route_plan
+                )
+                self._note_staleness(answer)
+            except (ApproximationError, EnumerationError, ModelNotFoundError) as exc:
+                if not allow_fallback:
+                    raise
+                answer = self._exact(sql, reason=str(exc))
         answer.elapsed_seconds = perf_counter() - started
-        io_after = self.database.io_snapshot()
-        answer.io = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
+        answer.io = io_scope.snapshot()
         return answer
 
     def answer_exact(self, sql: str) -> ApproximateAnswer:
         """Execute ``sql`` exactly (for comparisons and benchmarks)."""
         started = perf_counter()
-        io_before = self.database.io_snapshot()
-        answer = self._exact(sql, reason="exact execution requested")
+        with self.database.io_model.scope() as io_scope:
+            answer = self._exact(sql, reason="exact execution requested")
         answer.elapsed_seconds = perf_counter() - started
-        io_after = self.database.io_snapshot()
-        answer.io = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
+        answer.io = io_scope.snapshot()
         return answer
 
     def compare(self, sql: str) -> dict[str, Any]:

@@ -9,12 +9,15 @@ candidates, and tracks staleness when the underlying table changes.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
 
 from repro.core.captured_model import CapturedModel
+from repro.db.snapshot import PinStack
 from repro.errors import ModelNotFoundError
 
-__all__ = ["ModelStore"]
+__all__ = ["ModelStore", "ModelStorePin"]
 
 
 def _default_ranking(model: CapturedModel) -> tuple:
@@ -26,8 +29,47 @@ def _default_ranking(model: CapturedModel) -> tuple:
 OBSERVED_ERROR_WINDOW = 32
 
 
+class ModelStorePin:
+    """A frozen membership view of the model store at one version.
+
+    Pins the *population* — which models exist and their per-target index —
+    not the models themselves: :class:`CapturedModel` objects stay shared,
+    so lifecycle flips (``mark_stale``, demotion metadata) remain visible
+    through a pin.  That is intentional — a model the planner just caught
+    lying must stop being preferred immediately, even by queries that
+    pinned before the demotion.  What a pin guarantees is that concurrent
+    harvests and retirements cannot add or remove *entries* mid-query.
+    """
+
+    __slots__ = ("_models", "_by_target", "_version", "_mirrored")
+
+    def __init__(
+        self,
+        models: dict[int, CapturedModel],
+        by_target: dict[tuple[str, str], list[int]],
+        version: int,
+    ) -> None:
+        self._models = models
+        self._by_target = by_target
+        self._version = version
+        #: True once an own-thread write was mirrored in.  A mirrored pin
+        #: may carry the live version number while missing another thread's
+        #: concurrent registration, so snapshot memoization must never
+        #: reuse it for a fresh query.
+        self._mirrored = False
+
+
 class ModelStore:
-    """In-database registry of captured models."""
+    """In-database registry of captured models.
+
+    Concurrency model: every mutation is serialized under one re-entrant
+    lock, and readers either see live state or — inside a :meth:`reading`
+    context — a :class:`ModelStorePin` taken at a version boundary.  A
+    mutation made *by a pinned thread itself* (the approximate engine's
+    on-demand harvest registers a model mid-query and immediately re-queries
+    for it) is mirrored into that thread's pin, so a query always sees its
+    own writes while staying isolated from other threads'.
+    """
 
     def __init__(self) -> None:
         self._models: dict[int, CapturedModel] = {}
@@ -40,53 +82,112 @@ class ModelStore:
         #: Optional :class:`repro.obs.EventJournal` recording demotions,
         #: supersedes and retirements.
         self.journal = None
+        self._lock = threading.RLock()
+        self._local = PinStack()
+
+    # -- snapshot pinning ------------------------------------------------------
+
+    def _pin(self) -> ModelStorePin | None:
+        pins = self._local.pins
+        return pins[-1] if pins else None
+
+    def _state(self):
+        """The object whose ``_models``/``_by_target``/``_version`` reads see:
+        the calling thread's innermost pin, or the live store."""
+        pins = self._local.pins
+        return pins[-1] if pins else self
+
+    def pin(self) -> ModelStorePin:
+        """Freeze the current membership (shallow copies, taken under lock)."""
+        with self._lock:
+            return ModelStorePin(
+                dict(self._models),
+                {key: list(ids) for key, ids in self._by_target.items()},
+                self._version,
+            )
+
+    @contextmanager
+    def reading(self, pin: ModelStorePin) -> Iterator[ModelStorePin]:
+        """Resolve every store read on this thread through ``pin``."""
+        pins = self._local.pins
+        pins.append(pin)
+        try:
+            yield pin
+        finally:
+            pins.pop()
 
     @property
     def version(self) -> int:
+        return self._state()._version
+
+    @property
+    def live_version(self) -> int:
+        """The live store version, ignoring any pin on the calling thread."""
         return self._version
 
     def _bump(self) -> None:
-        self._version += 1
+        with self._lock:
+            self._version += 1
 
     # -- registration ----------------------------------------------------------
 
     def add(self, model: CapturedModel) -> CapturedModel:
         """Register a captured model (accepted or not — rejected models are
         kept for provenance and for the model-switching policy)."""
-        self._models[model.model_id] = model
         key = (model.table_name, model.output_column)
-        self._by_target.setdefault(key, []).append(model.model_id)
-        self._bump()
+        with self._lock:
+            self._models[model.model_id] = model
+            self._by_target.setdefault(key, []).append(model.model_id)
+            self._version += 1
+            version = self._version
+        pin = self._pin()
+        if pin is not None:
+            # Own-thread write visibility: the pinning query must see the
+            # model it just harvested.  The pin adopts the post-add version
+            # so caches keyed on it cannot serve the pre-add routing.
+            pin._models[model.model_id] = model
+            pin._by_target.setdefault(key, []).append(model.model_id)
+            pin._version = version
+            pin._mirrored = True
         return model
 
     def remove(self, model_id: int) -> None:
-        model = self._models.pop(model_id, None)
-        if model is None:
-            raise ModelNotFoundError(f"no captured model with id {model_id}")
-        key = (model.table_name, model.output_column)
-        if key in self._by_target and model_id in self._by_target[key]:
-            self._by_target[key].remove(model_id)
-        self._bump()
+        with self._lock:
+            model = self._models.pop(model_id, None)
+            if model is None:
+                raise ModelNotFoundError(f"no captured model with id {model_id}")
+            key = (model.table_name, model.output_column)
+            if key in self._by_target and model_id in self._by_target[key]:
+                self._by_target[key].remove(model_id)
+            self._version += 1
+            version = self._version
+        pin = self._pin()
+        if pin is not None and model_id in pin._models:
+            del pin._models[model_id]
+            if key in pin._by_target and model_id in pin._by_target[key]:
+                pin._by_target[key].remove(model_id)
+            pin._version = version
+            pin._mirrored = True
 
     # -- lookup -------------------------------------------------------------------
 
     def get(self, model_id: int) -> CapturedModel:
         try:
-            return self._models[model_id]
+            return self._state()._models[model_id]
         except KeyError:
             raise ModelNotFoundError(f"no captured model with id {model_id}") from None
 
     def __len__(self) -> int:
-        return len(self._models)
+        return len(self._state()._models)
 
     def __iter__(self):
-        return iter(self._models.values())
+        return iter(list(self._state()._models.values()))
 
     def all_models(self) -> list[CapturedModel]:
-        return list(self._models.values())
+        return list(self._state()._models.values())
 
     def models_for_table(self, table_name: str, include_unusable: bool = False) -> list[CapturedModel]:
-        models = [m for m in self._models.values() if m.table_name == table_name]
+        models = [m for m in self._state()._models.values() if m.table_name == table_name]
         if not include_unusable:
             models = [m for m in models if m.is_usable]
         return sorted(models, key=lambda m: m.model_id)
@@ -112,7 +213,8 @@ class ModelStore:
         active model.
         """
         key = (table_name, output_column)
-        models = [self._models[model_id] for model_id in self._by_target.get(key, [])]
+        state = self._state()
+        models = [state._models[model_id] for model_id in list(state._by_target.get(key, []))]
         models = [m for m in models if (m.is_servable if include_stale else m.is_usable)]
         if require_whole_table:
             models = [m for m in models if m.coverage.covers_whole_table]
@@ -165,7 +267,7 @@ class ModelStore:
         """
         models = [
             m
-            for m in self._models.values()
+            for m in self._state()._models.values()
             if m.table_name == table_name
             and (m.is_servable if include_stale else m.is_usable)
         ]
@@ -217,10 +319,11 @@ class ModelStore:
         current observation window.
         """
         model = self.get(model_id)
-        model.observed_errors.append(float(relative_error))
-        if len(model.observed_errors) > OBSERVED_ERROR_WINDOW:
-            del model.observed_errors[: len(model.observed_errors) - OBSERVED_ERROR_WINDOW]
-        return model.observed_errors
+        with self._lock:
+            model.observed_errors.append(float(relative_error))
+            if len(model.observed_errors) > OBSERVED_ERROR_WINDOW:
+                del model.observed_errors[: len(model.observed_errors) - OBSERVED_ERROR_WINDOW]
+            return model.observed_errors
 
     def demote(self, model_id: int, reason: str) -> CapturedModel:
         """Take a model the planner caught lying out of preferred serving.
@@ -230,10 +333,11 @@ class ModelStore:
         policy refits it on the next tick instead of quietly re-validating.
         """
         model = self.get(model_id)
-        if model.status == "active":
-            model.mark_stale()
-        model.metadata["planner_demoted"] = reason
-        self._bump()
+        with self._lock:
+            if model.status == "active":
+                model.mark_stale()
+            model.metadata["planner_demoted"] = reason
+            self._version += 1
         if self.journal is not None:
             self.journal.record(
                 "model-demotion",
@@ -249,12 +353,13 @@ class ModelStore:
     def mark_table_stale(self, table_name: str) -> list[CapturedModel]:
         """Mark every model of ``table_name`` stale (called when data changes)."""
         stale = []
-        for model in self._models.values():
-            if model.table_name == table_name and model.status == "active":
-                model.mark_stale()
-                stale.append(model)
-        if stale:
-            self._bump()
+        with self._lock:
+            for model in self._models.values():
+                if model.table_name == table_name and model.status == "active":
+                    model.mark_stale()
+                    stale.append(model)
+            if stale:
+                self._version += 1
         return stale
 
     def retire_model(self, model_id: int) -> None:
@@ -280,10 +385,11 @@ class ModelStore:
         successor = self.get(successor_id)
         if old.model_id == successor.model_id:
             raise ValueError(f"model {model_id} cannot supersede itself")
-        old.status = "superseded"
-        old.metadata["superseded_by"] = successor.model_id
-        successor.metadata.setdefault("supersedes", []).append(old.model_id)
-        self._bump()
+        with self._lock:
+            old.status = "superseded"
+            old.metadata["superseded_by"] = successor.model_id
+            successor.metadata.setdefault("supersedes", []).append(old.model_id)
+            self._version += 1
         if self.journal is not None:
             self.journal.record(
                 "model-supersede",
@@ -298,9 +404,10 @@ class ModelStore:
 
     def total_stored_bytes(self) -> int:
         """Nominal storage cost of all usable captured models."""
-        return sum(model.stored_byte_size() for model in self._models.values() if model.is_usable)
+        return sum(model.stored_byte_size() for model in self._state()._models.values() if model.is_usable)
 
     def describe(self) -> str:
-        if not self._models:
+        models = self._state()._models
+        if not models:
             return "(no captured models)"
-        return "\n".join(model.describe() for model in sorted(self._models.values(), key=lambda m: m.model_id))
+        return "\n".join(model.describe() for model in sorted(models.values(), key=lambda m: m.model_id))

@@ -18,6 +18,7 @@ state it was costed against.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -30,6 +31,7 @@ from repro.core.planner.contract import AccuracyContract, AUTO
 from repro.core.planner.cost import CostModel
 from repro.core.planner.feedback import FeedbackResult, ObservedErrorFeedback
 from repro.core.planner.nodes import PlanNode, UnifiedPlan
+from repro.core.snapshot import Snapshot
 from repro.db.database import Database
 from repro.db.sql.ast import SelectStatement
 from repro.db.sql.executor import QueryResult
@@ -128,8 +130,37 @@ class UnifiedPlanner:
         self.obs = None
         self.plan_cache_size = plan_cache_size
         self._plan_cache: OrderedDict[tuple, UnifiedPlan] = OrderedDict()
+        # Concurrent queries share this planner; OrderedDict mutation
+        # (move_to_end / insert / evict) is not atomic.
+        self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Last snapshot handed out, reused while both registries are
+        #: unchanged so repeated tiny queries do not re-copy table/model
+        #: maps.  A benign overwrite race just builds one extra snapshot.
+        self._snapshot_memo: Snapshot | None = None
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Pin (or reuse) a consistent snapshot of the catalog and the models.
+
+        The memoized snapshot is reused only while both *live* versions are
+        unchanged and its model pin was never dirtied by own-write
+        mirroring — a mirrored pin can carry the live version number while
+        missing another thread's concurrent registration.
+        """
+        memo = self._snapshot_memo
+        if (
+            memo is not None
+            and not memo.models._mirrored
+            and memo.catalog.version == self.database.catalog.live_version
+            and memo.models._version == self.store.live_version
+        ):
+            return memo
+        snap = Snapshot.capture(self.database.catalog, self.store)
+        self._snapshot_memo = snap
+        return snap
 
     # -- planning -------------------------------------------------------------
 
@@ -149,18 +180,23 @@ class UnifiedPlanner:
             self.database.catalog.version,
             self.store.version,
         )
-        cached = self._plan_cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            self._plan_cache.move_to_end(key)
-            return cached
-        self._cache_misses += 1
+        with self._cache_lock:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                self._plan_cache.move_to_end(key)
+                return cached
+            self._cache_misses += 1
         started = perf_counter()
+        # Planning runs outside the lock (it may scan tables for the
+        # on-demand harvest); two threads racing the same key just build
+        # the plan twice and the last insert wins.
         plan = self._build_plan(sql, contract, for_execution)
         plan.planning_seconds = perf_counter() - started
-        self._plan_cache[key] = plan
-        while len(self._plan_cache) > self.plan_cache_size:
-            self._plan_cache.popitem(last=False)
+        with self._cache_lock:
+            self._plan_cache[key] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
         return plan
 
     def explain(self, sql: str, contract: AccuracyContract | None = None) -> str:
@@ -168,12 +204,13 @@ class UnifiedPlanner:
         return self.plan(sql, contract, for_execution=False).explain()
 
     def plan_cache_info(self) -> dict[str, int]:
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._plan_cache),
-            "capacity": self.plan_cache_size,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._plan_cache),
+                "capacity": self.plan_cache_size,
+            }
 
     def _build_plan(
         self, sql: str, contract: AccuracyContract, for_execution: bool
@@ -446,18 +483,28 @@ class UnifiedPlanner:
     # -- execution ------------------------------------------------------------
 
     def execute(
-        self, sql: str, contract: AccuracyContract | None = None
+        self,
+        sql: str,
+        contract: AccuracyContract | None = None,
+        snapshot: Snapshot | None = None,
     ) -> PlannedAnswer:
-        """Plan and execute ``sql`` under ``contract``."""
+        """Plan and execute ``sql`` under ``contract``.
+
+        ``snapshot`` pins the execution to an explicitly held view (see
+        :meth:`snapshot`); by default every query pins a fresh (or memoized
+        still-current) snapshot at entry, so concurrent ``ingest()`` /
+        ``maintain()`` / ``archive()`` commits can never be observed
+        mid-query.
+        """
         contract = contract or AUTO
         obs = self.obs
         if obs is None or not obs.enabled:
-            return self._execute(sql, contract, _OFF_TRACER)
+            return self._execute(sql, contract, _OFF_TRACER, snapshot)
         tracer = obs.tracer
         started = perf_counter()
         with tracer.trace("query", sql=sql.strip()) as root:
             try:
-                answer = self._execute(sql, contract, tracer)
+                answer = self._execute(sql, contract, tracer, snapshot)
             except Exception as exc:
                 obs.metrics.inc("query_errors_total", error=type(exc).__name__)
                 raise
@@ -465,13 +512,36 @@ class UnifiedPlanner:
         return answer
 
     def _execute(
-        self, sql: str, contract: AccuracyContract, tracer: Tracer
+        self,
+        sql: str,
+        contract: AccuracyContract,
+        tracer: Tracer,
+        snapshot: Snapshot | None = None,
     ) -> PlannedAnswer:
         started = perf_counter()
+        snap = snapshot if snapshot is not None else self.snapshot()
         # IO is measured around planning *and* execution: planning may
         # trigger the one-off on-demand grouped harvest, whose scan is
         # charged to the query that caused it (as the engine always did).
-        io_before = self.database.io_snapshot()
+        # A per-execution scope (not a before/after snapshot of the global
+        # accountant) keeps attribution correct when queries interleave.
+        # The snapshot is pinned around the whole lifecycle — parse, plan,
+        # route, execute, verify-sample — so every layer reads one state;
+        # DML inside the pin still lands on live tables (the executor
+        # resolves INSERT targets via ``live_table``).
+        with self.database.io_model.scope() as io_scope, snap.reading(
+            self.database.catalog, self.store
+        ):
+            return self._execute_scoped(sql, contract, tracer, started, io_scope)
+
+    def _execute_scoped(
+        self,
+        sql: str,
+        contract: AccuracyContract,
+        tracer: Tracer,
+        started: float,
+        io_scope: Any,
+    ) -> PlannedAnswer:
         with tracer.span("parse"):
             self.database.parse_sql(sql)
         with tracer.span("plan") as plan_span:
@@ -532,10 +602,7 @@ class UnifiedPlanner:
                         exec_span.annotate(models=list(approx.used_model_ids))
                     if approx.route == "exact-fallback":
                         exec_span.annotate(fallback_reason=approx.reason)
-            io_after = self.database.io_snapshot()
-            approx.io = {
-                key: io_after[key] - io_before.get(key, 0.0) for key in io_after
-            }
+            approx.io = io_scope.snapshot()
             answer = PlannedAnswer(
                 sql=sql,
                 contract=contract,

@@ -1,0 +1,84 @@
+"""System-wide snapshots: one pinned view across the catalog and the models.
+
+A :class:`Snapshot` bundles a :class:`~repro.db.snapshot.CatalogSnapshot`
+(the committed ``(version, tables, stats)`` triple) with a
+:class:`~repro.core.model_store.ModelStorePin` (the model population and
+its version) so one query — or one explicitly held reader — observes a
+single consistent state across every layer: the SQL executor scans the
+pinned tables, the approximate engine routes over the pinned model
+population, the unified planner keys its caches on the pinned versions,
+and the feedback verifier differentials run against the same rows the
+model answered for.
+
+Writers (``ingest()`` flushes, ``maintain()`` refits, ``archive()``,
+``checkpoint()``) commit batch-granular under the catalog's commit lock /
+the store's registration lock; a snapshot taken between two commits can
+never observe a torn half-batch.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.model_store import ModelStore, ModelStorePin
+    from repro.db.catalog import Catalog
+    from repro.db.snapshot import CatalogSnapshot
+
+__all__ = ["Snapshot"]
+
+
+class Snapshot:
+    """A consistent ``(catalog version, table columns, model-store version)``
+    triple pinned at one point in time.
+
+    Immutable from the holder's perspective: tables are frozen column-map
+    copies and the model membership cannot change underneath the reader
+    (model *quality* metadata stays live by design — see
+    :class:`~repro.core.model_store.ModelStorePin`).
+    """
+
+    __slots__ = ("catalog", "models")
+
+    def __init__(self, catalog: "CatalogSnapshot", models: "ModelStorePin") -> None:
+        self.catalog = catalog
+        self.models = models
+
+    @classmethod
+    def capture(cls, catalog: "Catalog", store: "ModelStore") -> "Snapshot":
+        """Pin the current committed state of both registries.
+
+        Each half is frozen under its own commit/registration lock, so each
+        is internally consistent; the pair is as consistent as two
+        independently versioned registries can be (there is no cross-lock
+        transaction spanning data and models, by design — model staleness
+        relative to data is first-class, tracked state).
+        """
+        return cls(catalog.snapshot(), store.pin())
+
+    @property
+    def catalog_version(self) -> int:
+        return self.catalog.version
+
+    @property
+    def model_version(self) -> int:
+        return self.models._version
+
+    @property
+    def versions(self) -> tuple[int, int]:
+        """The pinned ``(catalog_version, model_version)`` pair."""
+        return (self.catalog.version, self.models._version)
+
+    @contextmanager
+    def reading(self, catalog: "Catalog", store: "ModelStore") -> Iterator["Snapshot"]:
+        """Pin every catalog *and* store read on this thread to this snapshot."""
+        with catalog.reading(self.catalog), store.reading(self.models):
+            yield self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"Snapshot(catalog@v{self.catalog.version}, "
+            f"{len(self.catalog.table_names())} table(s), "
+            f"models@v{self.models._version})"
+        )

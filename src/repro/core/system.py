@@ -27,6 +27,7 @@ from repro.core.planner import (
     UnifiedPlanner,
 )
 from repro.core.quality import QualityPolicy
+from repro.core.snapshot import Snapshot
 from repro.core.storage.model_switching import ModelLifecycleManager
 from repro.core.storage.semantic_compression import CompressedTable, ModelCompressor
 from repro.core.storage.zero_io import ScanComparison, ZeroIOScanner
@@ -34,7 +35,7 @@ from repro.core.strawman import StrawmanFrame
 from repro.db.database import Database
 from repro.db.io_model import IOParameters
 from repro.db.schema import Schema
-from repro.db.sql.ast import InsertStatement
+from repro.db.sql.ast import InsertStatement, SelectStatement
 from repro.db.sql.executor import QueryResult
 from repro.db.table import Table
 from repro.errors import ApproximationError, ArchiveError, PersistenceError
@@ -83,6 +84,11 @@ class LawsDatabase:
         # blocks fits over tables whose cold rows moved to the archive tier.
         self.harvester.fit_guard = self._archive_refit_reason
         self.ingestor.add_listener(self._on_ingest_batch)
+        # WAL framing runs *inside* the batch's commit critical section so
+        # a concurrent checkpoint can never observe the append without its
+        # redo record (or vice versa).  Lifecycle/maintenance reactions stay
+        # in the post-commit listener above — they can be expensive.
+        self.ingestor.add_commit_listener(self._log_ingest_batch)
         # The unified planner: the single query entry point that cost-routes
         # between the model-serving routes and the exact vectorized engine,
         # auditing a sample of served answers against exact execution.
@@ -111,6 +117,7 @@ class LawsDatabase:
             io_snapshot=self.database.io_snapshot,
             enabled=observability,
             slow_query_seconds=slow_query_seconds,
+            io_scope=self.database.io_model.scope,
         )
         self.planner.obs = self.obs
         self.database.executor.tracer = self.obs.tracer
@@ -295,11 +302,14 @@ class LawsDatabase:
 
     def insert_rows(self, name: str, rows: Sequence[Sequence[Any]]) -> None:
         """Append rows; captured models of the table become stale (§4.1)."""
-        self.database.insert_rows(name, rows)
-        if self.durable is not None:
-            # Logged only after the append succeeded: a row the substrate
-            # rejected must never reach the redo log.
-            self.durable.log_append(name, rows)
+        # Append and redo record commit as one critical section (the lock
+        # is re-entrant — insert_rows takes it again internally); the log
+        # still runs only after the append succeeded, so a row the
+        # substrate rejected never reaches the redo log.
+        with self.database.catalog.commit_lock:
+            self.database.insert_rows(name, rows)
+            if self.durable is not None:
+                self.durable.log_append(name, rows)
         self.lifecycle.on_data_changed(name)
 
     # -- streaming ingestion & online maintenance -----------------------------------
@@ -342,19 +352,38 @@ class LawsDatabase:
         the store instead of leaving them benched."""
         return self.maintenance.maintain()
 
-    def _on_ingest_batch(self, batch: IngestBatch) -> None:
+    def _log_ingest_batch(self, batch: IngestBatch) -> None:
+        """Commit-scoped listener: frame the batch into the WAL.
+
+        Runs under the catalog commit lock, atomically with the append that
+        produced the batch — what makes the rows survive a crash between
+        checkpoints without ever being double-applied across one.
+        """
         if self.durable is not None:
-            # The batch is committed to the table by the time listeners run;
-            # framing it into the WAL is what makes it survive a crash
-            # between checkpoints.
             self.durable.log_append(batch.table_name, batch.rows)
+
+    def _on_ingest_batch(self, batch: IngestBatch) -> None:
         self.lifecycle.on_data_changed(batch.table_name)
         self.maintenance.on_batch(batch)
 
     # -- SQL: the unified entry point ------------------------------------------------
 
+    def snapshot(self) -> Snapshot:
+        """Pin a consistent view of the catalog and the model warehouse.
+
+        The returned :class:`Snapshot` can be handed to :meth:`query` so a
+        *sequence* of queries observes one committed state even while
+        concurrent ``ingest()`` / ``maintain()`` / ``archive()`` commits
+        land between them.  Individual queries already pin their own
+        snapshot implicitly.
+        """
+        return self.planner.snapshot()
+
     def query(
-        self, sql: str, contract: AccuracyContract | None = None
+        self,
+        sql: str,
+        contract: AccuracyContract | None = None,
+        snapshot: Snapshot | None = None,
     ) -> PlannedAnswer:
         """Execute SQL through the unified accuracy-aware planner.
 
@@ -365,13 +394,25 @@ class LawsDatabase:
         answers is verified against exact execution; the observed errors
         feed model quality and demote models the planner caught lying, so
         the maintenance loop refits them.
+
+        Every query executes against a pinned snapshot — its own by
+        default, or an explicitly held one passed as ``snapshot`` (see
+        :meth:`snapshot`) for repeatable reads across statements.
         """
-        answer = self.planner.execute(sql, contract)
+        if self.durable is not None and not isinstance(
+            self.database.parse_sql(sql), SelectStatement
+        ):
+            # DDL/DML through the SQL front-end mutates the catalog like any
+            # programmatic write: it must survive a crash the same way, and
+            # the mutation + redo record commit atomically with respect to
+            # a concurrent checkpoint (same critical section).
+            with self.database.catalog.commit_lock:
+                answer = self.planner.execute(sql, contract, snapshot=snapshot)
+                if answer.plan.statement_type in ("create", "insert"):
+                    self.durable.log_sql(sql)
+        else:
+            answer = self.planner.execute(sql, contract, snapshot=snapshot)
         if answer.plan.statement_type in ("create", "insert"):
-            if self.durable is not None:
-                # DDL/DML through the SQL front-end mutates the catalog like
-                # any programmatic write: it must survive a crash the same way.
-                self.durable.log_sql(sql)
             statement = self.database.parse_sql(sql)
             if isinstance(statement, InsertStatement):
                 # Same lifecycle contract as insert_rows(): appended data

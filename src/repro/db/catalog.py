@@ -3,13 +3,26 @@
 The catalog owns every base :class:`~repro.db.table.Table`, keeps their
 :class:`~repro.db.stats.TableStats` fresh, and exposes lookups used by the
 planner, the model harvester and the storage optimiser.
+
+Concurrency model: all mutations (DDL, ``mark_dirty`` version bumps) are
+serialized under one re-entrant *commit lock*; writers such as
+``Database.insert_rows`` hold it across an append **and** its version bump
+so the pair commits atomically (batch granularity).  Readers never block —
+they either read live state (plain attribute reads of immutable objects)
+or pin a :class:`~repro.db.snapshot.CatalogSnapshot` via :meth:`reading`,
+after which every lookup on that thread resolves through the pin until the
+context exits.  The pin is thread-local, so concurrent queries on other
+threads are unaffected.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
 
 from repro.db.schema import Schema
+from repro.db.snapshot import CatalogSnapshot, PinStack
 from repro.db.stats import TableStats, compute_table_stats
 from repro.db.table import Table
 from repro.errors import CatalogError
@@ -24,7 +37,68 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
         self._stats_dirty: set[str] = set()
+        #: Per-table metadata committed alongside the tables (the archive
+        #: tier keeps its stats overlay and frozen segment list here).
+        #: Lives in the catalog — not the Database façade — so
+        #: :meth:`snapshot` captures it in the same commit as the tables it
+        #: describes and pinned readers see matching archive state.
+        self._table_meta: dict[str, dict[str, Any]] = {}
         self._version = 0
+        # Serializes every commit (DDL + version bump).  Re-entrant so a
+        # writer can hold it across a multi-step commit (append + mark_dirty)
+        # that internally takes it again.
+        self._commit_lock = threading.RLock()
+        # Per-thread stack of pinned snapshots (innermost pin wins).
+        self._local = PinStack()
+
+    # -- snapshot pinning ------------------------------------------------------
+
+    @property
+    def commit_lock(self) -> threading.RLock:
+        """The lock serializing commits; writers hold it across a batch."""
+        return self._commit_lock
+
+    def _pin(self) -> CatalogSnapshot | None:
+        pins = self._local.pins
+        return pins[-1] if pins else None
+
+    @property
+    def active_snapshot(self) -> CatalogSnapshot | None:
+        """The snapshot the calling thread currently reads through, if any."""
+        return self._pin()
+
+    def snapshot(self) -> CatalogSnapshot:
+        """Pin a consistent ``(version, tables, stats)`` view at a commit
+        boundary.
+
+        Taken under the commit lock, so the version and every pinned table
+        belong to the same committed state — a concurrent writer mid-batch
+        can never leak a table whose version bump has not landed yet.
+        Stats already fresh in the live cache are carried over so the
+        snapshot does not recompute them.
+        """
+        with self._commit_lock:
+            tables = {name: table.pinned() for name, table in self._tables.items()}
+            stats = {
+                name: self._stats[name]
+                for name in self._tables
+                if name in self._stats and name not in self._stats_dirty
+            }
+            return CatalogSnapshot(self._version, tables, stats, self._table_meta)
+
+    @contextmanager
+    def reading(self, snapshot: CatalogSnapshot) -> Iterator[CatalogSnapshot]:
+        """Resolve every catalog read on this thread through ``snapshot``.
+
+        Nests: an inner ``reading()`` (a differential query issued while a
+        snapshot is already pinned) shadows the outer pin until it exits.
+        """
+        pins = self._local.pins
+        pins.append(snapshot)
+        try:
+            yield snapshot
+        finally:
+            pins.pop()
 
     @property
     def version(self) -> int:
@@ -32,7 +106,22 @@ class Catalog:
 
         Consumers (the SQL plan cache, harvest schedulers) compare a stored
         version against the current one to detect that anything in the
-        catalog — schemas or table contents — may have changed.
+        catalog — schemas or table contents — may have changed.  Inside a
+        :meth:`reading` context this reports the *pinned* version, so caches
+        keyed on it stay consistent with the data the query will scan.
+        """
+        pins = self._local.pins
+        if pins:
+            return pins[-1].version
+        return self._version
+
+    @property
+    def live_version(self) -> int:
+        """The committed version, ignoring any pin on the calling thread.
+
+        Snapshot freshness checks must use this: comparing a candidate
+        snapshot against a *pinned* version would always report "fresh"
+        from inside a reading context.
         """
         return self._version
 
@@ -43,95 +132,189 @@ class Catalog:
         caller persisted alongside a version (manifests, audit trails)
         stays comparable; never rewinds.
         """
-        self._version = max(self._version, int(version))
+        with self._commit_lock:
+            self._version = max(self._version, int(version))
 
     # -- registration ----------------------------------------------------------
 
     def create_table(self, name: str, schema: Schema) -> Table:
         """Create and register an empty table."""
-        if name in self._tables:
-            raise CatalogError(f"table {name!r} already exists")
-        table = Table.empty(name, schema)
-        self._tables[name] = table
-        self._stats_dirty.add(name)
-        self._version += 1
-        return table
+        with self._commit_lock:
+            if name in self._tables:
+                raise CatalogError(f"table {name!r} already exists")
+            table = Table.empty(name, schema)
+            self._tables[name] = table
+            self._stats_dirty.add(name)
+            self._version += 1
+            return table
 
     def register_table(self, table: Table, replace: bool = False) -> Table:
         """Register an existing table object under its own name."""
-        if table.name in self._tables and not replace:
-            raise CatalogError(f"table {table.name!r} already exists")
-        self._tables[table.name] = table
-        self._stats_dirty.add(table.name)
-        self._version += 1
-        return table
+        with self._commit_lock:
+            if table.name in self._tables and not replace:
+                raise CatalogError(f"table {table.name!r} already exists")
+            self._tables[table.name] = table
+            self._stats_dirty.add(table.name)
+            self._version += 1
+            return table
 
     def drop_table(self, name: str) -> None:
-        if name not in self._tables:
-            raise CatalogError(f"cannot drop unknown table {name!r}")
-        del self._tables[name]
-        self._stats.pop(name, None)
-        self._stats_dirty.discard(name)
-        self._version += 1
+        with self._commit_lock:
+            if name not in self._tables:
+                raise CatalogError(f"cannot drop unknown table {name!r}")
+            del self._tables[name]
+            self._stats.pop(name, None)
+            self._stats_dirty.discard(name)
+            self._table_meta.pop(name, None)
+            self._version += 1
 
     def replace_table(self, table: Table) -> None:
         """Replace the stored table (e.g. after appends return a new object)."""
-        if table.name not in self._tables:
-            raise CatalogError(f"cannot replace unknown table {table.name!r}")
-        self._tables[table.name] = table
-        self._stats_dirty.add(table.name)
-        self._version += 1
+        with self._commit_lock:
+            if table.name not in self._tables:
+                raise CatalogError(f"cannot replace unknown table {table.name!r}")
+            self._tables[table.name] = table
+            self._stats_dirty.add(table.name)
+            self._version += 1
 
     # -- lookup -------------------------------------------------------------------
 
     def table(self, name: str) -> Table:
+        pin = self._pin()
+        if pin is not None:
+            return pin.table(name)
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}; known tables: {sorted(self._tables)}") from None
+
+    def live_table(self, name: str) -> Table:
+        """The live (mutable) table, bypassing any pinned snapshot.
+
+        DML must use this: resolving an INSERT's target through a pin would
+        append to a frozen copy and silently lose the write.
+        """
         try:
             return self._tables[name]
         except KeyError:
             raise CatalogError(f"unknown table {name!r}; known tables: {sorted(self._tables)}") from None
 
     def has_table(self, name: str) -> bool:
+        pin = self._pin()
+        if pin is not None:
+            return pin.has_table(name)
         return name in self._tables
 
     def table_names(self) -> list[str]:
+        pin = self._pin()
+        if pin is not None:
+            return pin.table_names()
         return sorted(self._tables)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._tables
+        return self.has_table(name)
 
     def __iter__(self) -> Iterator[Table]:
-        return iter(self._tables.values())
+        pin = self._pin()
+        if pin is not None:
+            return iter(pin)
+        return iter(list(self._tables.values()))
 
     def __len__(self) -> int:
+        pin = self._pin()
+        if pin is not None:
+            return len(pin)
         return len(self._tables)
 
     # -- statistics -----------------------------------------------------------------
 
     def mark_dirty(self, name: str) -> None:
         """Mark a table's statistics as stale (call after in-place appends)."""
-        if name not in self._tables:
-            raise CatalogError(f"unknown table {name!r}")
-        self._stats_dirty.add(name)
-        self._version += 1
+        with self._commit_lock:
+            if name not in self._tables:
+                raise CatalogError(f"unknown table {name!r}")
+            self._stats_dirty.add(name)
+            self._version += 1
 
     def stats(self, name: str) -> TableStats:
-        """Return (and lazily recompute) statistics for ``name``."""
-        if name not in self._tables:
-            raise CatalogError(f"unknown table {name!r}")
-        if name in self._stats_dirty or name not in self._stats:
-            self._stats[name] = compute_table_stats(self._tables[name])
-            self._stats_dirty.discard(name)
-        return self._stats[name]
+        """Return (and lazily recompute) statistics for ``name``.
+
+        Inside a :meth:`reading` context the statistics come from the pinned
+        tables, so estimates and data always describe the same rows.  Live
+        recomputes run on a pinned copy of the table outside the commit lock
+        (stats can be expensive), then publish under it.
+        """
+        pin = self._pin()
+        if pin is not None:
+            return pin.stats(name)
+        with self._commit_lock:
+            if name not in self._tables:
+                raise CatalogError(f"unknown table {name!r}")
+            overlay = self._table_meta.get(name, {}).get("stats_overlay")
+            if name not in self._stats_dirty and name in self._stats:
+                base = self._stats[name]
+                return overlay(base) if overlay is not None else base
+            frozen = self._tables[name].pinned()
+            version = self._version
+        stats = compute_table_stats(frozen)
+        with self._commit_lock:
+            # Only publish if no commit landed while computing; a stale
+            # publish would pair new data with old stats.
+            if name in self._tables and self._version == version:
+                self._stats[name] = stats
+                self._stats_dirty.discard(name)
+        return overlay(stats) if overlay is not None else stats
+
+    # -- per-table commit metadata ------------------------------------------------
+
+    def set_table_meta(self, name: str, key: str, value: Any) -> None:
+        """Attach metadata to a table, committed with the catalog state.
+
+        Taken under the commit lock so the metadata lands (or clears) in
+        the same commit as the table change it accompanies — a snapshot can
+        never pair a pre-archive table with post-archive metadata or vice
+        versa.  Values should be immutable; snapshots alias them.
+        """
+        with self._commit_lock:
+            self._table_meta.setdefault(name, {})[key] = value
+
+    def clear_table_meta(self, name: str, key: str) -> None:
+        with self._commit_lock:
+            entry = self._table_meta.get(name)
+            if entry is not None:
+                entry.pop(key, None)
+                if not entry:
+                    del self._table_meta[name]
+
+    def table_meta(self, name: str, key: str, default: Any = None) -> Any:
+        """Pin-aware metadata lookup (the pinned commit's value, if pinned)."""
+        pin = self._pin()
+        if pin is not None:
+            return pin.table_meta(name, key, default)
+        entry = self._table_meta.get(name)
+        if entry is None:
+            return default
+        return entry.get(key, default)
+
+    def set_stats_overlay(self, name: str, overlay: Callable[[TableStats], TableStats]) -> None:
+        """Serve ``stats(name)`` through ``overlay`` (archive-tier merging)."""
+        self.set_table_meta(name, "stats_overlay", overlay)
+
+    def clear_stats_overlay(self, name: str) -> None:
+        self.clear_table_meta(name, "stats_overlay")
 
     def total_bytes(self) -> int:
         """Total nominal storage footprint of all registered tables."""
-        return sum(table.byte_size() for table in self._tables.values())
+        pin = self._pin()
+        if pin is not None:
+            return pin.total_bytes()
+        return sum(table.byte_size() for table in list(self._tables.values()))
 
     def describe(self) -> str:
         """A human-readable summary of the catalog contents."""
         lines = []
         for name in self.table_names():
-            table = self._tables[name]
+            table = self.table(name)
             columns = ", ".join(f"{c.name}:{c.dtype.value}" for c in table.schema)
             lines.append(f"{name} ({table.num_rows} rows, {table.byte_size()} bytes): {columns}")
         return "\n".join(lines) if lines else "(empty catalog)"

@@ -29,10 +29,6 @@ class Database:
         self.io_model = IOModel(io_parameters)
         self.udfs = UDFRegistry()
         self._executor = SQLExecutor(self.catalog, self.io_model)
-        #: table name -> function widening its live statistics (the archive
-        #: tier registers one per table with archived segments, so consumers
-        #: of :meth:`stats` keep seeing the full logical table).
-        self._stats_overlays: dict[str, Callable[[TableStats], TableStats]] = {}
 
     # -- DDL / data loading -----------------------------------------------------
 
@@ -53,9 +49,16 @@ class Database:
         self.catalog.drop_table(name)
 
     def insert_rows(self, name: str, rows: Sequence[Sequence[Any]]) -> None:
-        """Append row tuples to an existing table."""
-        self.catalog.table(name).append_rows(rows)
-        self.catalog.mark_dirty(name)
+        """Append row tuples to an existing table (one atomic commit).
+
+        The append and its catalog version bump happen under the commit
+        lock, so a concurrent :meth:`~repro.db.catalog.Catalog.snapshot`
+        sees either none of the batch or all of it with the bumped version
+        — batch-granular commits, never a torn half-batch.
+        """
+        with self.catalog.commit_lock:
+            self.catalog.live_table(name).append_rows(rows)
+            self.catalog.mark_dirty(name)
 
     def append_batch(self, name: str, rows: Sequence[Sequence[Any]]) -> tuple[int, int]:
         """Append row tuples and return the half-open row range they occupy.
@@ -64,10 +67,11 @@ class Database:
         tell downstream listeners (drift monitors, maintenance) exactly which
         rows a batch contributed.
         """
-        table = self.catalog.table(name)
-        start = table.num_rows
-        self.insert_rows(name, rows)
-        return start, table.num_rows
+        with self.catalog.commit_lock:
+            table = self.catalog.live_table(name)
+            start = table.num_rows
+            self.insert_rows(name, rows)
+            return start, table.num_rows
 
     # -- lookup ------------------------------------------------------------------
 
@@ -81,16 +85,28 @@ class Database:
         return self.catalog.table_names()
 
     def stats(self, name: str) -> TableStats:
-        base = self.catalog.stats(name)
-        overlay = self._stats_overlays.get(name)
-        return overlay(base) if overlay is not None else base
+        return self.catalog.stats(name)
 
     def set_stats_overlay(self, name: str, overlay: Callable[[TableStats], TableStats]) -> None:
-        """Serve ``stats(name)`` through ``overlay`` (archive-tier merging)."""
-        self._stats_overlays[name] = overlay
+        """Serve ``stats(name)`` through ``overlay`` (archive-tier merging).
+
+        Overlays live in the catalog and are captured by snapshots, so a
+        pinned reader keeps the overlay state of its commit, not the live one.
+        """
+        self.catalog.set_stats_overlay(name, overlay)
 
     def clear_stats_overlay(self, name: str) -> None:
-        self._stats_overlays.pop(name, None)
+        self.catalog.clear_stats_overlay(name)
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self):
+        """Pin a consistent view of every table (see :meth:`Catalog.snapshot`)."""
+        return self.catalog.snapshot()
+
+    def reading(self, snapshot):
+        """Context manager: run this thread's reads against ``snapshot``."""
+        return self.catalog.reading(snapshot)
 
     # -- SQL ------------------------------------------------------------------------
 

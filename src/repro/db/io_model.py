@@ -18,11 +18,12 @@ no pages at all) does not depend on them.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 from repro.db.table import Table
 
-__all__ = ["IOParameters", "IOAccountant", "IOModel"]
+__all__ = ["IOParameters", "IOAccountant", "IOModel", "IOScope"]
 
 
 @dataclass(frozen=True)
@@ -48,42 +49,63 @@ class IOParameters:
         return pages * (self.random_read_latency_s + self.page_size_bytes / self.sequential_bandwidth_bytes_per_s)
 
 
-@dataclass
-class IOAccountant:
-    """Accumulates simulated IO charged during query execution."""
+class IOScope:
+    """Per-execution IO attribution: what one query (or stage) charged.
 
-    parameters: IOParameters = field(default_factory=IOParameters)
-    pages_read: int = 0
-    bytes_read: int = 0
-    sequential_reads: int = 0
-    random_reads: int = 0
-    virtual_io_seconds: float = 0.0
+    A scope is opened with :meth:`IOAccountant.scope` around one execution
+    (it is its own context manager — ``with accountant.scope() as s:``);
+    every charge made *by the opening thread* while the scope is open is
+    credited to it (and to any enclosing scopes on the same thread, so a
+    nested execution's IO still shows up in its caller's total, exactly as
+    the old before/after snapshot deltas did).  Charges from *other*
+    threads are never credited, which is what fixes the interleaved-query
+    misattribution the snapshot-delta approach suffered from.
+    """
 
-    def charge_sequential(self, num_bytes: int) -> None:
-        """Charge a sequential read of ``num_bytes`` (e.g. a column scan)."""
-        pages = self.parameters.pages_for_bytes(num_bytes)
-        self.pages_read += pages
-        self.bytes_read += num_bytes
-        self.sequential_reads += 1
-        self.virtual_io_seconds += self.parameters.sequential_read_time(pages)
+    __slots__ = (
+        "pages_read",
+        "bytes_read",
+        "sequential_reads",
+        "random_reads",
+        "virtual_io_seconds",
+        "_stack",
+    )
 
-    def charge_random(self, num_bytes: int) -> None:
-        """Charge a random read of ``num_bytes`` (e.g. an index lookup)."""
-        pages = self.parameters.pages_for_bytes(num_bytes)
-        self.pages_read += pages
-        self.bytes_read += num_bytes
-        self.random_reads += 1
-        self.virtual_io_seconds += self.parameters.random_read_time(pages)
-
-    def reset(self) -> None:
+    def __init__(self, stack: list | None = None) -> None:
         self.pages_read = 0
         self.bytes_read = 0
         self.sequential_reads = 0
         self.random_reads = 0
         self.virtual_io_seconds = 0.0
+        self._stack = stack
+
+    def __enter__(self) -> "IOScope":
+        self._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Scopes nest strictly (context managers unwind LIFO), so popping is
+        # enough — but guard against a mispaired exit all the same.
+        stack = self._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - defensive
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+
+    def _add(self, pages: int, num_bytes: int, sequential: bool, seconds: float) -> None:
+        self.pages_read += pages
+        self.bytes_read += num_bytes
+        if sequential:
+            self.sequential_reads += 1
+        else:
+            self.random_reads += 1
+        self.virtual_io_seconds += seconds
 
     def snapshot(self) -> dict[str, float]:
-        """A plain-dict snapshot, convenient for benchmark reporting."""
+        """Counters in the same shape as :meth:`IOAccountant.snapshot`."""
         return {
             "pages_read": self.pages_read,
             "bytes_read": self.bytes_read,
@@ -91,6 +113,79 @@ class IOAccountant:
             "random_reads": self.random_reads,
             "virtual_io_seconds": self.virtual_io_seconds,
         }
+
+
+@dataclass
+class IOAccountant:
+    """Accumulates simulated IO charged during query execution.
+
+    Global totals are lock-protected (concurrent queries all charge the one
+    accountant); per-execution attribution goes through thread-local
+    :class:`IOScope` stacks, which need no locking.
+    """
+
+    parameters: IOParameters = field(default_factory=IOParameters)
+    pages_read: int = 0
+    bytes_read: int = 0
+    sequential_reads: int = 0
+    random_reads: int = 0
+    virtual_io_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    _local: threading.local = field(default_factory=threading.local, repr=False, compare=False)
+
+    def scope(self) -> IOScope:
+        """A per-execution attribution scope for the calling thread.
+
+        The returned :class:`IOScope` is a context manager; charges are only
+        credited while it is entered.
+        """
+        scopes = getattr(self._local, "scopes", None)
+        if scopes is None:
+            scopes = self._local.scopes = []
+        return IOScope(scopes)
+
+    def _charge(self, pages: int, num_bytes: int, sequential: bool, seconds: float) -> None:
+        with self._lock:
+            self.pages_read += pages
+            self.bytes_read += num_bytes
+            if sequential:
+                self.sequential_reads += 1
+            else:
+                self.random_reads += 1
+            self.virtual_io_seconds += seconds
+        scopes = getattr(self._local, "scopes", None)
+        if scopes:
+            for entry in scopes:
+                entry._add(pages, num_bytes, sequential, seconds)
+
+    def charge_sequential(self, num_bytes: int) -> None:
+        """Charge a sequential read of ``num_bytes`` (e.g. a column scan)."""
+        pages = self.parameters.pages_for_bytes(num_bytes)
+        self._charge(pages, num_bytes, True, self.parameters.sequential_read_time(pages))
+
+    def charge_random(self, num_bytes: int) -> None:
+        """Charge a random read of ``num_bytes`` (e.g. an index lookup)."""
+        pages = self.parameters.pages_for_bytes(num_bytes)
+        self._charge(pages, num_bytes, False, self.parameters.random_read_time(pages))
+
+    def reset(self) -> None:
+        with self._lock:
+            self.pages_read = 0
+            self.bytes_read = 0
+            self.sequential_reads = 0
+            self.random_reads = 0
+            self.virtual_io_seconds = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict snapshot, convenient for benchmark reporting."""
+        with self._lock:
+            return {
+                "pages_read": self.pages_read,
+                "bytes_read": self.bytes_read,
+                "sequential_reads": self.sequential_reads,
+                "random_reads": self.random_reads,
+                "virtual_io_seconds": self.virtual_io_seconds,
+            }
 
 
 class IOModel:
@@ -129,6 +224,10 @@ class IOModel:
         for _ in names:
             self.accountant.charge_random(self.parameters.page_size_bytes)
         return num_bytes
+
+    def scope(self):
+        """Open a per-execution IO attribution scope (see :class:`IOScope`)."""
+        return self.accountant.scope()
 
     def reset(self) -> None:
         self.accountant.reset()

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import copy
+
 from repro.db.table import Table
 
-__all__ = ["Operator"]
+__all__ = ["Operator", "clone_operator_tree"]
 
 
 class Operator:
@@ -34,3 +36,21 @@ class Operator:
     def describe(self) -> str:
         """One-line description of this operator."""
         return type(self).__name__
+
+
+def clone_operator_tree(node: Operator) -> Operator:
+    """Shallow-clone an operator tree (fresh nodes, shared leaf bindings).
+
+    Used when an execution needs private node instances — e.g. tracing,
+    which shadows ``execute`` in each node's ``__dict__`` and must never do
+    that to a cached plan another thread may be executing.  Child operators
+    are discovered structurally: any attribute holding an ``Operator`` (or a
+    non-empty list of them) is rebound to its clone.
+    """
+    clone = copy.copy(node)
+    for attr, value in vars(clone).items():
+        if isinstance(value, Operator):
+            setattr(clone, attr, clone_operator_tree(value))
+        elif isinstance(value, list) and value and all(isinstance(v, Operator) for v in value):
+            setattr(clone, attr, [clone_operator_tree(v) for v in value])
+    return clone

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.db.io_model import IOModel
 from repro.db.operators.base import Operator
 from repro.db.table import Table
+from repro.errors import CatalogError
 
 __all__ = ["TableScan", "MaterializedInput"]
 
@@ -16,6 +17,13 @@ class TableScan(Operator):
     touches (columnar storage means unread columns cost no IO), which is what
     makes the zero-IO comparison honest: the raw-scan side is charged only
     for the columns it needs.
+
+    Plans are cached and shared across executions (and threads), so the scan
+    binds its table *per execution*: when a ``catalog`` was provided it
+    re-resolves the table name through it — which, inside a
+    ``catalog.reading(snapshot)`` context, transparently yields the pinned
+    snapshot table — and always executes against a frozen ``pinned()`` copy,
+    so a concurrent append can never swap the column mapping mid-scan.
     """
 
     def __init__(
@@ -23,17 +31,38 @@ class TableScan(Operator):
         table: Table,
         io_model: IOModel | None = None,
         projected_columns: list[str] | None = None,
+        catalog=None,
     ) -> None:
         self.table = table
         self.io_model = io_model
         self.projected_columns = projected_columns
+        self.catalog = catalog
+
+    def _bind_table(self) -> Table:
+        """This execution's frozen view of the scanned table.
+
+        Fast path: with no snapshot pinned on this thread, freeze the table
+        captured at plan time directly — plan-cache validation already
+        guarantees it is the current object, and ``pinned()`` is a reference
+        copy.  Only a pinned thread pays the name re-resolution.
+        """
+        catalog = self.catalog
+        if catalog is not None and getattr(catalog, "active_snapshot", None) is not None:
+            try:
+                return catalog.table(self.table.name).pinned()
+            except CatalogError:
+                # Dropped (or a shadow table the live catalog never owned):
+                # fall back to the binding captured at plan time.
+                pass
+        return self.table.pinned()
 
     def execute(self) -> Table:
+        table = self._bind_table()
         if self.io_model is not None:
-            self.io_model.charge_scan(self.table, self.projected_columns)
+            self.io_model.charge_scan(table, self.projected_columns)
         if self.projected_columns is not None:
-            return self.table.select(self.projected_columns)
-        return self.table
+            return table.select(self.projected_columns)
+        return table
 
     def describe(self) -> str:
         cols = "*" if self.projected_columns is None else ", ".join(self.projected_columns)

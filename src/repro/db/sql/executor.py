@@ -12,12 +12,14 @@ reads the current table contents.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.db.catalog import Catalog
 from repro.db.io_model import IOModel
+from repro.db.operators.base import clone_operator_tree
 from repro.db.schema import ColumnDef, Schema
 from repro.db.sql.ast import CreateTableStatement, InsertStatement, SelectStatement, Statement
 from repro.db.sql.parser import parse
@@ -69,6 +71,9 @@ class SQLExecutor:
         self._parse_cache: OrderedDict[str, Statement] = OrderedDict()
         #: sql text -> (catalog version, plan, rendered plan text)
         self._plan_cache: OrderedDict[str, tuple[int, PlannedQuery, str]] = OrderedDict()
+        # One lock for both LRU caches: concurrent queries share the executor
+        # and OrderedDict move_to_end/insert/evict are not atomic.
+        self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_invalidations = 0
@@ -78,58 +83,76 @@ class SQLExecutor:
         # A still-valid cached plan skips lexing and parsing entirely (the
         # parse LRU may have evicted this statement's AST while its plan —
         # SELECTs only — survived).
-        entry = self._plan_cache.get(sql)
-        if entry is not None and entry[0] == self.catalog.version:
-            self._cache_hits += 1
-            self._plan_cache.move_to_end(sql)
+        version = self.catalog.version
+        with self._cache_lock:
+            entry = self._plan_cache.get(sql)
+            if entry is not None and entry[0] == version:
+                self._cache_hits += 1
+                self._plan_cache.move_to_end(sql)
+            else:
+                entry = None
+        if entry is not None:
             return self._execute_planned(entry[1], entry[2])
         statement = self._parse(sql)
         started = perf_counter()
-        io_before = self.io_model.snapshot()
-
-        if isinstance(statement, CreateTableStatement):
-            table = self._execute_create(statement)
-            kind = "create"
-            plan_text = f"CreateTable({statement.name})"
-        elif isinstance(statement, InsertStatement):
-            table = self._execute_insert(statement)
-            kind = "insert"
-            plan_text = f"Insert({statement.name}, rows={len(statement.rows)})"
-        elif isinstance(statement, SelectStatement):
-            planned, plan_text = self._plan(sql, statement)
-            table = self._run_root(planned)
-            kind = "select"
-        else:  # pragma: no cover - parser only produces the three kinds above
-            raise UnsupportedSQLError(f"unsupported statement type {type(statement).__name__}")
+        # Per-execution IO scope: only pages charged by *this* execution (and
+        # anything it nests) are attributed to this statement, even when other
+        # queries interleave on other threads.
+        with self.io_model.scope() as io_scope:
+            if isinstance(statement, CreateTableStatement):
+                table = self._execute_create(statement)
+                kind = "create"
+                plan_text = f"CreateTable({statement.name})"
+            elif isinstance(statement, InsertStatement):
+                table = self._execute_insert(statement)
+                kind = "insert"
+                plan_text = f"Insert({statement.name}, rows={len(statement.rows)})"
+            elif isinstance(statement, SelectStatement):
+                planned, plan_text = self._plan(sql, statement)
+                table = self._run_root(planned)
+                kind = "select"
+            else:  # pragma: no cover - parser only produces the three kinds above
+                raise UnsupportedSQLError(f"unsupported statement type {type(statement).__name__}")
 
         elapsed = perf_counter() - started
-        io_after = self.io_model.snapshot()
-        io_delta = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
-        return QueryResult(table=table, statement_type=kind, elapsed_seconds=elapsed, io=io_delta, plan_text=plan_text)
+        return QueryResult(
+            table=table,
+            statement_type=kind,
+            elapsed_seconds=elapsed,
+            io=io_scope.snapshot(),
+            plan_text=plan_text,
+        )
 
     def _execute_planned(self, planned: PlannedQuery, plan_text: str) -> QueryResult:
         """Execute an already-planned SELECT (the plan-cache hit path)."""
         started = perf_counter()
-        io_before = self.io_model.snapshot()
-        table = self._run_root(planned)
+        with self.io_model.accountant.scope() as io_scope:
+            table = self._run_root(planned)
         elapsed = perf_counter() - started
-        io_after = self.io_model.snapshot()
-        io_delta = {key: io_after[key] - io_before.get(key, 0.0) for key in io_after}
         return QueryResult(
             table=table,
             statement_type="select",
             elapsed_seconds=elapsed,
-            io=io_delta,
+            io=io_scope.snapshot(),
             plan_text=plan_text,
         )
 
     def _run_root(self, planned: PlannedQuery) -> Table:
-        """Execute a plan's root, per-operator traced when a trace is open."""
+        """Execute a plan's root, per-operator traced when a trace is open.
+
+        Cached plans are shared across executions and threads, which is safe
+        untraced: operators are stateless and every :class:`TableScan` binds a
+        frozen (pin-aware) view of its table per execution.  Tracing is the
+        exception — ``traced_operator_execute`` shadows ``execute`` in node
+        ``__dict__``s, so a traced run first takes a private clone of the
+        tree; the shared cached plan is never mutated and concurrent
+        executions of the same plan never see another query's spans.
+        """
         tracer = self.tracer
         if tracer is not None and tracer.active:
             from repro.obs.trace import traced_operator_execute
 
-            return traced_operator_execute(planned.root, tracer)
+            return traced_operator_execute(clone_operator_tree(planned.root), tracer)
         return planned.root.execute()
 
     def explain(self, sql: str) -> str:
@@ -165,50 +188,56 @@ class SQLExecutor:
         Parsing is pure (the AST is immutable and never depends on catalog
         state), so the parse cache needs no invalidation — only LRU eviction.
         """
-        cached = self._parse_cache.get(sql)
-        if cached is not None:
-            self._parse_cache.move_to_end(sql)
-            return cached
+        with self._cache_lock:
+            cached = self._parse_cache.get(sql)
+            if cached is not None:
+                self._parse_cache.move_to_end(sql)
+                return cached
         statement = parse(sql)
-        self._parse_cache[sql] = statement
-        while len(self._parse_cache) > self.plan_cache_size:
-            self._parse_cache.popitem(last=False)
+        with self._cache_lock:
+            self._parse_cache[sql] = statement
+            while len(self._parse_cache) > self.plan_cache_size:
+                self._parse_cache.popitem(last=False)
         return statement
 
     def _plan(self, sql: str, statement: SelectStatement) -> tuple[PlannedQuery, str]:
         """Plan a SELECT, reusing a cached plan while the catalog is unchanged."""
         version = self.catalog.version
-        entry = self._plan_cache.get(sql)
-        if entry is not None:
-            cached_version, planned, plan_text = entry
-            if cached_version == version:
-                self._cache_hits += 1
-                self._plan_cache.move_to_end(sql)
-                return planned, plan_text
-            self._cache_invalidations += 1
-            del self._plan_cache[sql]
-        self._cache_misses += 1
+        with self._cache_lock:
+            entry = self._plan_cache.get(sql)
+            if entry is not None:
+                cached_version, planned, plan_text = entry
+                if cached_version == version:
+                    self._cache_hits += 1
+                    self._plan_cache.move_to_end(sql)
+                    return planned, plan_text
+                self._cache_invalidations += 1
+                del self._plan_cache[sql]
+            self._cache_misses += 1
         planned = plan_select(statement, self.catalog, self.io_model)
         plan_text = planned.root.explain()
-        self._plan_cache[sql] = (version, planned, plan_text)
-        while len(self._plan_cache) > self.plan_cache_size:
-            self._plan_cache.popitem(last=False)
+        with self._cache_lock:
+            self._plan_cache[sql] = (version, planned, plan_text)
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
         return planned, plan_text
 
     def plan_cache_info(self) -> dict[str, int]:
         """Hit/miss counters and current occupancy of the plan cache."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "invalidations": self._cache_invalidations,
-            "size": len(self._plan_cache),
-            "capacity": self.plan_cache_size,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "invalidations": self._cache_invalidations,
+                "size": len(self._plan_cache),
+                "capacity": self.plan_cache_size,
+            }
 
     def clear_plan_cache(self) -> None:
         """Drop every cached parse and plan (counters are kept)."""
-        self._parse_cache.clear()
-        self._plan_cache.clear()
+        with self._cache_lock:
+            self._parse_cache.clear()
+            self._plan_cache.clear()
 
     # -- DDL / DML ------------------------------------------------------------
 
@@ -217,22 +246,26 @@ class SQLExecutor:
         return self.catalog.create_table(statement.name, schema)
 
     def _execute_insert(self, statement: InsertStatement) -> Table:
-        table = self.catalog.table(statement.name)
-        if statement.columns is None:
-            table.append_rows(statement.rows)
-        else:
-            names = table.schema.names
-            unknown = [c for c in statement.columns if c not in names]
-            if unknown:
-                raise SQLPlanningError(f"INSERT references unknown columns {unknown} of table {statement.name!r}")
-            reordered = []
-            for row in statement.rows:
-                if len(row) != len(statement.columns):
-                    raise SQLPlanningError(
-                        f"INSERT row has {len(row)} values but {len(statement.columns)} columns were named"
-                    )
-                mapping = dict(zip(statement.columns, row))
-                reordered.append(tuple(mapping.get(name) for name in names))
-            table.append_rows(reordered)
-        self.catalog.mark_dirty(statement.name)
-        return table
+        # DML always targets the *live* table (a thread-pinned snapshot copy
+        # would swallow the write), and the append + version bump commit
+        # atomically under the catalog's commit lock (batch granularity).
+        with self.catalog.commit_lock:
+            table = self.catalog.live_table(statement.name)
+            if statement.columns is None:
+                table.append_rows(statement.rows)
+            else:
+                names = table.schema.names
+                unknown = [c for c in statement.columns if c not in names]
+                if unknown:
+                    raise SQLPlanningError(f"INSERT references unknown columns {unknown} of table {statement.name!r}")
+                reordered = []
+                for row in statement.rows:
+                    if len(row) != len(statement.columns):
+                        raise SQLPlanningError(
+                            f"INSERT row has {len(row)} values but {len(statement.columns)} columns were named"
+                        )
+                    mapping = dict(zip(statement.columns, row))
+                    reordered.append(tuple(mapping.get(name) for name in names))
+                table.append_rows(reordered)
+            self.catalog.mark_dirty(statement.name)
+            return table

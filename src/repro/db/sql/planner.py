@@ -147,7 +147,7 @@ class _PlanBuilder:
         self.table_columns[statement.table.name] = set(base.schema.names)
         self.available = set(base.schema.names)
 
-        plan: Operator = TableScan(base, self.io_model, self._scan_columns(base))
+        plan: Operator = TableScan(base, self.io_model, self._scan_columns(base), catalog=self.catalog)
 
         for join in statement.joins:
             right_table = self.catalog.table(join.table.name)
@@ -155,7 +155,7 @@ class _PlanBuilder:
             self.alias_map[join.table.name] = join.table.name
             self.table_columns[join.table.name] = set(right_table.schema.names)
 
-            right_scan = TableScan(right_table, self.io_model, self._scan_columns(right_table))
+            right_scan = TableScan(right_table, self.io_model, self._scan_columns(right_table), catalog=self.catalog)
             left_keys, right_keys = self._resolve_join_keys(join.left_keys, join.right_keys, right_table)
             plan = HashJoin(plan, right_scan, left_keys, right_keys)
 

@@ -12,6 +12,7 @@ operations (``filter``, ``take``, ``select`` ...) always return new tables.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -22,6 +23,14 @@ from repro.db.types import DataType
 from repro.errors import ExecutionError, SchemaError, TypeMismatchError
 
 __all__ = ["Table"]
+
+#: Serializes concurrent in-place appends.  Appends are copy-and-swap (the
+#: column mapping is rebuilt, then replaced with one reference assignment),
+#: so readers are always safe without this lock — but two *writers* racing
+#: would both build from the same old columns and one batch would vanish.
+#: One module-level lock (rather than per-table) keeps Table construction
+#: allocation-free; appends are rare relative to reads and derivations.
+_append_lock = threading.Lock()
 
 
 class Table:
@@ -150,7 +159,15 @@ class Table:
     # -- mutation (base tables) --------------------------------------------------
 
     def append_rows(self, rows: Iterable[Sequence[Any]]) -> None:
-        """Append row tuples to this table in place (atomically)."""
+        """Append row tuples to this table in place (atomically).
+
+        Copy-and-swap: the new column mapping is built off to the side and
+        published with one reference assignment, so a concurrent reader (or
+        a :meth:`pinned` snapshot) either sees the table entirely before or
+        entirely after the batch — never a torn mix.  Writers serialize on a
+        lock so two racing appends cannot both build from the same base and
+        drop a batch.
+        """
         rows = list(rows)
         if not rows:
             return
@@ -160,11 +177,13 @@ class Table:
                 raise SchemaError(
                     f"table {self.name!r}: row has {len(row)} values but schema has {width} columns"
                 )
-        new_columns = {}
-        for i, col_def in enumerate(self.schema):
-            addition = Column.from_values(col_def.dtype, [row[i] for row in rows])
-            new_columns[col_def.name] = self._columns[col_def.name].concat(addition)
-        self._columns = new_columns
+        with _append_lock:
+            base = self._columns
+            new_columns = {}
+            for i, col_def in enumerate(self.schema):
+                addition = Column.from_values(col_def.dtype, [row[i] for row in rows])
+                new_columns[col_def.name] = base[col_def.name].concat(addition)
+            self._columns = new_columns
 
     def append_dicts(self, rows: Iterable[Mapping[str, Any]]) -> None:
         """Append rows given as dicts; missing keys become NULL."""
@@ -172,6 +191,21 @@ class Table:
         self.append_rows([tuple(row.get(name) for name in names) for row in rows])
 
     # -- derivation ---------------------------------------------------------------
+
+    def pinned(self) -> "Table":
+        """A frozen snapshot of this table's current contents, O(1).
+
+        Shares the immutable column objects behind a single atomic read of
+        the column mapping, so the copy costs two attribute assignments and
+        no data movement.  A later :meth:`append_rows` on the live table
+        swaps in a *new* mapping; the pinned table keeps this one forever.
+        Schema re-validation is skipped — the live table already validated.
+        """
+        snapshot = object.__new__(Table)
+        snapshot.name = self.name
+        snapshot.schema = self.schema
+        snapshot._columns = self._columns
+        return snapshot
 
     def rename(self, new_name: str) -> "Table":
         return Table(new_name, self.schema, self._columns)
@@ -182,12 +216,21 @@ class Table:
         return Table(self.name, schema, {name: self._columns[name] for name in names})
 
     def with_column(self, name: str, column: Column) -> "Table":
-        """Return a new table with ``column`` added (or replaced)."""
+        """Return a new table with ``column`` added (or replaced in place).
+
+        Replacing an existing column keeps its position in the schema, so
+        downstream projections and ``to_rows`` keep their column order; only
+        a genuinely new column is appended at the end.
+        """
         if len(column) != self.num_rows and self.num_rows > 0:
             raise SchemaError(
                 f"new column {name!r} has {len(column)} rows but table has {self.num_rows}"
             )
-        defs = [c for c in self.schema if c.name != name] + [ColumnDef(name, column.dtype)]
+        new_def = ColumnDef(name, column.dtype)
+        if name in self._columns:
+            defs = [new_def if c.name == name else c for c in self.schema]
+        else:
+            defs = list(self.schema) + [new_def]
         columns = dict(self._columns)
         columns[name] = column
         return Table(self.name, Schema(defs), columns)
@@ -223,27 +266,36 @@ class Table:
         )
 
     def sort_by(self, keys: Sequence[tuple[str, bool]]) -> "Table":
-        """Sort by a list of ``(column, ascending)`` keys (stable)."""
+        """Sort by a list of ``(column, ascending)`` keys (stable).
+
+        Vectorized via :func:`np.lexsort` over per-key rank codes: every key
+        column is ranked with :func:`np.unique` (which orders strings and
+        numbers alike), descending keys flip the ranks, and NULLs always rank
+        after every value so they sort last in both directions.
+        """
         if self.num_rows == 0 or not keys:
             return self
-        order = np.arange(self.num_rows)
-        # np.lexsort sorts by the last key first, so apply keys in reverse.
-        for name, ascending in reversed(list(keys)):
-            column = self.column(name)
-            values = column.to_pylist()
-            # Sort NULLs last regardless of direction.
-            key_indices = sorted(
-                order.tolist(),
-                key=lambda i: (values[i] is None, values[i] if values[i] is not None else 0),
-                reverse=not ascending,
-            )
-            if not ascending:
-                # Re-place NULLs at the end after the reverse sort.
-                non_null = [i for i in key_indices if values[i] is not None]
-                nulls = [i for i in key_indices if values[i] is None]
-                key_indices = non_null + nulls
-            order = np.array(key_indices, dtype=np.int64)
+        # np.lexsort sorts by the *last* key array first, so pass the primary
+        # key last; lexsort is stable, matching the previous per-key
+        # stable-sort semantics (ties keep their original row order).
+        sort_keys = [self._sort_codes(name, ascending) for name, ascending in reversed(list(keys))]
+        order = np.lexsort(sort_keys)
         return self.take(order)
+
+    def _sort_codes(self, name: str, ascending: bool) -> np.ndarray:
+        """Int64 rank codes for one sort key: NULLs last in both directions."""
+        column = self.column(name)
+        nulls = column.null_mask()
+        values = column.values
+        codes = np.empty(len(values), dtype=np.int64)
+        present = ~nulls
+        if not present.any():
+            codes[:] = 0
+            return codes
+        uniques, inverse = np.unique(values[present], return_inverse=True)
+        codes[present] = inverse if ascending else (len(uniques) - 1) - inverse
+        codes[nulls] = len(uniques)
+        return codes
 
     # -- storage accounting -----------------------------------------------------------
 

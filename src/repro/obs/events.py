@@ -16,6 +16,7 @@ how often" is a direct lookup.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -54,14 +55,18 @@ class EventJournal:
         self._seq = 0
         self._totals: dict[str, int] = {}
         self.on_record: Callable[[Event], None] | None = None
+        self._lock = threading.Lock()
 
     def record(self, kind: str, **fields: Any) -> Event | None:
         if not self.enabled:
             return None
-        self._seq += 1
-        event = Event(seq=self._seq, timestamp=time.time(), kind=kind, fields=fields)
-        self._events.append(event)
-        self._totals[kind] = self._totals.get(kind, 0) + 1
+        with self._lock:
+            self._seq += 1
+            event = Event(seq=self._seq, timestamp=time.time(), kind=kind, fields=fields)
+            self._events.append(event)
+            self._totals[kind] = self._totals.get(kind, 0) + 1
+        # The hook runs outside the lock: it mirrors into the metrics registry,
+        # which has its own lock, and holding both invites ordering deadlocks.
         if self.on_record is not None:
             self.on_record(event)
         return event
@@ -70,9 +75,11 @@ class EventJournal:
         self, kind: str | None = None, limit: int | None = None, **field_filters: Any
     ) -> list[Event]:
         """Retained events, oldest first, optionally filtered by kind/fields."""
+        with self._lock:
+            retained = list(self._events)
         selected = [
             event
-            for event in self._events
+            for event in retained
             if (kind is None or event.kind == kind)
             and all(event.fields.get(k) == v for k, v in field_filters.items())
         ]
@@ -82,10 +89,12 @@ class EventJournal:
 
     def totals(self) -> dict[str, int]:
         """Monotonic per-kind event counts (including evicted events)."""
-        return dict(self._totals)
+        with self._lock:
+            return dict(self._totals)
 
     def clear(self) -> None:
-        self._events.clear()
+        with self._lock:
+            self._events.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -145,6 +154,7 @@ class ComplianceLedger:
     def __init__(self) -> None:
         self._routes: dict[str, _RouteLedger] = {}
         self._models: dict[int, _ModelLedger] = {}
+        self._lock = threading.Lock()
 
     def _route(self, route: str) -> _RouteLedger:
         ledger = self._routes.get(route)
@@ -164,14 +174,15 @@ class ComplianceLedger:
         predicted_relative_error: float | None,
         model_ids: tuple[int, ...] | list[int] = (),
     ) -> None:
-        ledger = self._route(route)
-        ledger.served += 1
-        if predicted_relative_error is not None and math.isfinite(
-            predicted_relative_error
-        ):
-            ledger.predicted_error_sum += predicted_relative_error
-        for model_id in model_ids:
-            self._model(model_id).served += 1
+        with self._lock:
+            ledger = self._route(route)
+            ledger.served += 1
+            if predicted_relative_error is not None and math.isfinite(
+                predicted_relative_error
+            ):
+                ledger.predicted_error_sum += predicted_relative_error
+            for model_id in model_ids:
+                self._model(model_id).served += 1
 
     def record_verified(
         self,
@@ -182,42 +193,46 @@ class ComplianceLedger:
         demoted_ids: tuple[int, ...] | list[int] = (),
     ) -> bool:
         """Record one verification pass; returns True on a budget violation."""
-        ledger = self._route(route)
-        ledger.verified += 1
-        ledger.observed_error_sum += observed_relative_error
-        violated = False
-        if math.isfinite(error_budget):
-            ledger.budget_checks += 1
-            violated = observed_relative_error > error_budget
-            if violated:
-                ledger.budget_violations += 1
-        for model_id in model_ids:
-            model = self._model(model_id)
-            model.verified += 1
-            model.observed_error_sum += observed_relative_error
-            model.last_observed_relative_error = observed_relative_error
-            if violated:
-                model.budget_violations += 1
-        for model_id in demoted_ids:
-            self._model(model_id).demotions += 1
-        return violated
+        with self._lock:
+            ledger = self._route(route)
+            ledger.verified += 1
+            ledger.observed_error_sum += observed_relative_error
+            violated = False
+            if math.isfinite(error_budget):
+                ledger.budget_checks += 1
+                violated = observed_relative_error > error_budget
+                if violated:
+                    ledger.budget_violations += 1
+            for model_id in model_ids:
+                model = self._model(model_id)
+                model.verified += 1
+                model.observed_error_sum += observed_relative_error
+                model.last_observed_relative_error = observed_relative_error
+                if violated:
+                    model.budget_violations += 1
+            for model_id in demoted_ids:
+                self._model(model_id).demotions += 1
+            return violated
 
     def report(self) -> dict[str, Any]:
         """Per-route and per-model compliance accounting, ready to print."""
-        return {
-            "routes": {
-                route: ledger.to_dict() for route, ledger in sorted(self._routes.items())
-            },
-            "models": {
-                model_id: ledger.to_dict()
-                for model_id, ledger in sorted(self._models.items())
-            },
-        }
+        with self._lock:
+            return {
+                "routes": {
+                    route: ledger.to_dict() for route, ledger in sorted(self._routes.items())
+                },
+                "models": {
+                    model_id: ledger.to_dict()
+                    for model_id, ledger in sorted(self._models.items())
+                },
+            }
 
     def lying_models(self, min_verified: int = 1) -> list[dict[str, Any]]:
         """Models with budget violations or demotions, worst offenders first."""
         offenders = []
-        for model_id, ledger in self._models.items():
+        with self._lock:
+            models = list(self._models.items())
+        for model_id, ledger in models:
             if ledger.verified < min_verified:
                 continue
             if ledger.budget_violations == 0 and ledger.demotions == 0:

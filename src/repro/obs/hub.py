@@ -46,10 +46,14 @@ class Observability:
         slow_query_seconds: float = 0.25,
         journal_capacity: int = 2048,
         keep_traces: int = 8,
+        io_scope: Callable[[], Any] | None = None,
     ) -> None:
         self.metrics = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(
-            io_snapshot=io_snapshot, enabled=enabled, keep_traces=keep_traces
+            io_snapshot=io_snapshot,
+            enabled=enabled,
+            keep_traces=keep_traces,
+            io_scope=io_scope,
         )
         self.journal = EventJournal(capacity=journal_capacity)
         self.journal.enabled = enabled

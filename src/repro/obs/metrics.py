@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from bisect import bisect_left
 from typing import Any
 
@@ -73,50 +74,67 @@ class MetricsRegistry:
         self._counters: dict[str, dict[LabelKey, float]] = {}
         self._gauges: dict[str, dict[LabelKey, float]] = {}
         self._histograms: dict[str, Histogram] = {}
+        # One lock covers every series: concurrent queries all report into the
+        # same registry, and unlocked `series[key] = series.get(key) + amount`
+        # read-modify-writes would lose increments under interleaving.  The
+        # disabled fast path stays a single attribute check before the lock.
+        self._lock = threading.Lock()
 
     # -- mutators -------------------------------------------------------------
 
     def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
         if not self.enabled:
             return
-        series = self._counters.setdefault(name, {})
         key = _label_key(labels)
-        series[key] = series.get(key, 0.0) + amount
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + amount
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
         if not self.enabled:
             return
-        self._gauges.setdefault(name, {})[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
 
     def observe(self, name: str, value: float, buckets: tuple[float, ...] | None = None) -> None:
         if not self.enabled:
             return
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram(buckets or DEFAULT_LATENCY_BUCKETS)
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(buckets or DEFAULT_LATENCY_BUCKETS)
+            histogram.observe(value)
 
     def reset(self) -> None:
         """Zero every series (the registry stays enabled/disabled as it was)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     # -- reads ----------------------------------------------------------------
 
     def counter_value(self, name: str, **labels: Any) -> float:
         """One labelled counter's value (0.0 when never incremented)."""
-        return self._counters.get(name, {}).get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._counters.get(name, {}).get(_label_key(labels), 0.0)
 
     def counter_total(self, name: str) -> float:
         """Sum over every label combination of a counter."""
-        return sum(self._counters.get(name, {}).values())
+        with self._lock:
+            return sum(self._counters.get(name, {}).values())
 
     def gauge_value(self, name: str, **labels: Any) -> float | None:
-        return self._gauges.get(name, {}).get(_label_key(labels))
+        with self._lock:
+            return self._gauges.get(name, {}).get(_label_key(labels))
 
     def snapshot(self) -> dict[str, Any]:
         """A stable plain-dict snapshot of every series."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, Any]:
         return {
             "counters": {
                 name: [
@@ -145,6 +163,10 @@ class MetricsRegistry:
 
     def to_prometheus_text(self) -> str:
         """The Prometheus text exposition format (one scrape's worth)."""
+        with self._lock:
+            return self._to_prometheus_text_locked()
+
+    def _to_prometheus_text_locked(self) -> str:
         lines: list[str] = []
         for name, series in sorted(self._counters.items()):
             metric = f"{self.namespace}_{name}"

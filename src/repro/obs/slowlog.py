@@ -7,6 +7,7 @@ trace summary — retrievable via ``db.slow_queries()``.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -42,6 +43,7 @@ class SlowQueryLog:
         self.enabled = True
         self._entries: deque[SlowQuery] = deque(maxlen=capacity)
         self._total = 0
+        self._lock = threading.Lock()
 
     def observe(
         self,
@@ -61,13 +63,15 @@ class SlowQueryLog:
             contract="" if contract is None else str(contract),
             timestamp=time.time(),
         )
-        self._entries.append(entry)
-        self._total += 1
+        with self._lock:
+            self._entries.append(entry)
+            self._total += 1
         return entry
 
     def entries(self, limit: int | None = None) -> list[SlowQuery]:
         """Retained slow queries, oldest first."""
-        selected = list(self._entries)
+        with self._lock:
+            selected = list(self._entries)
         if limit is not None:
             selected = selected[-limit:]
         return selected
@@ -78,4 +82,5 @@ class SlowQueryLog:
         return self._total
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -15,6 +15,7 @@ trace) costs one attribute check and allocates nothing — the hot paths the
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -103,7 +104,15 @@ class Tracer:
 
     ``io_snapshot`` is a zero-argument callable returning the cumulative
     simulated-IO counters (:meth:`repro.db.database.Database.io_snapshot`);
-    every span records the delta across its lifetime.
+    every span records the delta across its lifetime.  When ``io_scope`` is
+    also provided (a context-manager factory like
+    :meth:`repro.db.io_model.IOModel.scope`), spans attribute IO through
+    per-thread scopes instead, so a concurrent query on another thread can
+    never inflate this trace's page counts.
+
+    Span stacks are thread-local: concurrent traced queries each build their
+    own tree.  The completed-trace ring is shared (and lock-protected), so
+    ``last_trace()`` reports whichever trace finished most recently.
     """
 
     def __init__(
@@ -111,34 +120,47 @@ class Tracer:
         io_snapshot: Callable[[], dict[str, float]] | None = None,
         enabled: bool = True,
         keep_traces: int = 8,
+        io_scope: Callable[[], Any] | None = None,
     ) -> None:
         self.enabled = enabled
         self.io_snapshot = io_snapshot
+        self.io_scope = io_scope
         self.keep_traces = keep_traces
-        self._stack: list[Span] = []
-        self._io_stack: list[dict[str, float]] = []
+        self._local = threading.local()
         self._traces: list[Span] = []
+        self._traces_lock = threading.Lock()
 
     # -- state ----------------------------------------------------------------
 
     @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
     def active(self) -> bool:
-        """True while a trace is open (spans will actually be recorded)."""
-        return self.enabled and bool(self._stack)
+        """True while a trace is open *on this thread* (spans get recorded)."""
+        return self.enabled and bool(getattr(self._local, "stack", None))
 
     @property
     def current(self) -> Span | None:
-        return self._stack[-1] if self._stack else None
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
 
     def last_trace(self) -> Span | None:
         """The root span of the most recently completed trace."""
-        return self._traces[-1] if self._traces else None
+        with self._traces_lock:
+            return self._traces[-1] if self._traces else None
 
     def traces(self) -> list[Span]:
-        return list(self._traces)
+        with self._traces_lock:
+            return list(self._traces)
 
     def clear(self) -> None:
-        self._traces.clear()
+        with self._traces_lock:
+            self._traces.clear()
 
     # -- span management -------------------------------------------------------
 
@@ -146,48 +168,67 @@ class Tracer:
         return self.io_snapshot() if self.io_snapshot is not None else {}
 
     @contextmanager
+    def _span_io(self, span: Span) -> Iterator[None]:
+        """Attribute the IO charged while the span is open onto ``span.io``."""
+        if self.io_scope is not None:
+            with self.io_scope() as scope:
+                try:
+                    yield
+                finally:
+                    span.io = {
+                        key: value
+                        for key, value in scope.snapshot().items()
+                        if key in _IO_KEYS and value
+                    }
+        else:
+            io_before = self._io()
+            try:
+                yield
+            finally:
+                span.io = _io_delta(io_before, self._io())
+
+    @contextmanager
     def trace(self, name: str, **attributes: Any) -> Iterator[Span]:
         """Open a root span (a no-op yielding a throwaway span when disabled)."""
-        if not self.enabled or self._stack:
-            # Disabled, or a trace is already open (a nested query() from the
-            # feedback verifier): record as a child span instead of clobbering
-            # the open trace.
+        stack = self._stack
+        if not self.enabled or stack:
+            # Disabled, or a trace is already open on this thread (a nested
+            # query() from the feedback verifier): record as a child span
+            # instead of clobbering the open trace.
             with self.span(name, **attributes) as span:
                 yield span
             return
         root = Span(name=name, attributes=dict(attributes))
-        self._stack.append(root)
-        self._io_stack.append(self._io())
+        stack.append(root)
         started = perf_counter()
         try:
-            yield root
+            with self._span_io(root):
+                yield root
         finally:
             root.elapsed_seconds = perf_counter() - started
-            io_before = self._io_stack.pop()
-            root.io = _io_delta(io_before, self._io())
-            self._stack.pop()
-            self._traces.append(root)
-            if len(self._traces) > self.keep_traces:
-                del self._traces[: len(self._traces) - self.keep_traces]
+            stack.pop()
+            with self._traces_lock:
+                self._traces.append(root)
+                if len(self._traces) > self.keep_traces:
+                    del self._traces[: len(self._traces) - self.keep_traces]
 
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
         """Open a child span under the current one (no-op outside a trace)."""
-        if not self.enabled or not self._stack:
+        stack = getattr(self._local, "stack", None)
+        if not self.enabled or not stack:
             yield _DISCARDED
             return
         span = Span(name=name, attributes=dict(attributes))
-        self._stack[-1].children.append(span)
-        self._stack.append(span)
-        self._io_stack.append(self._io())
+        stack[-1].children.append(span)
+        stack.append(span)
         started = perf_counter()
         try:
-            yield span
+            with self._span_io(span):
+                yield span
         finally:
             span.elapsed_seconds = perf_counter() - started
-            io_before = self._io_stack.pop()
-            span.io = _io_delta(io_before, self._io())
-            self._stack.pop()
+            stack.pop()
 
 
 #: Shared throwaway span handed out when tracing is off: callers may

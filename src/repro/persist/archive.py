@@ -196,38 +196,50 @@ class ArchiveTier:
     # -- archiving --------------------------------------------------------------
 
     def archive(self, table_name: str, predicate_sql: str) -> ArchiveReport:
-        """Move the rows matching ``predicate_sql`` out of memory onto disk."""
-        table = self.database.table(table_name)
-        mask = self._predicate_mask(table, predicate_sql)
-        rows_archived = int(mask.sum())
-        if rows_archived == 0:
-            raise ArchiveError(
-                f"predicate {predicate_sql!r} selects no rows of {table_name!r}; nothing to archive"
+        """Move the rows matching ``predicate_sql`` out of memory onto disk.
+
+        Runs under the catalog commit lock from the moment the table is
+        read until the remainder replaces it: a batch appended mid-archive
+        would otherwise vanish when the (stale) remainder is swapped in.
+        Holding the lock also makes the table swap and the archive-guard
+        state (``_segments``) flip atomically with respect to snapshot
+        acquisition — no reader can ever pin the shrunken remainder while
+        the guard still reports the table as unarchived.
+        """
+        with self.database.catalog.commit_lock:
+            # live_table: a pin on the archiving thread must not divert the
+            # swap onto a frozen copy.
+            table = self.database.catalog.live_table(table_name)
+            mask = self._predicate_mask(table, predicate_sql)
+            rows_archived = int(mask.sum())
+            if rows_archived == 0:
+                raise ArchiveError(
+                    f"predicate {predicate_sql!r} selects no rows of {table_name!r}; nothing to archive"
+                )
+            archived = table.filter(mask)
+            live = table.filter(~mask)
+
+            self._sequence += 1
+            prefix = f"{table_name}__arch{self._sequence:05d}"
+            entries = write_table_segments(self.directory, archived, file_prefix=prefix)
+            stats = compute_table_stats(archived)
+
+            segment = ArchivedSegment(
+                table_name=table_name,
+                predicate_sql=predicate_sql,
+                row_count=rows_archived,
+                byte_size=archived.byte_size(),
+                schema_payload=schema_to_payload(archived.schema),
+                segment_entries=entries,
+                column_stats=dict(stats.columns),
             )
-        archived = table.filter(mask)
-        live = table.filter(~mask)
-
-        self._sequence += 1
-        prefix = f"{table_name}__arch{self._sequence:05d}"
-        entries = write_table_segments(self.directory, archived, file_prefix=prefix)
-        stats = compute_table_stats(archived)
-
-        segment = ArchivedSegment(
-            table_name=table_name,
-            predicate_sql=predicate_sql,
-            row_count=rows_archived,
-            byte_size=archived.byte_size(),
-            schema_payload=schema_to_payload(archived.schema),
-            segment_entries=entries,
-            column_stats=dict(stats.columns),
-        )
-        # Replace the base table with the live remainder.  Deliberately NOT
-        # a data-change notification to the model lifecycle: archiving does
-        # not invalidate what the models learned — the rows still exist,
-        # they just moved tiers.
-        self.database.catalog.replace_table(live)
-        self._segments.setdefault(table_name, []).append(segment)
-        self._install_overlay(table_name)
+            # Replace the base table with the live remainder.  Deliberately NOT
+            # a data-change notification to the model lifecycle: archiving does
+            # not invalidate what the models learned — the rows still exist,
+            # they just moved tiers.
+            self.database.catalog.replace_table(live)
+            self._segments.setdefault(table_name, []).append(segment)
+            self._install_overlay(table_name)
         return ArchiveReport(
             table_name=table_name,
             predicate_sql=predicate_sql,
@@ -237,23 +249,30 @@ class ArchiveTier:
         )
 
     def recall(self, table_name: str) -> int:
-        """Load every archived segment of ``table_name`` back into memory."""
-        segments = self._segments.get(table_name)
-        if not segments:
-            raise ArchiveError(f"table {table_name!r} has no archived segments to recall")
-        table = self.database.table(table_name)
-        restored_rows = 0
-        for segment in segments:
-            schema = schema_from_payload(segment.schema_payload)
-            piece = read_table_segments(
-                self.directory, table_name, schema, segment.segment_entries
-            )
-            table = table.concat(piece)
-            restored_rows += piece.num_rows
-        self.database.catalog.replace_table(table)
-        self._segments[table_name] = []
-        self._merged_cache.pop(table_name, None)
-        self.database.clear_stats_overlay(table_name)
+        """Load every archived segment of ``table_name`` back into memory.
+
+        Same critical section as :meth:`archive`: the read-concat-replace
+        must be atomic against concurrent appends, and the guard state must
+        clear in the same commit the restored table lands in.
+        """
+        with self.database.catalog.commit_lock:
+            segments = self._segments.get(table_name)
+            if not segments:
+                raise ArchiveError(f"table {table_name!r} has no archived segments to recall")
+            table = self.database.catalog.live_table(table_name)
+            restored_rows = 0
+            for segment in segments:
+                schema = schema_from_payload(segment.schema_payload)
+                piece = read_table_segments(
+                    self.directory, table_name, schema, segment.segment_entries
+                )
+                table = table.concat(piece)
+                restored_rows += piece.num_rows
+            self.database.catalog.replace_table(table)
+            self._segments[table_name] = []
+            self._merged_cache.pop(table_name, None)
+            self.database.clear_stats_overlay(table_name)
+            self.database.catalog.clear_table_meta(table_name, "archive_segments")
         # The segment files are NOT deleted here: until the next checkpoint
         # snapshots the recalled rows, they are the only durable copy — a
         # crash now must be able to restore the pre-recall manifest.  The
@@ -270,6 +289,7 @@ class ArchiveTier:
         segments = self._segments.pop(table_name, [])
         self._merged_cache.pop(table_name, None)
         self.database.clear_stats_overlay(table_name)
+        self.database.catalog.clear_table_meta(table_name, "archive_segments")
         return sum(segment.row_count for segment in segments)
 
     def referenced_files(self) -> set[str]:
@@ -317,9 +337,15 @@ class ArchiveTier:
     # -- merged statistics overlay ----------------------------------------------
 
     def _install_overlay(self, table_name: str) -> None:
+        # Bind the segment list at install time: snapshots capture the
+        # overlay closure and the segment metadata, and a pinned reader
+        # must keep seeing the archive state of *its* commit even after a
+        # later recall or re-archive rebinds the live overlay.
+        segments = tuple(self._segments.get(table_name, ()))
         self.database.set_stats_overlay(
-            table_name, lambda live: self.merged_stats(table_name, live)
+            table_name, lambda live: self.merged_stats(table_name, live, segments)
         )
+        self.database.catalog.set_table_meta(table_name, "archive_segments", segments)
 
     def reinstall_overlays(self) -> None:
         """Re-register overlays after recovery restored the manifest."""
@@ -327,13 +353,23 @@ class ArchiveTier:
             if segments:
                 self._install_overlay(table_name)
 
-    def merged_stats(self, table_name: str, live: TableStats) -> TableStats:
+    def merged_stats(
+        self,
+        table_name: str,
+        live: TableStats,
+        segments: tuple[ArchivedSegment, ...] | None = None,
+    ) -> TableStats:
         """Live statistics widened to cover the archived rows as well.
 
-        Cached per catalog version: any change to the live table (appends,
-        archive, recall) bumps the version via the catalog, invalidating
-        the merge; everything else reuses it."""
-        segments = self._segments.get(table_name, [])
+        ``segments`` defaults to the live segment list; overlay closures
+        pass the list frozen at install time instead, so a pinned overlay
+        stays consistent with its commit.  Cached per catalog version —
+        pin-aware, so pinned readers key the merge on *their* version: any
+        change to the live table (appends, archive, recall) bumps the
+        version via the catalog, invalidating the merge; everything else
+        reuses it."""
+        if segments is None:
+            segments = tuple(self._segments.get(table_name, ()))
         if not segments:
             return live
         version = self.database.catalog.version
@@ -360,12 +396,21 @@ class ArchiveTier:
 
         Returns None when no referenced table has archived segments, or when
         the WHERE clause is provably disjoint from every archived predicate.
+
+        Segment state is resolved through the catalog's pin-aware metadata:
+        a reader pinned to a post-archive commit stays blocked from exact
+        execution even if a concurrent recall has already restored the live
+        table — its pinned table is still the shrunken remainder.
         """
         names = []
         if statement.table is not None:
             names.append(statement.table.name)
         names.extend(join.table.name for join in statement.joins)
-        if not any(self._segments.get(name) for name in names):
+        segments_by_name = {
+            name: self.database.catalog.table_meta(name, "archive_segments", ())
+            for name in names
+        }
+        if not any(segments_by_name.values()):
             return None  # nothing archived: skip the constraint analysis
         # Disjointness proofs only apply to single-table statements: the
         # constraint analysis strips table qualifiers, so in a join a filter
@@ -376,14 +421,14 @@ class ArchiveTier:
             extract_constraints(statement.where) if not statement.joins else None
         )
         for name in names:
-            segments = self._segments.get(name, [])
+            segments = segments_by_name[name]
             if not segments:
                 continue
             for segment in segments:
                 if query_constraints is None or not self._provably_disjoint(
                     segment, query_constraints
                 ):
-                    rows = self.archived_rows(name)
+                    rows = sum(s.row_count for s in segments)
                     return (
                         f"{rows} row(s) of table {name!r} are archived to the "
                         f"model-only tier (predicate {segment.predicate_sql!r}); "

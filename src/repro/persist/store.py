@@ -261,11 +261,25 @@ class DurableStore:
     # -- checkpoint ----------------------------------------------------------------
 
     def checkpoint(self, system: "LawsDatabase") -> CheckpointReport:
-        """Snapshot every table, the warehouse and the planner calibration."""
-        from time import perf_counter
+        """Snapshot every table, the warehouse and the planner calibration.
 
+        The whole body runs under the catalog commit lock: writers commit
+        batch + redo record as one critical section under the same lock, so
+        the snapshot, the manifest and the WAL reset all describe the same
+        committed state — a concurrent append can neither slip between the
+        snapshot and the log reset (its rows would vanish from the log
+        without being in the snapshot) nor land in both (double-applied on
+        recovery).  Writers and snapshot-taking readers stall for the
+        checkpoint's duration; queries already holding a snapshot proceed.
+        """
         if self._closed:
             raise PersistenceError("durable store is closed")
+        with system.database.catalog.commit_lock:
+            return self._checkpoint_locked(system)
+
+    def _checkpoint_locked(self, system: "LawsDatabase") -> CheckpointReport:
+        from time import perf_counter
+
         started = perf_counter()
         new_id = self.checkpoint_id + 1
         report = CheckpointReport(checkpoint_id=new_id)

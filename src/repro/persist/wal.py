@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -80,6 +81,10 @@ class WriteAheadLog:
         self.path = Path(path)
         self.fsync = fsync
         self._handle: BinaryIO | None = None
+        # Frames must hit the file whole: two concurrent appends
+        # interleaving header and payload writes would corrupt the log.
+        # Re-entrant because reset() appends the epoch record itself.
+        self._lock = threading.RLock()
 
     # -- writing ---------------------------------------------------------------
 
@@ -99,26 +104,29 @@ class WriteAheadLog:
                 f"WAL record of {len(payload)} bytes exceeds the frame limit "
                 f"({_MAX_FRAME_BYTES} bytes); checkpoint instead of logging it"
             )
-        handle = self._open_handle()
-        handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
-        handle.write(payload)
-        handle.flush()
-        if self.fsync:
-            os.fsync(handle.fileno())
-        return handle.tell()
+        with self._lock:
+            handle = self._open_handle()
+            handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+            handle.write(payload)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            return handle.tell()
 
     def reset(self, epoch: int) -> None:
         """Truncate the log and stamp it with the checkpoint epoch it extends."""
-        self.close()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "wb"):
-            pass  # truncate
-        self.append({"op": "epoch", "id": int(epoch)})
+        with self._lock:
+            self.close()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "wb"):
+                pass  # truncate
+            self.append({"op": "epoch", "id": int(epoch)})
 
     def close(self) -> None:
-        if self._handle is not None and not self._handle.closed:
-            self._handle.close()
-        self._handle = None
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
+            self._handle = None
 
     @property
     def size_bytes(self) -> int:

@@ -14,6 +14,7 @@ after batch no longer re-concatenates every column per flush.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Mapping, Sequence
@@ -74,6 +75,12 @@ class StreamIngestor:
         self._buffers: dict[str, list[tuple[Any, ...]]] = {}
         self._stats: dict[str, IngestStats] = {}
         self._listeners: list[Callable[[IngestBatch], None]] = []
+        self._commit_listeners: list[Callable[[IngestBatch], None]] = []
+        # Serializes every buffer/stats mutation: concurrent producers may
+        # submit to the same table, and a flush must not race a submit
+        # repartitioning the same buffer.  Re-entrant because a listener may
+        # submit() more rows from inside its notification.
+        self._lock = threading.RLock()
 
     # -- listeners -------------------------------------------------------------
 
@@ -83,6 +90,19 @@ class StreamIngestor:
 
     def remove_listener(self, callback: Callable[[IngestBatch], None]) -> None:
         self._listeners.remove(callback)
+
+    def add_commit_listener(self, callback: Callable[[IngestBatch], None]) -> None:
+        """Register a callback invoked *inside* the commit critical section.
+
+        Commit listeners run while the catalog commit lock is still held,
+        immediately after the batch's append + version bump.  The WAL uses
+        this so a batch and its redo record are atomic with respect to a
+        concurrent checkpoint — a checkpoint (which holds the same lock)
+        can never snapshot a committed batch and then reset the log before
+        that batch's record lands in it.  Keep these cheap: they stall
+        every writer and snapshot-taking reader.
+        """
+        self._commit_listeners.append(callback)
 
     # -- submission ------------------------------------------------------------
 
@@ -99,38 +119,39 @@ class StreamIngestor:
         """
         table = self.database.table(table_name)  # validates the table exists
         row_tuples = self._normalise(table.schema.names, rows)
-        buffer = self._buffers.setdefault(table_name, [])
-        buffer.extend(row_tuples)
-        stats = self._stats_for(table_name)
-        stats.submissions += 1
-        flushed: list[IngestBatch] = []
-        # Detach every full batch from the shared buffer *before* flushing:
-        # listeners observing a batch may reentrantly submit() to the same
-        # table, and they must see a buffer that no longer contains rows this
-        # call is about to commit.  On failure, rows not yet committed are
-        # re-queued ahead of anything buffered meanwhile (order preserved);
-        # the offset advances only after a successful append, so committed
-        # rows are never re-appended and uncommitted rows are never dropped.
-        cut = (len(buffer) // self.batch_size) * self.batch_size
-        if cut:
-            to_flush = buffer[:cut]
-            self._buffers[table_name] = buffer[cut:]
-            offset = 0
-            try:
-                while offset < cut:
-                    batch = self._append_rows(
-                        table_name, to_flush[offset : offset + self.batch_size]
-                    )
-                    offset += self.batch_size
-                    flushed.append(batch)
-                    self._notify(batch)
-            except BaseException:
-                self._buffers[table_name] = to_flush[offset:] + self._buffers[table_name]
-                raise
-            finally:
-                stats.pending_rows = len(self._buffers[table_name])
-        stats.pending_rows = len(self._buffers[table_name])
-        return flushed
+        with self._lock:
+            buffer = self._buffers.setdefault(table_name, [])
+            buffer.extend(row_tuples)
+            stats = self._stats_for(table_name)
+            stats.submissions += 1
+            flushed: list[IngestBatch] = []
+            # Detach every full batch from the shared buffer *before* flushing:
+            # listeners observing a batch may reentrantly submit() to the same
+            # table, and they must see a buffer that no longer contains rows this
+            # call is about to commit.  On failure, rows not yet committed are
+            # re-queued ahead of anything buffered meanwhile (order preserved);
+            # the offset advances only after a successful append, so committed
+            # rows are never re-appended and uncommitted rows are never dropped.
+            cut = (len(buffer) // self.batch_size) * self.batch_size
+            if cut:
+                to_flush = buffer[:cut]
+                self._buffers[table_name] = buffer[cut:]
+                offset = 0
+                try:
+                    while offset < cut:
+                        batch = self._append_rows(
+                            table_name, to_flush[offset : offset + self.batch_size]
+                        )
+                        offset += self.batch_size
+                        flushed.append(batch)
+                        self._notify(batch)
+                except BaseException:
+                    self._buffers[table_name] = to_flush[offset:] + self._buffers[table_name]
+                    raise
+                finally:
+                    stats.pending_rows = len(self._buffers[table_name])
+            stats.pending_rows = len(self._buffers[table_name])
+            return flushed
 
     def flush(self, table_name: str | None = None) -> list[IngestBatch]:
         """Flush any buffered rows (for one table, or all tables).
@@ -144,33 +165,34 @@ class StreamIngestor:
         they signal a consumer bug, and the rows they were notified about
         are already committed.
         """
-        names = [table_name] if table_name is not None else list(self._buffers)
-        flushed: list[IngestBatch] = []
-        first_error: Exception | None = None
-        for name in names:
-            buffer = self._buffers.get(name, [])
-            if not buffer:
-                continue
-            try:
-                batch = self._append_rows(name, buffer)
-            except Exception as exc:  # noqa: BLE001 - isolate per-table append failures
-                if first_error is None:
-                    first_error = exc
-                continue
-            self._buffers[name] = []
-            self._stats_for(name).pending_rows = 0
-            flushed.append(batch)
-            try:
-                self._notify(batch)
-            except Exception as exc:
-                # A listener error propagates, but must not swallow an
-                # append failure already recorded for another table.
-                if first_error is not None:
-                    raise exc from first_error
-                raise
-        if first_error is not None:
-            raise first_error
-        return flushed
+        with self._lock:
+            names = [table_name] if table_name is not None else list(self._buffers)
+            flushed: list[IngestBatch] = []
+            first_error: Exception | None = None
+            for name in names:
+                buffer = self._buffers.get(name, [])
+                if not buffer:
+                    continue
+                try:
+                    batch = self._append_rows(name, buffer)
+                except Exception as exc:  # noqa: BLE001 - isolate per-table append failures
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                self._buffers[name] = []
+                self._stats_for(name).pending_rows = 0
+                flushed.append(batch)
+                try:
+                    self._notify(batch)
+                except Exception as exc:
+                    # A listener error propagates, but must not swallow an
+                    # append failure already recorded for another table.
+                    if first_error is not None:
+                        raise exc from first_error
+                    raise
+            if first_error is not None:
+                raise first_error
+            return flushed
 
     def discard(self, table_name: str) -> int:
         """Drop any buffered (uncommitted) rows for a table; returns how many.
@@ -179,10 +201,11 @@ class StreamIngestor:
         value that does not coerce to its column type) and the producer
         decides to abandon rather than repair it.
         """
-        dropped = len(self._buffers.get(table_name, []))
-        self._buffers[table_name] = []
-        self._stats_for(table_name).pending_rows = 0
-        return dropped
+        with self._lock:
+            dropped = len(self._buffers.get(table_name, []))
+            self._buffers[table_name] = []
+            self._stats_for(table_name).pending_rows = 0
+            return dropped
 
     # -- accounting -------------------------------------------------------------
 
@@ -245,14 +268,24 @@ class StreamIngestor:
 
     def _append_rows(self, table_name: str, rows: list[tuple[Any, ...]]) -> IngestBatch:
         started = perf_counter()
-        start, end = self.database.append_batch(table_name, rows)
+        # The append (+ version bump) and any commit listeners (the WAL's
+        # redo record) form one critical section: a checkpoint holding the
+        # same lock either sees the batch in the table *and* the log, or in
+        # neither.
+        with self.database.catalog.commit_lock:
+            start, end = self.database.append_batch(table_name, rows)
+            batch = IngestBatch(
+                table_name=table_name, start_row=start, end_row=end, rows=tuple(rows)
+            )
+            for listener in list(self._commit_listeners):
+                listener(batch)
         elapsed = perf_counter() - started
         stats = self._stats_for(table_name)
         stats.rows_ingested += len(rows)
         stats.batches_flushed += 1
         stats.append_seconds += elapsed
         stats.last_batch_rows = len(rows)
-        return IngestBatch(table_name=table_name, start_row=start, end_row=end, rows=tuple(rows))
+        return batch
 
     def _notify(self, batch: IngestBatch) -> None:
         for listener in list(self._listeners):

@@ -1,0 +1,100 @@
+"""Shared harness for the concurrency torture suite.
+
+Design: every threaded test is an *oracle differential*.  A single-threaded
+oracle enumerates the aggregate values that are legal at each committed
+batch boundary; concurrent readers then assert that every answer they
+observe is one of those values.  The assertions are interleaving-independent
+— whichever way the scheduler slices the threads, a snapshot-isolated
+reader can only ever land on a committed boundary, so the tests are
+deterministic in normal CI despite using real threads.  A torn read (a
+count from one version paired with a sum from another) is exactly what the
+oracle set can never contain.
+
+Stress scaling: the suite runs small (seconds) by default; setting
+``CONCURRENCY_STRESS=1`` multiplies iteration counts for the CI stress job
+(which also randomizes ``PYTHONHASHSEED`` to vary dict ordering).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Sequence
+
+#: Multiplier applied to iteration counts under the CI stress job.
+STRESS = os.environ.get("CONCURRENCY_STRESS", "") not in ("", "0")
+
+
+def iterations(normal: int, stress_factor: int = 8) -> int:
+    """Iteration count for a torture loop (scaled up under stress)."""
+    return normal * stress_factor if STRESS else normal
+
+
+def run_workers(*workers: Callable[[], None], timeout: float = 60.0) -> None:
+    """Run each worker in its own thread; re-raise the first failure.
+
+    Workers start behind a barrier so they actually overlap, and a worker
+    that raises stops the others early via the shared ``stop`` event the
+    caller is expected to poll (purely cooperative — a worker ignoring it
+    just runs to completion).  A join timeout fails the test instead of
+    hanging CI forever.
+    """
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(len(workers))
+
+    def runner(worker: Callable[[], None]) -> None:
+        barrier.wait()
+        try:
+            worker()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(worker,), daemon=True) for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+    hung = [thread for thread in threads if thread.is_alive()]
+    if hung:
+        raise AssertionError(f"{len(hung)} worker(s) still running after {timeout}s — deadlock?")
+    if errors:
+        raise errors[0]
+
+
+class BatchOracle:
+    """Single-threaded oracle for a batched append stream.
+
+    Given the initial rows and the exact stream a writer will push in
+    batches, precomputes ``count -> (sum, avg)`` at every committed batch
+    boundary.  A snapshot-isolated reader must observe one of these states
+    and nothing else.
+    """
+
+    def __init__(
+        self, initial_values: Sequence[float], stream_values: Sequence[float], batch_size: int
+    ) -> None:
+        self.batch_size = batch_size
+        self.states: dict[int, float] = {}
+        total = float(sum(initial_values))
+        count = len(initial_values)
+        self.states[count] = total
+        for start in range(0, len(stream_values), batch_size):
+            chunk = stream_values[start : start + batch_size]
+            total += float(sum(chunk))
+            count += len(chunk)
+            self.states[count] = total
+
+    def check(self, count: int, total: float, rel_tol: float = 1e-9) -> None:
+        """Assert ``(count, total)`` is a committed boundary state."""
+        assert count in self.states, (
+            f"count {count} is not a committed batch boundary "
+            f"(legal: {sorted(self.states)}) — torn or mid-batch read"
+        )
+        expected = self.states[count]
+        scale = max(abs(expected), 1.0)
+        assert abs(total - expected) <= rel_tol * scale, (
+            f"sum {total!r} does not match oracle {expected!r} at count {count} "
+            f"— count and sum come from different versions (torn read)"
+        )

@@ -1,0 +1,127 @@
+"""Snapshot semantics, single-threaded and deterministic.
+
+The MVCC contract in its simplest observable form: a query executed
+against a held :class:`~repro.core.snapshot.Snapshot` returns the same
+answer before and after concurrent-style commits (ingest flushes, model
+registrations), while fresh queries see the new state immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LawsDatabase
+from repro.core.planner import AccuracyContract
+from repro.errors import CatalogError
+
+pytestmark = pytest.mark.concurrency
+
+
+def _make_db(rows: int = 256, batch: int = 64) -> LawsDatabase:
+    db = LawsDatabase(ingest_batch_size=batch, observability=False)
+    db.load_dict(
+        "readings",
+        {
+            "t": list(range(rows)),
+            "v": [2.5 * i + 1.0 for i in range(rows)],
+        },
+    )
+    return db
+
+
+def test_pinned_query_is_repeatable_across_ingest():
+    db = _make_db()
+    snap = db.snapshot()
+    sql = "SELECT count(v) AS c, sum(v) AS s FROM readings"
+    before = db.query(sql, snapshot=snap).rows()
+
+    db.ingest("readings", [(1000 + i, 5.0) for i in range(64)], flush=True)
+
+    pinned = db.query(sql, snapshot=snap).rows()
+    fresh = db.query(sql).rows()
+    assert pinned == before, "a held snapshot must not observe the ingest commit"
+    assert fresh[0][0] == before[0][0] + 64, "a fresh query must see the committed batch"
+
+
+def test_snapshot_pins_catalog_version_and_tables():
+    db = _make_db()
+    snap = db.snapshot()
+    v0 = snap.catalog_version
+    assert snap.versions == (snap.catalog_version, snap.model_version)
+
+    db.ingest("readings", [(2000, 1.0)], flush=True)
+    assert db.database.catalog.live_version > v0
+    assert snap.catalog_version == v0, "a snapshot's version is frozen at capture"
+    # The pinned table object itself never grows.
+    assert snap.catalog.table("readings").num_rows == 256
+
+
+def test_snapshot_memo_reuse_and_invalidation():
+    db = _make_db()
+    first = db.snapshot()
+    assert db.snapshot() is first, "unchanged registries must reuse the memoized snapshot"
+    db.ingest("readings", [(3000, 1.0)], flush=True)
+    second = db.snapshot()
+    assert second is not first, "a commit must invalidate the memoized snapshot"
+    assert second.catalog_version > first.catalog_version
+
+
+def test_snapshot_pins_model_population():
+    db = _make_db()
+    report = db.fit("readings", "v ~ t")
+    assert report.accepted
+    snap = db.snapshot()
+    model_id = report.model.model_id
+
+    db.models.remove(model_id)
+    assert db.models.live_version > snap.model_version
+    with db.models.reading(snap.models):
+        assert db.models.get(model_id) is report.model, (
+            "a pinned reader must still resolve the membership it captured"
+        )
+
+
+def test_pinned_reader_survives_table_drop():
+    db = _make_db()
+    snap = db.snapshot()
+    db.drop_table("readings")
+    with pytest.raises(CatalogError):
+        db.table("readings")
+    with db.database.reading(snap.catalog):
+        assert db.database.table("readings").num_rows == 256
+    answer = db.query(
+        "SELECT count(v) AS c FROM readings",
+        AccuracyContract(mode="exact"),
+        snapshot=snap,
+    )
+    assert answer.scalar() == 256
+
+
+def test_fresh_snapshot_not_pinned_to_readers_pin():
+    """snapshot() freshness checks use live versions, even on a pinned thread."""
+    db = _make_db()
+    snap = db.snapshot()
+    with snap.reading(db.database.catalog, db.models):
+        db.database.insert_rows("readings", [(4000, 1.0)])
+        inner = db.planner.snapshot()
+    assert inner.catalog_version > snap.catalog_version
+
+
+def test_pinned_stats_describe_pinned_rows():
+    db = _make_db()
+    snap = db.snapshot()
+    db.ingest("readings", [(5000 + i, 99.0) for i in range(64)], flush=True)
+    with db.database.reading(snap.catalog):
+        assert db.database.stats("readings").row_count == 256
+    assert db.database.stats("readings").row_count == 320
+
+
+def test_pinned_table_is_frozen_against_append_growth():
+    db = _make_db()
+    frozen = db.table("readings").pinned()
+    n0 = frozen.num_rows
+    data0 = frozen.column("v").to_numpy().copy()
+    db.ingest("readings", [(6000 + i, -1.0) for i in range(128)], flush=True)
+    assert frozen.num_rows == n0
+    np.testing.assert_array_equal(frozen.column("v").to_numpy(), data0)

@@ -1,0 +1,56 @@
+"""Per-execution IO attribution: scopes instead of global snapshot deltas."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.db.database import Database
+
+
+def _make_db() -> Database:
+    db = Database()
+    db.load_dict("t", {"a": list(range(1000)), "b": [float(i) for i in range(1000)]})
+    return db
+
+
+def test_query_io_isolated_between_interleaved_threads():
+    db = _make_db()
+    barrier = threading.Barrier(2)
+    results = {}
+
+    def run(name: str, sql: str, repeats: int) -> None:
+        barrier.wait()
+        pages = []
+        for _ in range(repeats):
+            pages.append(db.sql(sql).io["pages_read"])
+        results[name] = pages
+
+    t1 = threading.Thread(target=run, args=("narrow", "SELECT SUM(a) FROM t", 30))
+    t2 = threading.Thread(target=run, args=("wide", "SELECT SUM(a), SUM(b) FROM t", 30))
+    t1.start(), t2.start()
+    t1.join(), t2.join()
+
+    # Every execution of the same statement reads exactly the same pages —
+    # no pages leak across from the query interleaving on the other thread.
+    assert len(set(results["narrow"])) == 1
+    assert len(set(results["wide"])) == 1
+    assert results["wide"][0] > results["narrow"][0] > 0
+
+
+def test_nested_execution_still_credits_the_outer_scope():
+    db = _make_db()
+    with db.io_model.scope() as outer:
+        inner_io = db.sql("SELECT SUM(a) FROM t").io
+    assert inner_io["pages_read"] > 0
+    assert outer.pages_read == inner_io["pages_read"]
+
+
+def test_scope_excludes_charges_before_and_after():
+    db = _make_db()
+    db.sql("SELECT SUM(a) FROM t")
+    with db.io_model.scope() as scope:
+        pass
+    db.sql("SELECT SUM(a) FROM t")
+    assert scope.pages_read == 0
+    # The global accountant still saw both queries.
+    assert db.io_snapshot()["pages_read"] > 0

@@ -1,0 +1,128 @@
+"""Regression tests for Table.with_column ordering and vectorized sort_by."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.column import Column
+from repro.db.schema import ColumnDef, Schema
+from repro.db.table import Table
+from repro.db.types import DataType
+
+
+@pytest.fixture
+def table():
+    return Table.from_dict(
+        "t",
+        {
+            "a": [3, 1, None, 2],
+            "b": ["x", "y", "z", "w"],
+            "c": [1.0, 2.0, 3.0, 4.0],
+        },
+    )
+
+
+class TestWithColumn:
+    def test_replacing_keeps_schema_position(self, table):
+        replaced = table.with_column("b", Column.from_values(DataType.STRING, list("pqrs")))
+        assert replaced.schema.names == ["a", "b", "c"]
+        assert replaced.to_pydict()["b"] == ["p", "q", "r", "s"]
+
+    def test_replacing_first_column_keeps_row_shape(self, table):
+        replaced = table.with_column("a", Column.from_values(DataType.INT64, [9, 8, 7, 6]))
+        assert replaced.schema.names == ["a", "b", "c"]
+        assert replaced.to_rows()[0] == (9, "x", 1.0)
+
+    def test_replacement_may_change_dtype_in_place(self, table):
+        replaced = table.with_column("a", Column.from_values(DataType.FLOAT64, [0.5] * 4))
+        assert replaced.schema.names == ["a", "b", "c"]
+        assert replaced.schema.dtype_of("a") is DataType.FLOAT64
+
+    def test_new_column_appends_at_end(self, table):
+        extended = table.with_column("d", Column.from_values(DataType.BOOL, [True] * 4))
+        assert extended.schema.names == ["a", "b", "c", "d"]
+
+
+class TestSortBy:
+    def test_multi_key_golden_order(self):
+        t = Table.from_dict(
+            "t",
+            {
+                "k": ["b", "a", "b", "a", "c"],
+                "v": [2, 9, 1, 3, 5],
+            },
+        )
+        result = t.sort_by([("k", True), ("v", False)])
+        assert result.to_rows() == [
+            ("a", 9),
+            ("a", 3),
+            ("b", 2),
+            ("b", 1),
+            ("c", 5),
+        ]
+
+    def test_descending_with_nulls_last(self):
+        t = Table.from_dict("t", {"a": [2, None, 5, 1, None, 3]})
+        result = t.sort_by([("a", False)])
+        assert result.to_pydict()["a"] == [5, 3, 2, 1, None, None]
+
+    def test_ascending_with_nulls_last(self):
+        t = Table.from_dict("t", {"a": [2, None, 5, 1, None, 3]})
+        result = t.sort_by([("a", True)])
+        assert result.to_pydict()["a"] == [1, 2, 3, 5, None, None]
+
+    def test_all_null_key_preserves_order_via_secondary(self):
+        t = Table.from_dict("t", {"a": [None, None, None], "b": [3, 1, 2]})
+        result = t.sort_by([("a", True), ("b", True)])
+        assert result.to_pydict()["b"] == [1, 2, 3]
+
+    def test_stability_on_ties(self):
+        t = Table.from_dict("t", {"k": [1, 1, 1, 0], "v": [10, 20, 30, 40]})
+        result = t.sort_by([("k", True)])
+        # Equal keys keep their original row order (stable), both directions.
+        assert result.to_pydict()["v"] == [40, 10, 20, 30]
+        result_desc = t.sort_by([("k", False)])
+        assert result_desc.to_pydict()["v"] == [10, 20, 30, 40]
+
+    def test_string_descending_nulls_last(self):
+        t = Table.from_dict("t", {"s": ["m", None, "z", "a"]})
+        result = t.sort_by([("s", False)])
+        assert result.to_pydict()["s"] == ["z", "m", "a", None]
+
+    def test_mixed_direction_multi_key_with_nulls(self):
+        t = Table.from_dict(
+            "t",
+            {
+                "g": ["x", "x", "y", "y", None, "x"],
+                "v": [1.5, None, 2.5, 0.5, 9.0, 3.5],
+            },
+        )
+        result = t.sort_by([("g", True), ("v", False)])
+        assert result.to_rows() == [
+            ("x", 3.5),
+            ("x", 1.5),
+            ("x", None),
+            ("y", 2.5),
+            ("y", 0.5),
+            (None, 9.0),
+        ]
+
+    def test_matches_python_oracle_randomized(self):
+        rng = np.random.default_rng(7)
+        n = 200
+        ks = [None if rng.random() < 0.15 else int(rng.integers(0, 5)) for _ in range(n)]
+        vs = [None if rng.random() < 0.15 else float(rng.integers(0, 8)) for _ in range(n)]
+        t = Table.from_dict("t", {"k": ks, "v": vs, "i": list(range(n))})
+        for asc_k in (True, False):
+            for asc_v in (True, False):
+                got = t.sort_by([("k", asc_k), ("v", asc_v)]).to_rows()
+
+                def oracle_key(row):
+                    k, v, _ = row
+                    k_rank = (1, 0) if k is None else (0, k if asc_k else -k)
+                    v_rank = (1, 0.0) if v is None else (0.0, v if asc_v else -v)
+                    return (k_rank, v_rank)
+
+                expected = sorted(t.to_rows(), key=oracle_key)
+                assert got == expected, (asc_k, asc_v)

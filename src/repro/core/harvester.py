@@ -28,7 +28,7 @@ from repro.core.quality import ModelQuality, QualityPolicy, judge_fit, judge_gro
 from repro.db.database import Database
 from repro.db.table import Table
 from repro.db.udf import FitInvocation
-from repro.errors import HarvestError, ReproError
+from repro.errors import ConvergenceError, HarvestError, ReproError
 from repro.fitting.fit import fit_model
 from repro.fitting.formulas import ParsedFormula, parse_formula
 from repro.fitting.grouped import GroupedFitter
@@ -89,6 +89,10 @@ class ModelHarvester:
         self.fit_guard: Any = None
         #: Optional :class:`repro.obs.EventJournal` recording every capture.
         self.journal: Any = None
+        #: Optional fault injector (``fitting.fit``): exception storms,
+        #: latency spikes, and the cooperative ``nan`` kind that replaces
+        #: fitted coefficients with NaNs (a silently diverged solver).
+        self.faults: Any = None
         # Capture fits that go through the in-database UDF path as well.
         self.database.udfs.add_fit_listener(self._on_udf_fit)
 
@@ -272,10 +276,22 @@ class ModelHarvester:
         family = parsed.build_family()
         inputs = {name: table.column(name).to_numpy().astype(np.float64) for name in parsed.inputs}
         y = table.column(parsed.output).to_numpy().astype(np.float64)
+        action = self.faults.hit("fitting.fit") if self.faults is not None else None
         if robust:
             fit = fit_robust(family, inputs, y, output_name=parsed.output)
         else:
             fit = fit_model(family, inputs, y, output_name=parsed.output, method=method)
+        if action is not None and action.kind == "nan":
+            fit.params = np.full_like(np.asarray(fit.params, dtype=np.float64), np.nan)
+            fit.converged = False
+        if not np.all(np.isfinite(fit.params)):
+            # A solver that "succeeds" with NaN/inf coefficients has
+            # diverged; capturing it would poison every downstream answer
+            # with NaNs that no error bound discloses.
+            raise ConvergenceError(
+                f"fit of {parsed.text!r} produced non-finite coefficients "
+                f"{np.asarray(fit.params).tolist()!r}; refusing to capture"
+            )
         quality = judge_fit(fit, y=y, inputs=inputs)
         return fit, quality
 

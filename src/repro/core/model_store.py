@@ -15,7 +15,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.core.captured_model import CapturedModel
 from repro.db.snapshot import PinStack
-from repro.errors import ModelNotFoundError
+from repro.errors import HarvestError, ModelNotFoundError
 
 __all__ = ["ModelStore", "ModelStorePin"]
 
@@ -384,7 +384,9 @@ class ModelStore:
         old = self.get(model_id)
         successor = self.get(successor_id)
         if old.model_id == successor.model_id:
-            raise ValueError(f"model {model_id} cannot supersede itself")
+            # Typed outward (errors-audit): callers above the store catch
+            # ReproError, and a bare ValueError would escape that net.
+            raise HarvestError(f"model {model_id} cannot supersede itself")
         with self._lock:
             old.status = "superseded"
             old.metadata["superseded_by"] = successor.model_id

@@ -16,6 +16,7 @@ import math
 import random
 import re
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.approx.engine import ApproximateAnswer, _relative_errors
 from repro.core.model_store import ModelStore
@@ -58,6 +59,11 @@ class ObservedErrorFeedback:
         self.store = store
         self.quality_policy = quality_policy or QualityPolicy()
         self.sample_fraction = sample_fraction
+        #: Optional fault injector (``planner.verify``): exception storms
+        #: and latency spikes inside the verification pass.  The planner's
+        #: verifier breaker absorbs these — a failing audit must never take
+        #: down the answer it was auditing.
+        self.faults: Any = None
         self._rng = random.Random(seed)
 
     def should_verify(self, contract: AccuracyContract) -> bool:
@@ -83,6 +89,8 @@ class ObservedErrorFeedback:
         same metric the differential harness gates on.  Models whose
         accumulated evidence violates the quality policy are demoted.
         """
+        if self.faults is not None:
+            self.faults.hit("planner.verify")
         exact = self.database.sql(sql)
         if answer.group_values:
             per_model = self._grouped_errors(answer, exact.table)

@@ -94,6 +94,13 @@ class UnifiedPlan:
     #: archive tier: exact execution would be incomplete.  If the chosen
     #: node is not a pure model route, execution raises with this reason.
     archived_reason: str | None = None
+    #: Set when a component this statement depends on is failed or
+    #: quarantined (e.g. the table's snapshot segments were moved aside at
+    #: recovery).  Exact execution would silently run over the surviving
+    #: partial rows; a pure model route still answers — with this reason
+    #: disclosed — and anything else raises a typed
+    #: :class:`~repro.errors.DegradedServiceError`.
+    degraded_reason: str | None = None
 
     @property
     def is_model_route(self) -> bool:
@@ -114,4 +121,6 @@ class UnifiedPlan:
         lines.append(f"Decision: {self.chosen.route} — {self.reason}")
         if self.archived_reason is not None:
             lines.append(f"Archived: {self.archived_reason}")
+        if self.degraded_reason is not None:
+            lines.append(f"Degraded: {self.degraded_reason}")
         return "\n".join(lines)

@@ -36,7 +36,7 @@ from repro.db.database import Database
 from repro.db.sql.ast import SelectStatement
 from repro.db.sql.executor import QueryResult
 from repro.db.stats import TableStats
-from repro.errors import ApproximationError
+from repro.errors import ApproximationError, DegradedServiceError
 from repro.db.table import Table
 from repro.obs.hub import normalize_reason
 from repro.obs.trace import Span, Tracer
@@ -101,6 +101,11 @@ class PlannedAnswer:
     def observed_relative_error(self) -> float | None:
         return self.feedback.observed_relative_error if self.feedback else None
 
+    @property
+    def degraded_reason(self) -> str | None:
+        """Why this answer was served from surviving models only (disclosure)."""
+        return self.plan.degraded_reason
+
 
 class UnifiedPlanner:
     """Cost-routes every statement between model serving and exact execution."""
@@ -124,6 +129,18 @@ class UnifiedPlanner:
         #: tier's model-only guard).  When it fires, only pure model routes
         #: may execute; anything else raises with the reason.
         self.archive_guard = None
+        #: Optional callable ``(SelectStatement) -> str | None`` naming why a
+        #: component this statement depends on is failed or quarantined
+        #: ("``component`` — ``quarantine reason``").  Exact execution over
+        #: the surviving partial rows would be silently wrong; pure model
+        #: routes still answer (with the reason disclosed on the plan) and
+        #: everything else raises :class:`~repro.errors.DegradedServiceError`.
+        self.degraded_guard = None
+        #: Optional :class:`repro.resilience.ResilienceRuntime`.  When set,
+        #: the sampled feedback verifier runs behind a circuit breaker: a
+        #: failing audit is recorded (and eventually skipped) instead of
+        #: failing the answer it was auditing.
+        self.resilience: Any = None
         #: Optional :class:`repro.obs.Observability` hub.  When set and
         #: enabled, every execution is traced, metered, compliance-accounted
         #: and slow-logged; when absent, execution pays one attribute check.
@@ -244,12 +261,15 @@ class UnifiedPlanner:
         archived_reason = (
             self.archive_guard(statement) if self.archive_guard is not None else None
         )
+        degraded_reason = (
+            self.degraded_guard(statement) if self.degraded_guard is not None else None
+        )
 
         sketch: RouteSketch | None = None
-        if contract.mode != "exact" or archived_reason is not None:
-            # Even under a pinned-exact contract an archived statement needs
-            # the model candidate sketched, so EXPLAIN shows the only honest
-            # route next to the unavailable exact one.
+        if contract.mode != "exact" or archived_reason is not None or degraded_reason is not None:
+            # Even under a pinned-exact contract an archived (or degraded)
+            # statement needs the model candidate sketched, so EXPLAIN shows
+            # the only honest route next to the unavailable exact one.
             sketch = self.engine.sketch_route(
                 sql, statement=statement, for_execution=for_execution
             )
@@ -267,6 +287,15 @@ class UnifiedPlanner:
                     "hybrid route needs an exact fill-in over archived raw rows"
                 )
             chosen, reason = self._choose_archived(contract, model_node, exact_node)
+        elif degraded_reason is not None:
+            exact_node.unavailable_reason = degraded_reason
+            if model_node is not None and sketch is not None and sketch.uncovered_rows > 0:
+                # The hybrid fill-in would scan the surviving partial rows of
+                # a failed component and silently under-count.
+                model_node.unavailable_reason = (
+                    "hybrid route needs an exact fill-in over a degraded component"
+                )
+            chosen, reason = self._choose_degraded(contract, model_node, exact_node)
         else:
             chosen, reason = self._choose(contract, model_node, exact_node)
         return UnifiedPlan(
@@ -280,6 +309,7 @@ class UnifiedPlanner:
             store_version=store_version,
             sketch=sketch,
             archived_reason=archived_reason,
+            degraded_reason=degraded_reason,
         )
 
     def _statement_stats(self, statement: SelectStatement) -> dict[str, TableStats]:
@@ -433,6 +463,44 @@ class UnifiedPlanner:
             "warehouse models (zero raw IO)"
         )
 
+    def _choose_degraded(
+        self,
+        contract: AccuracyContract,
+        model_node: PlanNode | None,
+        exact_node: PlanNode,
+    ) -> tuple[PlanNode, str]:
+        """Route choice when a needed component is failed or quarantined.
+
+        Mirrors :meth:`_choose_archived`: exact execution would silently run
+        over the surviving partial rows.  A pure model route within budget
+        still answers (the degradation is disclosed on the plan); otherwise
+        execution raises a typed :class:`~repro.errors.DegradedServiceError`.
+        """
+        usable = model_node is not None and model_node.is_available
+        if contract.mode == "exact":
+            return exact_node, (
+                "contract pins exact execution, but a component this statement "
+                "needs is degraded — execution will raise"
+            )
+        if not usable:
+            detail = (
+                model_node.unavailable_reason
+                if model_node is not None
+                else "no model route applies"
+            )
+            return exact_node, f"{detail}; degraded component — execution will raise"
+        budget = contract.error_budget
+        if contract.mode == "auto" and model_node.predicted_relative_error > budget:
+            return exact_node, (
+                f"predicted error {model_node.predicted_relative_error:.2%} exceeds "
+                f"budget {budget:.2%} and a needed component is degraded — "
+                "execution will raise"
+            )
+        return model_node, (
+            "a component this statement needs is degraded; serving from the "
+            "surviving models (disclosed)"
+        )
+
     def _choose(
         self,
         contract: AccuracyContract,
@@ -569,6 +637,17 @@ class UnifiedPlanner:
             # explicit refusal beats an answer computed over a partial table.
             raise ApproximationError(f"{plan.reason}: {plan.archived_reason}")
 
+        if plan.degraded_reason is not None and not plan.is_model_route:
+            # Same refusal for a failed/quarantined component: the surviving
+            # raw rows are incomplete, and no surviving model can honestly
+            # answer — a typed error carrying the quarantine reason.
+            component, _, detail = plan.degraded_reason.partition(" — ")
+            raise DegradedServiceError(
+                f"{plan.reason}: {plan.degraded_reason}",
+                component=component,
+                reason=detail or plan.degraded_reason,
+            )
+
         if plan.is_model_route or contract.mode == "approx":
             statement = self.database.parse_sql(sql)
             with tracer.span("execute") as exec_span:
@@ -576,11 +655,13 @@ class UnifiedPlanner:
                     approx = self.engine.answer(
                         sql,
                         # Falling back to exact is dishonest when raw rows are
-                        # archived: a mid-route failure must surface, not
-                        # degrade into an answer over the partial table.
+                        # archived or a needed component is degraded: a
+                        # mid-route failure must surface, not degrade into an
+                        # answer over the partial table.
                         allow_fallback=(
                             contract.allow_exact_fallback
                             and plan.archived_reason is None
+                            and plan.degraded_reason is None
                         ),
                         statement=statement,
                         grouped_route_plan=(
@@ -613,17 +694,18 @@ class UnifiedPlanner:
                 approx=approx,
                 column_errors=dict(approx.column_errors),
             )
-            # No feedback sampling over archived tables: "exact" would run
-            # on the partial live rows and record bogus evidence against a
-            # model that is answering for the full logical table.
+            # No feedback sampling over archived or degraded tables: "exact"
+            # would run on the partial live rows and record bogus evidence
+            # against a model that is answering for the full logical table.
             if (
                 not approx.is_exact
                 and approx.used_model_ids
                 and plan.archived_reason is None
+                and plan.degraded_reason is None
                 and self.feedback.should_verify(contract)
             ):
                 with tracer.span("verify-sample") as verify_span:
-                    answer.feedback = self.feedback.verify(sql, approx)
+                    answer.feedback = self._verify_guarded(sql, approx)
                 if tracer.active:
                     _annotate_verify_span(verify_span, answer.feedback, plan, contract)
             answer.elapsed_seconds = perf_counter() - started
@@ -643,6 +725,31 @@ class UnifiedPlanner:
             query_result=result,
             elapsed_seconds=perf_counter() - started,
         )
+
+    def _verify_guarded(self, sql: str, approx: ApproximateAnswer) -> FeedbackResult | None:
+        """Run the sampled audit behind the verifier circuit breaker.
+
+        The audit is advisory: with the resilience runtime attached, a
+        verifier that starts failing (exception storms, an unreadable exact
+        path) has its failures recorded and — past the breaker threshold —
+        further samples skipped, instead of failing answers that were
+        already correctly served.  Without a runtime the failure propagates
+        (fail-stop, the pre-resilience behaviour).
+        """
+        if self.resilience is None:
+            return self.feedback.verify(sql, approx)
+        breaker = self.resilience.breaker("planner.verify")
+        if not breaker.allow():
+            return None
+        try:
+            result = self.feedback.verify(sql, approx)
+        except Exception as exc:  # noqa: BLE001 - the audit must not kill the answer
+            breaker.record_failure(f"{type(exc).__name__}: {exc}")
+            if self.obs is not None and self.obs.enabled:
+                self.obs.metrics.inc("verifier_failures_total", error=type(exc).__name__)
+            return None
+        breaker.record_success()
+        return result
 
     def _account(
         self, obs: Any, answer: PlannedAnswer, root: Span, elapsed_seconds: float
@@ -664,12 +771,16 @@ class UnifiedPlanner:
         model_ids = (
             list(answer.approx.used_model_ids) if answer.approx is not None else []
         )
+        degraded = answer.plan.degraded_reason is not None
+        if degraded:
+            metrics.inc("degraded_answers_total", route=route)
         obs.compliance.record_served(
             route,
             answer.plan.chosen.predicted_relative_error
             if answer.plan.is_model_route
             else None,
             model_ids=model_ids,
+            degraded=degraded,
         )
         feedback = answer.feedback
         if feedback is not None:

@@ -42,6 +42,7 @@ from repro.errors import ApproximationError, ArchiveError, PersistenceError
 from repro.obs import Event, Observability, SlowQuery, Span
 from repro.persist.archive import ArchiveReport, ArchiveTier
 from repro.persist.store import CheckpointReport, DurableStore, RecoveryReport
+from repro.resilience import FaultInjector, ResilienceRuntime, RetryPolicy
 from repro.streaming.ingest import IngestBatch, IngestStats, StreamIngestor
 from repro.streaming.maintenance import MaintenanceReport, ModelMaintenancePolicy, WatchTarget
 
@@ -61,6 +62,8 @@ class LawsDatabase:
         verify_seed: int | None = None,
         observability: bool = True,
         slow_query_seconds: float = 0.25,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.database = Database(io_parameters)
         self.models = ModelStore()
@@ -125,6 +128,29 @@ class LawsDatabase:
         self.maintenance.journal = self.obs.journal
         self.harvester.journal = self.obs.journal
         self.models.journal = self.obs.journal
+        # The self-healing resilience runtime: retry with backoff, per-
+        # component health, circuit breakers (refit storms, verifier
+        # failures) and — once a durable store attaches — quarantine.
+        # Fault injection stays strictly opt-in: without ``fault_injector``
+        # every instrumented call site pays one attribute check and behaves
+        # exactly as before.
+        self.resilience = ResilienceRuntime(
+            faults=fault_injector, retry_policy=retry_policy
+        )
+        self.resilience.attach_observability(self.obs.journal, self.obs.metrics)
+        # Plans are cached by (catalog, store) version; a health transition
+        # changes what the degraded guard answers, so it bumps the model
+        # store version to invalidate affected plans — keeping health checks
+        # off the per-query hot path.
+        self.resilience.health.on_transition = self._on_health_transition
+        self.planner.resilience = self.resilience
+        self.planner.degraded_guard = self._degraded_reason
+        self.maintenance.resilience = self.resilience
+        if fault_injector is not None:
+            self.ingestor.faults = fault_injector
+            self.maintenance.faults = fault_injector
+            self.harvester.faults = fault_injector
+            self.planner.feedback.faults = fault_injector
 
     # -- durable storage -----------------------------------------------------------
 
@@ -148,10 +174,15 @@ class LawsDatabase:
         """
         system = cls(**kwargs)
         store = DurableStore(path, rows_per_segment=rows_per_segment, fsync=fsync)
-        # Journal wired before recover() so the recovery event is recorded.
+        # Journal and resilience wired before recover(): the recovery event
+        # is recorded, unreadable artefacts quarantine instead of blocking
+        # the open, and the outcome lands in ``recovery_total``.
         store.journal = system.obs.journal
+        store.metrics = system.obs.metrics
+        store.attach_resilience(system.resilience)
         system.durable = store
         system.archive_tier = ArchiveTier(system.database, store.archive_dir)
+        system.archive_tier.faults = system.resilience.faults
         system.planner.archive_guard = system.archive_tier.blocking_reason
         system.last_recovery = store.recover(system)
         return system
@@ -538,6 +569,56 @@ class LawsDatabase:
     def compliance_report(self) -> dict[str, Any]:
         """Per-route and per-model predicted-vs-observed error accounting."""
         return self.obs.compliance.report()
+
+    # -- resilience --------------------------------------------------------------------
+
+    def health_report(self) -> dict[str, Any]:
+        """Component health, circuit breakers and quarantined artefacts."""
+        return self.resilience.report()
+
+    def quarantine_report(self) -> dict[str, Any]:
+        """What recovery moved aside instead of failing the open."""
+        if self.durable is not None:
+            return self.durable.quarantine.report()
+        quarantine = self.resilience.quarantine
+        return quarantine.report() if quarantine is not None else {"records": []}
+
+    def acknowledge_degraded(self, component: str) -> None:
+        """Operator acknowledgement: mark a failed/degraded component healthy.
+
+        Quarantined artefacts stay journaled on disk for forensics; this
+        only lifts the planner's degraded guard (e.g. after the lost rows
+        were re-ingested or the loss was accepted).
+        """
+        self.resilience.health.mark_healthy(
+            component, "operator acknowledged the degradation"
+        )
+
+    def _on_health_transition(self, name: str, previous: str, state: str) -> None:
+        # Cached plans were costed against the old health state; the bump
+        # invalidates them through the (sql, contract, versions) cache key.
+        self.models._bump()
+
+    def _degraded_reason(self, statement: SelectStatement) -> str | None:
+        """Why ``statement`` cannot honestly run over the raw rows right now.
+
+        A table whose snapshot segments were quarantined at recovery is
+        FAILED: its surviving in-memory rows are incomplete, so exact
+        execution would silently under-count.  Formatted as
+        ``component — reason`` (the planner splits it back for the typed
+        :class:`~repro.errors.DegradedServiceError`).
+        """
+        health = self.resilience.health
+        names = []
+        if statement.table is not None:
+            names.append(statement.table.name)
+        names.extend(join.table.name for join in statement.joins)
+        for name in names:
+            component = f"table:{name}"
+            if health.is_failed(component):
+                reason = health.reason(component) or "snapshot segments quarantined"
+                return f"{component} — {reason}"
+        return None
 
     # -- SQL: deprecated pre-planner entry points -------------------------------------
 

@@ -8,6 +8,7 @@ approximate query engine.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.db.catalog import Catalog
@@ -156,6 +157,23 @@ class Database:
     def total_bytes(self) -> int:
         """Total nominal storage footprint of all tables."""
         return self.catalog.total_bytes()
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of every table's name, schema and rows.
+
+        The chaos suite diffs a faulted run against a never-faulted oracle:
+        equal fingerprints mean byte-equal logical content, without
+        per-table row-by-row assertions.  Row order is part of the digest —
+        appends are ordered, so two runs of the same workload must agree.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self.table_names()):
+            table = self.table(name)
+            digest.update(name.encode("utf-8"))
+            digest.update(repr(table.schema.names).encode("utf-8"))
+            for row in table.to_rows():
+                digest.update(repr(row).encode("utf-8"))
+        return digest.hexdigest()
 
     def describe(self) -> str:
         return self.catalog.describe()

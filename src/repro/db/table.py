@@ -190,6 +190,17 @@ class Table:
         names = self.schema.names
         self.append_rows([tuple(row.get(name) for name in names) for row in rows])
 
+    def rollback_to(self, image: "Table") -> None:
+        """Atomically restore this table's contents to a prior :meth:`pinned`
+        image — the undo half of copy-and-swap, used when a commit's
+        secondary effect (e.g. its WAL record) fails after the append."""
+        if image.schema != self.schema:
+            raise SchemaError(
+                f"table {self.name!r}: rollback image has a different schema"
+            )
+        with _append_lock:
+            self._columns = image._columns
+
     # -- derivation ---------------------------------------------------------------
 
     def pinned(self) -> "Table":

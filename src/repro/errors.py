@@ -147,3 +147,97 @@ class FormatVersionError(PersistenceError):
 
 class ArchiveError(PersistenceError):
     """The model-only archive tier could not archive or recall segments."""
+
+
+class StorageIOError(PersistenceError):
+    """An OS-level IO failure against a durable artefact.
+
+    Wraps the bare :class:`OSError` raised by the filesystem so that callers
+    above the persist layer only ever see typed ``repro`` exceptions.  The
+    failing artefact path is carried both in the message and as ``path``.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None, errno_code: int | None = None) -> None:
+        self.path = path
+        self.errno_code = errno_code
+        super().__init__(message)
+
+
+class SnapshotReadError(StorageIOError):
+    """A snapshot segment could not be read back (missing, torn or corrupt)."""
+
+
+class SnapshotWriteError(StorageIOError):
+    """A snapshot segment could not be written durably."""
+
+
+class WALError(StorageIOError):
+    """The write-ahead log could not be appended to, reset or replayed."""
+
+
+class ManifestError(PersistenceError):
+    """The checkpoint manifest is unreadable or structurally invalid.
+
+    The manifest is the recovery pivot: without it the store cannot know
+    which checkpoint is current, so this error is deliberately fail-stop
+    rather than quarantined (quarantining the manifest would present the
+    whole database as empty).
+    """
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        self.path = path
+        super().__init__(message)
+
+
+class WarehouseError(PersistenceError):
+    """The model warehouse JSON is unreadable or an entry cannot be decoded."""
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        self.path = path
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Resilience runtime (fault injection, retry, quarantine, degradation)
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(ReproError):
+    """Base class for resilience-runtime failures."""
+
+
+class InjectedFault(ResilienceError):
+    """An exception storm raised by the fault injector at a named fault point.
+
+    Only ever raised when a :class:`~repro.resilience.FaultInjector` is
+    explicitly armed; production code treats it like any other component
+    failure (retry, quarantine or degrade).
+    """
+
+    def __init__(self, message: str, *, point: str = "", hit: int = 0) -> None:
+        self.point = point
+        self.hit = hit
+        super().__init__(message)
+
+
+class CircuitOpenError(ResilienceError):
+    """An operation was rejected because its circuit breaker is open."""
+
+    def __init__(self, message: str, *, component: str = "") -> None:
+        self.component = component
+        super().__init__(message)
+
+
+class DegradedServiceError(ResilienceError):
+    """A query needs an artefact that is quarantined or failed.
+
+    Raised by the planner when no surviving model can honestly answer a
+    query whose exact route depends on a failed component.  ``component``
+    names the failed component and ``reason`` carries the quarantine
+    reason recorded when it was moved aside.
+    """
+
+    def __init__(self, message: str, *, component: str = "", reason: str = "") -> None:
+        self.component = component
+        self.reason = reason
+        super().__init__(message)

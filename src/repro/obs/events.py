@@ -106,6 +106,9 @@ class EventJournal:
 class _RouteLedger:
     served: int = 0
     verified: int = 0
+    #: Answers served while a needed component was failed/quarantined —
+    #: the resilience layer's disclosed-degradation accounting.
+    degraded_served: int = 0
     predicted_error_sum: float = 0.0
     observed_error_sum: float = 0.0
     budget_checks: int = 0
@@ -115,6 +118,7 @@ class _RouteLedger:
         return {
             "served": self.served,
             "verified": self.verified,
+            "degraded_served": self.degraded_served,
             "mean_predicted_relative_error": (
                 self.predicted_error_sum / self.served if self.served else None
             ),
@@ -173,10 +177,13 @@ class ComplianceLedger:
         route: str,
         predicted_relative_error: float | None,
         model_ids: tuple[int, ...] | list[int] = (),
+        degraded: bool = False,
     ) -> None:
         with self._lock:
             ledger = self._route(route)
             ledger.served += 1
+            if degraded:
+                ledger.degraded_served += 1
             if predicted_relative_error is not None and math.isfinite(
                 predicted_relative_error
             ):

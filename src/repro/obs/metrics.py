@@ -125,6 +125,15 @@ class MetricsRegistry:
         with self._lock:
             return sum(self._counters.get(name, {}).values())
 
+    def counter_series(self, name: str) -> dict[LabelKey, float]:
+        """Every labelled value of one counter (label-key tuple -> value).
+
+        The chaos suite asserts on outcome distributions
+        (``recovery_total{outcome=...}``) without enumerating labels upfront.
+        """
+        with self._lock:
+            return dict(self._counters.get(name, {}))
+
     def gauge_value(self, name: str, **labels: Any) -> float | None:
         with self._lock:
             return self._gauges.get(name, {}).get(_label_key(labels))

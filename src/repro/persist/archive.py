@@ -170,6 +170,8 @@ class ArchiveTier:
         self.directory = Path(directory)
         self._segments: dict[str, list[ArchivedSegment]] = {}
         self._sequence = 0
+        #: Optional fault injector (persist.archive.write / persist.archive.read).
+        self.faults: Any = None
         #: table -> (catalog version, merged TableStats): the approximate
         #: engine asks for stats many times per query, and re-merging the
         #: archived segments' statistics each time would put dictionary
@@ -221,7 +223,15 @@ class ArchiveTier:
 
             self._sequence += 1
             prefix = f"{table_name}__arch{self._sequence:05d}"
-            entries = write_table_segments(self.directory, archived, file_prefix=prefix)
+            try:
+                if self.faults is not None:
+                    self.faults.hit("persist.archive.write", path=self.directory)
+                entries = write_table_segments(self.directory, archived, file_prefix=prefix)
+            except OSError as exc:
+                raise ArchiveError(
+                    f"archive segment write for {table_name!r} under {self.directory} "
+                    f"failed: {exc.strerror or exc}"
+                ) from exc
             stats = compute_table_stats(archived)
 
             segment = ArchivedSegment(
@@ -263,9 +273,17 @@ class ArchiveTier:
             restored_rows = 0
             for segment in segments:
                 schema = schema_from_payload(segment.schema_payload)
-                piece = read_table_segments(
-                    self.directory, table_name, schema, segment.segment_entries
-                )
+                try:
+                    if self.faults is not None:
+                        self.faults.hit("persist.archive.read", path=self.directory)
+                    piece = read_table_segments(
+                        self.directory, table_name, schema, segment.segment_entries
+                    )
+                except OSError as exc:
+                    raise ArchiveError(
+                        f"archive segment read for {table_name!r} under {self.directory} "
+                        f"failed: {exc.strerror or exc}"
+                    ) from exc
                 table = table.concat(piece)
                 restored_rows += piece.num_rows
             self.database.catalog.replace_table(table)

@@ -14,8 +14,12 @@ validity bitmap and restored as ``None`` on read.
 
 from __future__ import annotations
 
+import errno as _errno
+import io
+import zipfile
+import zlib
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -23,7 +27,11 @@ from repro.db.column import Column
 from repro.db.schema import ColumnDef, Schema
 from repro.db.table import Table
 from repro.db.types import DataType
-from repro.errors import PersistenceError
+from repro.errors import PersistenceError, SnapshotReadError, SnapshotWriteError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience import FaultInjector
+    from repro.resilience.retry import Retrier
 
 __all__ = [
     "schema_to_payload",
@@ -96,12 +104,14 @@ def write_table_segments(
     table: Table,
     rows_per_segment: int = DEFAULT_ROWS_PER_SEGMENT,
     file_prefix: str | None = None,
+    faults: "FaultInjector | None" = None,
 ) -> list[dict[str, Any]]:
     """Write ``table`` as npz segments under ``directory``.
 
     Returns one manifest entry per segment: relative file name, row range
     and per-column stats.  An empty table writes no segment files (schema
-    alone reconstructs it).
+    alone reconstructs it).  OS failures surface as typed
+    :class:`SnapshotWriteError` carrying the segment path.
     """
     if rows_per_segment < 1:
         raise PersistenceError(f"rows_per_segment must be positive, got {rows_per_segment}")
@@ -117,8 +127,15 @@ def write_table_segments(
             arrays[f"v__{name}"] = values
             arrays[f"m__{name}"] = validity
         file_name = f"{prefix}__{index:05d}.npz"
-        with open(directory / file_name, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
+        path = directory / file_name
+        try:
+            _write_segment(path, arrays, faults)
+        except OSError as exc:
+            raise SnapshotWriteError(
+                f"snapshot segment {path} could not be written: {exc.strerror or exc}",
+                path=str(path),
+                errno_code=exc.errno,
+            ) from exc
         entries.append(
             {
                 "file": file_name,
@@ -130,29 +147,54 @@ def write_table_segments(
     return entries
 
 
+def _write_segment(path: Path, arrays: dict[str, np.ndarray], faults: "FaultInjector | None") -> None:
+    action = None
+    if faults is not None:
+        action = faults.hit("persist.snapshot.write", path=path)
+    if action is None:
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        return
+    # Cooperative faults need the full payload in hand: torn_write persists
+    # only a prefix then fails the call, bit_flip persists silently-corrupt
+    # bytes (caught later by the read path, never here).
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    data = faults.apply(action, buffer.getvalue())
+    path.write_bytes(data)
+    if action.kind == "torn_write":
+        raise OSError(_errno.EIO, "injected torn write", str(path))
+
+
 def read_table_segments(
     directory: Path,
     name: str,
     schema: Schema,
     entries: list[dict[str, Any]],
+    faults: "FaultInjector | None" = None,
+    on_segment_error: Callable[[dict[str, Any], Path, Exception], bool] | None = None,
+    retrier: "Retrier | None" = None,
 ) -> Table:
-    """Rebuild a table from its snapshot segments (in manifest order)."""
+    """Rebuild a table from its snapshot segments (in manifest order).
+
+    An unreadable segment raises a typed :class:`SnapshotReadError` — unless
+    ``on_segment_error`` is given and returns True for it, in which case the
+    segment is skipped (the caller quarantines it) and the surviving
+    segments are concatenated into a partial table.
+    """
     per_column: dict[str, list[np.ndarray]] = {n: [] for n in schema.names}
     per_validity: dict[str, list[np.ndarray]] = {n: [] for n in schema.names}
     for entry in entries:
         path = directory / entry["file"]
-        if not path.is_file():
-            raise PersistenceError(f"snapshot segment missing: {path}")
-        with np.load(path, allow_pickle=False) as payload:
-            for col_name in schema.names:
-                value_key, mask_key = f"v__{col_name}", f"m__{col_name}"
-                if value_key not in payload or mask_key not in payload:
-                    raise PersistenceError(
-                        f"segment {path.name} lacks column {col_name!r} "
-                        f"(snapshot and schema disagree)"
-                    )
-                per_column[col_name].append(payload[value_key])
-                per_validity[col_name].append(payload[mask_key])
+        try:
+            loaded_values, loaded_masks = _load_segment(path, schema, faults, retrier)
+        except SnapshotReadError as exc:
+            if on_segment_error is not None and on_segment_error(entry, path, exc):
+                continue
+            raise
+        for col_name in schema.names:
+            per_column[col_name].append(loaded_values[col_name])
+            per_validity[col_name].append(loaded_masks[col_name])
     columns: dict[str, Column] = {}
     for col_def in schema:
         if per_column[col_def.name]:
@@ -163,3 +205,57 @@ def read_table_segments(
             validity = np.empty(0, dtype=bool)
         columns[col_def.name] = _decode_column(col_def.dtype, values, validity)
     return Table(name, schema, columns)
+
+
+def _read_segment_bytes(path: Path, faults: "FaultInjector | None") -> bytes:
+    data = path.read_bytes()
+    if faults is not None:
+        data = faults.filter_bytes("persist.snapshot.read", data, path=path)
+    return data
+
+
+def _load_segment(
+    path: Path,
+    schema: Schema,
+    faults: "FaultInjector | None",
+    retrier: "Retrier | None" = None,
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    try:
+        if not path.is_file():
+            raise SnapshotReadError(f"snapshot segment missing: {path}", path=str(path))
+        try:
+            data = _read_segment_bytes(path, faults)
+        except OSError as exc:
+            # Segment reads are idempotent, so any OSError — not just the
+            # transient set — is retried before the caller quarantines bytes
+            # that may be perfectly intact on disk.
+            if retrier is None:
+                raise
+            data = retrier.retry(
+                lambda: _read_segment_bytes(path, faults),
+                first_error=exc,
+                operation="snapshot.read",
+                retry_all=True,
+            )
+        values: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray] = {}
+        with np.load(io.BytesIO(data), allow_pickle=False) as payload:
+            for col_name in schema.names:
+                value_key, mask_key = f"v__{col_name}", f"m__{col_name}"
+                if value_key not in payload or mask_key not in payload:
+                    raise SnapshotReadError(
+                        f"segment {path} lacks column {col_name!r} "
+                        f"(snapshot and schema disagree)",
+                        path=str(path),
+                    )
+                values[col_name] = payload[value_key]
+                masks[col_name] = payload[mask_key]
+        return values, masks
+    except SnapshotReadError:
+        raise
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile, zlib.error) as exc:
+        raise SnapshotReadError(
+            f"snapshot segment {path} unreadable: {exc}",
+            path=str(path),
+            errno_code=getattr(exc, "errno", None),
+        ) from exc

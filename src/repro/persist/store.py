@@ -19,6 +19,7 @@ its records are already inside the snapshot).
 
 from __future__ import annotations
 
+import errno as _errno_mod
 import json
 import os
 import shutil
@@ -27,7 +28,14 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.db.table import Table
-from repro.errors import FormatVersionError, PersistenceError
+from repro.errors import (
+    FormatVersionError,
+    ManifestError,
+    PersistenceError,
+    ReproError,
+    StorageIOError,
+    WALError,
+)
 from repro.persist.archive import ArchiveTier
 from repro.persist.snapshot import (
     DEFAULT_ROWS_PER_SEGMENT,
@@ -36,11 +44,13 @@ from repro.persist.snapshot import (
     schema_to_payload,
     write_table_segments,
 )
-from repro.persist.warehouse import restore_store, serialize_store
+from repro.persist.warehouse import deserialize_model, restore_store, serialize_store
 from repro.persist.wal import WriteAheadLog
+from repro.resilience.quarantine import QuarantineManager, minimal_failing_subset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.core.system import LawsDatabase
+    from repro.resilience import FaultInjector, ResilienceRuntime
 
 __all__ = ["CheckpointReport", "RecoveryReport", "DurableStore"]
 
@@ -140,10 +150,35 @@ class DurableStore:
         #: Optional :class:`repro.obs.EventJournal` recording checkpoint and
         #: recovery operations.
         self.journal: Any = None
+        #: Optional :class:`repro.obs.MetricsRegistry` (``recovery_total`` etc.).
+        self.metrics: Any = None
+        #: Optional :class:`repro.resilience.ResilienceRuntime` — enables
+        #: retry, health tracking and graceful quarantine during recovery.
+        #: Without it the store keeps its strict fail-stop behaviour.
+        self.resilience: "ResilienceRuntime | None" = None
+        #: Always present: unreadable artefacts move aside instead of
+        #: blocking ``open()`` (journal/metrics attach lazily).
+        self.quarantine = QuarantineManager(self.root)
         self._closed = False
         #: Sequence for snapshot-backed WAL load records; resumes past any
         #: directories a previous incarnation left under walseg/.
         self._walseg_counter = self._max_walseg_index()
+
+    # -- resilience --------------------------------------------------------------
+
+    @property
+    def faults(self) -> "FaultInjector | None":
+        runtime = self.resilience
+        return runtime.faults if runtime is not None else None
+
+    def attach_resilience(self, runtime: "ResilienceRuntime") -> None:
+        """Wire the shared resilience runtime through the WAL and quarantine."""
+        self.resilience = runtime
+        self.wal.faults = runtime.faults
+        self.wal.retrier = runtime.retrier
+        runtime.quarantine = self.quarantine
+        self.quarantine.journal = runtime.journal
+        self.quarantine.metrics = runtime.metrics
 
     # -- paths -------------------------------------------------------------------
 
@@ -217,7 +252,7 @@ class DurableStore:
         self._walseg_counter += 1
         directory = self.walseg_dir / f"{self._walseg_counter:05d}"
         entries = write_table_segments(
-            directory, table, rows_per_segment=self.rows_per_segment
+            directory, table, rows_per_segment=self.rows_per_segment, faults=self.faults
         )
         if self.fsync:
             for segment_file in directory.iterdir():
@@ -292,7 +327,7 @@ class DurableStore:
         for name in database.table_names():
             table = database.table(name)
             entries = write_table_segments(
-                segments_dir, table, rows_per_segment=self.rows_per_segment
+                segments_dir, table, rows_per_segment=self.rows_per_segment, faults=self.faults
             )
             tables_payload[name] = {
                 "schema": schema_to_payload(table.schema),
@@ -309,7 +344,9 @@ class DurableStore:
         report.models = len(warehouse_payload["models"])
         warehouse_path = self._warehouse_path(new_id)
         warehouse_path.parent.mkdir(parents=True, exist_ok=True)
-        _write_json_atomic(warehouse_path, warehouse_payload, fsync=self.fsync)
+        self._write_json_durable(
+            warehouse_path, warehouse_payload, fault_point="persist.warehouse.store"
+        )
 
         if self.fsync:
             # The manifest rename must not become durable before the file
@@ -330,13 +367,17 @@ class DurableStore:
             "archive": system.archive_tier.to_payload() if system.archive_tier else {},
             "wal_file": WAL_NAME,
         }
-        _write_json_atomic(self.manifest_path, manifest, fsync=self.fsync)
-        # The manifest now names checkpoint N; reset the WAL under N's epoch
-        # so a crash between these two steps leaves an epoch-mismatched (and
-        # therefore ignored) log rather than a double-applied one.
-        self.wal.reset(epoch=new_id)
-
+        self._write_json_durable(self.manifest_path, manifest, fault_point="persist.manifest.write")
+        # The manifest rename is the commit point: checkpoint N exists from
+        # here on regardless of what the WAL reset below does.
         self.checkpoint_id = new_id
+        # Reset the WAL under N's epoch so a crash between the rename and
+        # the reset leaves an epoch-mismatched (and therefore ignored) log
+        # rather than a double-applied one.  A *failed* reset is survivable:
+        # the epoch stays pending inside the WAL and is stamped (as a
+        # replay-restart marker) by the next successful append, so no record
+        # can land under a stale epoch — journal it and carry on.
+        self._reset_wal_safe(new_id)
         self._cleanup_stale_artifacts(keep_id=new_id)
         if system.archive_tier is not None:
             # Recalled rows are inside the new snapshot now; their archive
@@ -379,14 +420,45 @@ class DurableStore:
         # The WAL was just reset: no record references walseg/ any more.
         shutil.rmtree(self.walseg_dir, ignore_errors=True)
 
+    def _write_json_durable(self, path: Path, payload: dict[str, Any], fault_point: str) -> None:
+        """Atomic JSON write + transient-error retry + typed wrapping."""
+
+        def attempt() -> None:
+            _write_json_atomic(
+                path, payload, fsync=self.fsync, faults=self.faults, fault_point=fault_point
+            )
+
+        try:
+            try:
+                attempt()
+            except OSError as exc:
+                retrier = self.resilience.retrier if self.resilience is not None else None
+                if retrier is None or not retrier.is_transient(exc):
+                    raise
+                retrier.retry(attempt, first_error=exc, operation=fault_point)
+        except OSError as exc:
+            raise StorageIOError(
+                f"durable write of {path} failed: {exc.strerror or exc}",
+                path=str(path),
+                errno_code=exc.errno,
+            ) from exc
+
     # -- recovery -------------------------------------------------------------------
 
     def recover(self, system: "LawsDatabase") -> RecoveryReport:
-        """Load the last checkpoint into ``system`` and replay the WAL tail."""
+        """Load the last checkpoint into ``system`` and replay the WAL tail.
+
+        With a resilience runtime attached, partial corruption degrades
+        instead of aborting: unreadable snapshot segments / warehouse
+        entries / WAL frames are quarantined (journaled, metered) and the
+        surviving state serves.  Without one, the store keeps its strict
+        fail-stop contract — every failure is still a typed error.
+        """
         report = RecoveryReport()
-        manifest: dict[str, Any] | None = None
-        if self.manifest_path.is_file():
-            manifest = json.loads(self.manifest_path.read_text())
+        quarantined_before = len(self.quarantine.records())
+        health = self.resilience.health if self.resilience is not None else None
+        manifest = self._load_manifest()
+        if manifest is not None:
             version = int(manifest.get("format_version", 0))
             if version > FORMAT_VERSION:
                 raise FormatVersionError(
@@ -401,15 +473,7 @@ class DurableStore:
             segments_dir = self._segments_dir(self.checkpoint_id)
             for name, entry in manifest.get("tables", {}).items():
                 schema = schema_from_payload(entry["schema"])
-                table = read_table_segments(segments_dir, name, schema, entry["segments"])
-                if table.num_rows != int(entry.get("row_count", table.num_rows)):
-                    raise PersistenceError(
-                        f"snapshot of {name!r} has {table.num_rows} row(s) but the "
-                        f"manifest recorded {entry.get('row_count')}"
-                    )
-                database.register_table(table)
-                report.tables_loaded += 1
-                report.rows_loaded += table.num_rows
+                self._recover_table(system, segments_dir, name, schema, entry, report, health)
             database.catalog.restore_version(int(manifest.get("catalog_version", 0)))
 
         # The warehouse loads before the WAL replays: replayed appends mark
@@ -419,19 +483,18 @@ class DurableStore:
             warehouse_file = manifest.get("warehouse_file")
             if warehouse_file:
                 warehouse_path = self.root / warehouse_file
-                if not warehouse_path.is_file():
-                    raise PersistenceError(f"warehouse file missing: {warehouse_path}")
-                payload = json.loads(warehouse_path.read_text())
-                restored = restore_store(payload, system.models)
-                report.models_restored = len(restored)
-                if restored:
-                    from repro.core.captured_model import ensure_model_id_floor
+                payload = self._load_warehouse_payload(warehouse_path, health)
+                if payload is not None:
+                    restored = self._restore_warehouse(payload, system, health)
+                    report.models_restored = len(restored)
+                    if restored:
+                        from repro.core.captured_model import ensure_model_id_floor
 
-                    ensure_model_id_floor(max(m.model_id for m in restored))
-                _restore_calibration(system, payload.get("calibration"))
-                report.watches_restored = system.maintenance.restore_state(
-                    payload.get("maintenance", [])
-                )
+                        ensure_model_id_floor(max(m.model_id for m in restored))
+                    _restore_calibration(system, payload.get("calibration"))
+                    report.watches_restored = system.maintenance.restore_state(
+                        payload.get("maintenance", [])
+                    )
             # The archive manifest restores BEFORE the WAL replays: replayed
             # archive/recall/drop records operate on the tier, and a drop of
             # an archived table must clear (not precede) its restored state.
@@ -448,34 +511,32 @@ class DurableStore:
 
         # WAL replay: only a log stamped with this checkpoint's epoch extends
         # it; any other epoch predates the manifest rename and is discarded.
-        replay = self.wal.replay(repair=True)
-        report.wal_truncated_bytes = replay.truncated_bytes
-        report.wal_truncation_reason = replay.truncation_reason
-        if replay.epoch != self.checkpoint_id:
-            # A stale-epoch log must be re-stamped even when it holds no
-            # data records: appends accepted into an epoch-1 log under a
-            # checkpoint-2 manifest would be silently discarded on the
-            # *next* recovery.
-            report.wal_discarded_epoch_mismatch = bool(replay.records)
-            self.wal.reset(epoch=self.checkpoint_id)
-        else:
-            touched: set[str] = set()
-            for record in replay.records:
-                report.wal_records_replayed += 1
-                report.wal_rows_replayed += _apply_wal_record(self, system, record, touched)
-            for name in touched:
-                system.models.mark_table_stale(name)
-        if not self.wal.path.exists() or self.wal.size_bytes == 0:
-            self.wal.reset(epoch=self.checkpoint_id)
+        epoch_discarded = self._replay_wal(system, report, health)
 
         if system.archive_tier is not None:
             report.archived_tables = system.archive_tier.archived_tables()
 
         self.accepting_writes = True
+        quarantined_now = [
+            record
+            for record in self.quarantine.records()[quarantined_before:]
+            if record.artefact != "wal-tail"
+        ]
+        if quarantined_now:
+            outcome = "quarantined"
+        elif report.wal_truncated_bytes:
+            outcome = "wal-truncated"
+        elif epoch_discarded:
+            outcome = "epoch-discarded"
+        else:
+            outcome = "clean"
+        if self.metrics is not None:
+            self.metrics.inc("recovery_total", outcome=outcome)
         if self.journal is not None:
             self.journal.record(
                 "recovery",
                 checkpoint_id=report.checkpoint_id,
+                outcome=outcome,
                 tables_loaded=report.tables_loaded,
                 rows_loaded=report.rows_loaded,
                 models_restored=report.models_restored,
@@ -483,8 +544,254 @@ class DurableStore:
                 wal_records_replayed=report.wal_records_replayed,
                 wal_rows_replayed=report.wal_rows_replayed,
                 wal_truncated_bytes=report.wal_truncated_bytes,
+                wal_truncation_reason=report.wal_truncation_reason,
+                quarantined=len(quarantined_now),
             )
         return report
+
+    def _load_manifest(self) -> dict[str, Any] | None:
+        """Read the checkpoint manifest; corruption is fail-stop and typed.
+
+        The manifest is the recovery pivot — quarantining it would present
+        the whole store as empty, which is worse than an explicit error."""
+        if not self.manifest_path.is_file():
+            return None
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ManifestError(
+                f"checkpoint manifest {self.manifest_path} is unreadable: {exc}",
+                path=str(self.manifest_path),
+            ) from exc
+
+    def _recover_table(
+        self,
+        system: "LawsDatabase",
+        segments_dir: Path,
+        name: str,
+        schema: Any,
+        entry: dict[str, Any],
+        report: RecoveryReport,
+        health: Any,
+    ) -> None:
+        lost_segments: list[str] = []
+        handler = None
+        if self.resilience is not None:
+
+            def handler(seg_entry: dict[str, Any], path: Path, exc: Exception) -> bool:
+                self.quarantine.quarantine_file(
+                    path,
+                    artefact="snapshot-segment",
+                    reason=str(exc),
+                    detail=f"table {name!r} segment {seg_entry.get('file')}",
+                )
+                lost_segments.append(str(seg_entry.get("file")))
+                return True
+
+        table = read_table_segments(
+            segments_dir,
+            name,
+            schema,
+            entry["segments"],
+            faults=self.faults,
+            on_segment_error=handler,
+            retrier=self.resilience.retrier if self.resilience is not None else None,
+        )
+        expected = int(entry.get("row_count", table.num_rows))
+        if lost_segments:
+            reason = (
+                f"{len(lost_segments)} snapshot segment(s) quarantined; "
+                f"{table.num_rows}/{expected} row(s) recovered"
+            )
+            if health is not None:
+                health.mark_failed(f"table:{name}", reason)
+        elif table.num_rows != expected:
+            raise PersistenceError(
+                f"snapshot of {name!r} has {table.num_rows} row(s) but the "
+                f"manifest recorded {entry.get('row_count')}"
+            )
+        system.database.register_table(table)
+        report.tables_loaded += 1
+        report.rows_loaded += table.num_rows
+
+    def _load_warehouse_payload(self, path: Path, health: Any) -> dict[str, Any] | None:
+        if not path.is_file():
+            if self.resilience is None:
+                raise PersistenceError(f"warehouse file missing: {path}")
+            health.mark_failed("warehouse", f"warehouse file missing: {path}")
+            return None
+        def read_payload() -> bytes:
+            data = path.read_bytes()
+            if self.faults is not None:
+                data = self.faults.filter_bytes("persist.warehouse.load", data, path=path)
+            return data
+
+        try:
+            try:
+                data = read_payload()
+            except OSError as exc:
+                # Idempotent read: retry any OSError before condemning the
+                # file — the bytes on disk may be perfectly good.
+                if self.resilience is None:
+                    raise
+                data = self.resilience.retrier.retry(
+                    read_payload,
+                    first_error=exc,
+                    operation="warehouse.load",
+                    retry_all=True,
+                )
+            return json.loads(data.decode("utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            if self.resilience is None:
+                from repro.errors import WarehouseError
+
+                raise WarehouseError(
+                    f"warehouse file {path} is unreadable: {exc}", path=str(path)
+                ) from exc
+            self.quarantine.quarantine_file(
+                path, artefact="warehouse-file", reason=str(exc)
+            )
+            health.mark_failed("warehouse", f"warehouse file quarantined: {exc}")
+            return None
+
+    def _restore_warehouse(
+        self, payload: dict[str, Any], system: "LawsDatabase", health: Any
+    ) -> list[Any]:
+        if self.resilience is None:
+            return restore_store(payload, system.models)
+        version = int(payload.get("format_version", 0))
+        from repro.persist.warehouse import WAREHOUSE_FORMAT_VERSION
+
+        if version > WAREHOUSE_FORMAT_VERSION:
+            # A newer format is a build mismatch, not corruption: upgrading
+            # the binary fixes it, quarantining would discard good models.
+            raise FormatVersionError(
+                f"warehouse format v{version} is newer than this build supports "
+                f"(v{WAREHOUSE_FORMAT_VERSION}); upgrade before opening it"
+            )
+        entries = payload.get("models", [])
+        try:
+            models = [deserialize_model(entry) for entry in entries]
+        except Exception:
+            # Isolate the minimal failing subset by binary-search shrinking
+            # and quarantine exactly those entries; everything else serves.
+            def probe(batch: Any) -> None:
+                for candidate in batch:
+                    deserialize_model(candidate)
+
+            bad = minimal_failing_subset(entries, probe)
+            bad_set = set(bad)
+            for index in bad:
+                entry = entries[index]
+                model_id = entry.get("model_id", index) if isinstance(entry, dict) else index
+                try:
+                    deserialize_model(entry)
+                    reason = "undecodable warehouse entry"
+                except Exception as entry_exc:
+                    reason = str(entry_exc)
+                self.quarantine.quarantine_entry(
+                    entry,
+                    name=f"warehouse-entry-{model_id}.json",
+                    artefact="warehouse-entry",
+                    reason=reason,
+                )
+            models = [
+                deserialize_model(entry)
+                for index, entry in enumerate(entries)
+                if index not in bad_set
+            ]
+            health.mark_degraded(
+                "warehouse",
+                f"{len(bad)} warehouse entr{'y' if len(bad) == 1 else 'ies'} quarantined; "
+                f"{len(models)} model(s) restored",
+            )
+        return [system.models.add(model) for model in models]
+
+    def _replay_wal(self, system: "LawsDatabase", report: RecoveryReport, health: Any) -> bool:
+        """Replay the WAL tail; returns True when an epoch mismatch discarded it."""
+        from repro.persist.wal import WalReplay
+
+        try:
+            replay = self.wal.replay(repair=True)
+        except WALError as exc:
+            if self.resilience is None:
+                raise
+            self.quarantine.quarantine_file(
+                self.wal.path, artefact="wal-file", reason=str(exc)
+            )
+            health.mark_failed("wal", f"WAL quarantined: {exc}")
+            replay = WalReplay()
+        report.wal_truncated_bytes = replay.truncated_bytes
+        report.wal_truncation_reason = replay.truncation_reason
+        if replay.was_truncated:
+            quarantined_path = None
+            if replay.tail:
+                tail_record = self.quarantine.quarantine_bytes(
+                    replay.tail,
+                    name=f"wal-tail-ckpt{self.checkpoint_id:05d}.bin",
+                    artefact="wal-tail",
+                    reason=replay.truncation_reason or "torn tail",
+                )
+                quarantined_path = tail_record.quarantined_path
+            if self.journal is not None:
+                self.journal.record(
+                    "wal-truncation",
+                    reason=replay.truncation_reason,
+                    truncated_bytes=replay.truncated_bytes,
+                    quarantined_path=quarantined_path,
+                )
+        epoch_discarded = False
+        if replay.epoch != self.checkpoint_id:
+            # A stale-epoch log must be re-stamped even when it holds no
+            # data records: appends accepted into an epoch-1 log under a
+            # checkpoint-2 manifest would be silently discarded on the
+            # *next* recovery.
+            epoch_discarded = bool(replay.records)
+            report.wal_discarded_epoch_mismatch = epoch_discarded
+            self._reset_wal_safe(self.checkpoint_id)
+        else:
+            touched: set[str] = set()
+            for index, record in enumerate(replay.records):
+                try:
+                    rows = _apply_wal_record(self, system, record, touched)
+                except ReproError as exc:
+                    if self.resilience is None:
+                        raise
+                    # Records after a failed one may depend on it (create
+                    # then append): stop applying, keep everything aside.
+                    self.quarantine.quarantine_entry(
+                        record,
+                        name=f"wal-record-{index:05d}.json",
+                        artefact="wal-record",
+                        reason=str(exc),
+                    )
+                    remainder = replay.records[index + 1 :]
+                    if remainder:
+                        self.quarantine.quarantine_entry(
+                            remainder,
+                            name=f"wal-records-after-{index:05d}.json",
+                            artefact="wal-record",
+                            reason=f"records after failed record {index} not applied",
+                        )
+                    health.mark_degraded(
+                        "wal", f"WAL record {index} failed to apply: {exc}"
+                    )
+                    break
+                report.wal_records_replayed += 1
+                report.wal_rows_replayed += rows
+            for name in touched:
+                system.models.mark_table_stale(name)
+        if not self.wal.path.exists() or self.wal.size_bytes == 0:
+            self._reset_wal_safe(self.checkpoint_id)
+        return epoch_discarded
+
+    def _reset_wal_safe(self, epoch: int) -> None:
+        """Reset the WAL; a failure defers the epoch stamp instead of aborting."""
+        try:
+            self.wal.reset(epoch=epoch)
+        except WALError as exc:
+            if self.journal is not None:
+                self.journal.record("wal-reset-deferred", checkpoint_id=epoch, error=str(exc))
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -499,9 +806,30 @@ class DurableStore:
 # ---------------------------------------------------------------------------
 
 
-def _write_json_atomic(path: Path, payload: dict[str, Any], fsync: bool = False) -> None:
+def _write_json_atomic(
+    path: Path,
+    payload: dict[str, Any],
+    fsync: bool = False,
+    faults: "FaultInjector | None" = None,
+    fault_point: str | None = None,
+) -> None:
+    """Write-to-temp + (fsync) + rename: the target is never half-written.
+
+    A failure at any step — including an injected torn write — leaves the
+    previous file at ``path`` untouched; only the ``.tmp`` sibling can be
+    partial, and the next successful write overwrites it.
+    """
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=1))
+    data = json.dumps(payload, indent=1).encode("utf-8")
+    action = None
+    if faults is not None and fault_point is not None:
+        action = faults.hit(fault_point, path=path)
+    if action is not None:
+        data = faults.apply(action, data)
+    tmp.write_bytes(data)
+    if action is not None and action.kind == "torn_write":
+        # The torn prefix sits in the .tmp file; the rename never happens.
+        raise OSError(_errno_mod.EIO, "injected torn write", str(tmp))
     if fsync:
         _fsync_file(tmp)
     tmp.replace(path)
@@ -531,7 +859,12 @@ def _apply_wal_record(
         name = record["name"]
         schema = schema_from_payload(record["schema"])
         table = read_table_segments(
-            store.root / record["dir"], name, schema, record["segments"]
+            store.root / record["dir"],
+            name,
+            schema,
+            record["segments"],
+            faults=store.faults,
+            retrier=store.resilience.retrier if store.resilience is not None else None,
         )
         if database.has_table(name):
             if not record.get("replace", False):

@@ -16,11 +16,24 @@ Every log begins with an ``epoch`` record naming the checkpoint it extends.
 A manifest rename and the log reset that follows it are two separate
 filesystem operations; the epoch lets a reopening process detect a WAL that
 predates (or outlives) the manifest it found and discard it instead of
-double-applying records.
+double-applying records.  An epoch record is a *log restart marker*: replay
+discards everything accumulated before it, so a reset that failed to
+truncate the file (ENOSPC, flaky disk) is still safe — the next successful
+append stamps the new epoch first and the stale prefix is dropped on
+replay.
+
+Failure handling: a torn in-process write is rolled back by truncating the
+file to its pre-append size, transient OS errors (EIO/EAGAIN) are retried
+through the attached :class:`~repro.resilience.Retrier`, and every OS-level
+failure that escapes surfaces as a typed :class:`~repro.errors.WALError`
+carrying the log path.  Fault injection (``persist.wal.append``,
+``persist.wal.reset``, ``persist.wal.replay``) is strictly opt-in via the
+``faults`` attribute.
 """
 
 from __future__ import annotations
 
+import errno as _errno
 import json
 import os
 import struct
@@ -28,11 +41,14 @@ import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, BinaryIO
+from typing import TYPE_CHECKING, Any, BinaryIO
 
 import numpy as np
 
-from repro.errors import PersistenceError
+from repro.errors import PersistenceError, WALError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience import FaultInjector, Retrier
 
 __all__ = ["WalReplay", "WriteAheadLog"]
 
@@ -68,6 +84,9 @@ class WalReplay:
     valid_bytes: int = 0
     truncated_bytes: int = 0
     truncation_reason: str | None = None
+    #: The discarded tail bytes, captured before repair so recovery can
+    #: quarantine them instead of silently dropping evidence.
+    tail: bytes = b""
 
     @property
     def was_truncated(self) -> bool:
@@ -85,6 +104,13 @@ class WriteAheadLog:
         # interleaving header and payload writes would corrupt the log.
         # Re-entrant because reset() appends the epoch record itself.
         self._lock = threading.RLock()
+        #: Epoch waiting to be stamped: set by reset(); if stamping fails
+        #: (full disk mid-checkpoint) the next successful append writes the
+        #: epoch frame first, so records can never land under a stale epoch.
+        self._pending_epoch: int | None = None
+        #: Optional resilience hooks (attached by DurableStore).
+        self.faults: FaultInjector | None = None
+        self.retrier: Retrier | None = None
 
     # -- writing ---------------------------------------------------------------
 
@@ -105,22 +131,103 @@ class WriteAheadLog:
                 f"({_MAX_FRAME_BYTES} bytes); checkpoint instead of logging it"
             )
         with self._lock:
+            try:
+                return self._append_payload(payload)
+            except OSError as exc:
+                if self.retrier is not None and self.retrier.is_transient(exc):
+                    try:
+                        return self.retrier.retry(
+                            lambda: self._append_payload(payload),
+                            first_error=exc,
+                            operation="wal.append",
+                        )
+                    except OSError as final:
+                        exc = final
+                raise WALError(
+                    f"WAL append to {self.path} failed: {exc.strerror or exc}",
+                    path=str(self.path),
+                    errno_code=exc.errno,
+                ) from exc
+
+    def _append_payload(self, payload: bytes) -> int:
+        handle = self._open_handle()
+        if self._pending_epoch is not None:
+            epoch_payload = json.dumps(
+                {"op": "epoch", "id": int(self._pending_epoch)}, separators=(",", ":")
+            ).encode("utf-8")
+            self._write_frame(handle, epoch_payload)
+            self._pending_epoch = None
             handle = self._open_handle()
-            handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
-            handle.write(payload)
+        return self._write_frame(handle, payload)
+
+    def _write_frame(self, handle: BinaryIO, payload: bytes) -> int:
+        start = handle.tell()
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        try:
+            action = None
+            if self.faults is not None:
+                action = self.faults.hit("persist.wal.append", path=self.path)
+            if action is not None and action.kind == "torn_write":
+                cut = max(1, int(len(frame) * action.fraction))
+                handle.write(frame[:cut])
+                handle.flush()
+                raise OSError(
+                    _errno.EIO,
+                    f"injected torn write ({cut}/{len(frame)} bytes)",
+                    str(self.path),
+                )
+            if action is not None and action.kind == "bit_flip":
+                frame = self.faults.apply(action, frame)
+            handle.write(frame)
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
-            return handle.tell()
+        except OSError:
+            self._rollback(start)
+            raise
+        return handle.tell()
+
+    def _rollback(self, size: int) -> None:
+        """Truncate a torn frame back off the log so a retry starts clean."""
+        try:
+            self.close()
+            with open(self.path, "r+b") as handle:
+                handle.truncate(size)
+        except OSError:
+            # Rollback is best-effort: if even the truncate fails, the CRC
+            # framing makes the torn tail detectable (and truncatable) at
+            # the next replay.
+            pass
 
     def reset(self, epoch: int) -> None:
-        """Truncate the log and stamp it with the checkpoint epoch it extends."""
+        """Truncate the log and stamp it with the checkpoint epoch it extends.
+
+        If truncation or stamping fails the epoch stays *pending*: the next
+        successful append writes the epoch frame first, and since an epoch
+        frame is a restart marker on replay, any stale prefix left by the
+        failed truncate is discarded rather than double-applied.
+        """
         with self._lock:
-            self.close()
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "wb"):
-                pass  # truncate
-            self.append({"op": "epoch", "id": int(epoch)})
+            self._pending_epoch = int(epoch)
+            try:
+                if self.faults is not None:
+                    self.faults.hit("persist.wal.reset", path=self.path)
+                self.close()
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.path, "wb"):
+                    pass  # truncate
+                handle = self._open_handle()
+                epoch_payload = json.dumps(
+                    {"op": "epoch", "id": int(epoch)}, separators=(",", ":")
+                ).encode("utf-8")
+                self._write_frame(handle, epoch_payload)
+                self._pending_epoch = None
+            except OSError as exc:
+                raise WALError(
+                    f"WAL reset of {self.path} failed: {exc.strerror or exc}",
+                    path=str(self.path),
+                    errno_code=exc.errno,
+                ) from exc
 
     def close(self) -> None:
         with self._lock:
@@ -137,18 +244,46 @@ class WriteAheadLog:
 
     # -- replay ----------------------------------------------------------------
 
+    def _read_log_bytes(self) -> bytes:
+        data = self.path.read_bytes()
+        if self.faults is not None:
+            data = self.faults.filter_bytes("persist.wal.replay", data, path=self.path)
+        return data
+
     def replay(self, repair: bool = True) -> WalReplay:
         """Read every intact record; truncate (or just skip) a bad tail.
 
         ``repair=True`` (the default during recovery) physically truncates
         the file at the first bad frame so subsequent appends extend a
-        clean log.
+        clean log.  An epoch record mid-log restarts accumulation: records
+        before it belong to an older checkpoint that already contains them.
         """
         replay = WalReplay()
         if not self.path.exists():
             return replay
         self.close()  # never replay through a buffered write handle
-        data = self.path.read_bytes()
+        try:
+            try:
+                data = self._read_log_bytes()
+            except OSError as exc:
+                # Replay is an idempotent read: retrying cannot double-apply
+                # anything, and a failed read says nothing about the bytes on
+                # disk — so *any* OSError is worth retrying before the caller
+                # escalates to quarantining a perfectly good log.
+                if self.retrier is None:
+                    raise
+                data = self.retrier.retry(
+                    self._read_log_bytes,
+                    first_error=exc,
+                    operation="wal.replay",
+                    retry_all=True,
+                )
+        except OSError as exc:
+            raise WALError(
+                f"WAL replay of {self.path} failed: {exc.strerror or exc}",
+                path=str(self.path),
+                errno_code=exc.errno,
+            ) from exc
         offset = 0
         total = len(data)
         while offset < total:
@@ -175,12 +310,20 @@ class WriteAheadLog:
                 break
             if isinstance(record, dict) and record.get("op") == "epoch":
                 replay.epoch = int(record.get("id", 0))
+                replay.records.clear()  # restart marker: prior records are pre-checkpoint
             else:
                 replay.records.append(record)
             offset = end
         replay.valid_bytes = offset
         replay.truncated_bytes = total - offset
-        if replay.was_truncated and repair:
-            with open(self.path, "r+b") as handle:
-                handle.truncate(offset)
+        if replay.was_truncated:
+            replay.tail = bytes(data[offset:])
+            if repair:
+                try:
+                    with open(self.path, "r+b") as handle:
+                        handle.truncate(offset)
+                except OSError:
+                    # Leave the tail in place; the next replay will hit the
+                    # same clean truncation point.
+                    pass
         return replay

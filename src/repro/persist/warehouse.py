@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.captured_model import CapturedModel, ModelCoverage
 from repro.core.model_store import ModelStore
 from repro.core.quality import ModelQuality
-from repro.errors import FormatVersionError, PersistenceError
+from repro.errors import FormatVersionError, PersistenceError, WarehouseError
 from repro.fitting.families import LinearModel, Polynomial, family_by_name
 from repro.fitting.grouped import GroupFitRecord, GroupedFitResult
 from repro.fitting.metrics import FTestResult
@@ -136,10 +136,32 @@ def _fit_result_payload(fit: FitResult) -> dict[str, Any]:
 
 def _fit_result_from_payload(payload: dict[str, Any]) -> FitResult:
     covariance = payload.get("covariance")
+    family = _family_from_payload(payload["family"])
+    params = np.asarray(payload["params"], dtype=np.float64)
+    input_names = tuple(payload["input_names"])
+    # Backward-tolerant decoding (missing fields default) means a silently
+    # corrupted key can decode into an *internally inconsistent* fit — e.g.
+    # a linear family defaulting to input "x" while the fit was over "t" —
+    # which would only explode (untyped) at serve time.  Cross-check here so
+    # corruption surfaces as a typed error and quarantines the entry.  Only
+    # LinearModel carries its own input names (and looks inputs up by them);
+    # every other family uses a fixed "x" placeholder, so the fit's recorded
+    # column names legitimately differ there.
+    if isinstance(family, LinearModel) and tuple(family.input_names) != input_names:
+        raise PersistenceError(
+            f"warehouse fit payload is inconsistent: family expects inputs "
+            f"{tuple(family.input_names)!r} but the fit recorded {input_names!r}"
+        )
+    param_names = getattr(family, "param_names", None)
+    if param_names is not None and len(params) != len(param_names):
+        raise PersistenceError(
+            f"warehouse fit payload is inconsistent: family {family.name!r} "
+            f"takes {len(param_names)} parameter(s) but {len(params)} stored"
+        )
     return FitResult(
-        family=_family_from_payload(payload["family"]),
-        params=np.asarray(payload["params"], dtype=np.float64),
-        input_names=tuple(payload["input_names"]),
+        family=family,
+        params=params,
+        input_names=input_names,
         output_name=payload["output_name"],
         n_observations=int(payload["n_observations"]),
         residual_standard_error=float(payload["residual_standard_error"]),
@@ -263,6 +285,25 @@ def serialize_model(model: CapturedModel) -> dict[str, Any]:
 
 
 def deserialize_model(payload: dict[str, Any]) -> CapturedModel:
+    """Decode one warehouse entry; corruption surfaces as typed errors.
+
+    A structurally-broken entry (missing keys, wrong types, garbage where a
+    number should be) raises :class:`~repro.errors.WarehouseError` naming
+    the model, never a bare ``KeyError``/``ValueError`` — recovery relies on
+    this to isolate and quarantine exactly the bad entries.
+    """
+    try:
+        return _deserialize_model(payload)
+    except PersistenceError:
+        raise
+    except (KeyError, ValueError, TypeError, IndexError, AttributeError) as exc:
+        model_id = payload.get("model_id", "?") if isinstance(payload, dict) else "?"
+        raise WarehouseError(
+            f"warehouse entry for model {model_id!r} cannot be decoded: {exc!r}"
+        ) from exc
+
+
+def _deserialize_model(payload: dict[str, Any]) -> CapturedModel:
     fit_payload = payload["fit"]
     if fit_payload["kind"] == "grouped":
         fit: FitResult | GroupedFitResult = _grouped_from_payload(fit_payload)

@@ -1,0 +1,56 @@
+"""Fault injection, retry, quarantine, health and graceful degradation.
+
+The package has two halves:
+
+* **Chaos tooling** — :class:`FaultInjector` replays deterministic,
+  seed-driven fault schedules (ENOSPC, torn writes, bit flips, latency
+  spikes, exception storms) at named fault points threaded through the
+  persist, streaming, fitting and planner layers.  Strictly opt-in: with
+  no injector attached every instrumented call site is a single
+  ``is None`` check.
+
+* **Resilience runtime** — :class:`RetryPolicy`/:class:`Retrier`
+  (exponential backoff + jitter, injectable clock, time budget),
+  :class:`QuarantineManager` (move unreadable artefacts aside, minimal
+  failing subset by binary-search shrinking, journaled), per-component
+  health states with :class:`CircuitBreaker`, all bundled into the
+  :class:`ResilienceRuntime` that ``LawsDatabase`` wires through the
+  stack.  See README "Resilience & failure modes".
+"""
+
+from .faults import (
+    DESTRUCTIVE,
+    FAULT_KINDS,
+    FAULT_POINTS,
+    FaultAction,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+)
+from .health import DEGRADED, FAILED, HEALTHY, CircuitBreaker, ComponentHealth, HealthRegistry
+from .quarantine import QuarantineManager, QuarantineRecord, minimal_failing_subset
+from .retry import TRANSIENT_ERRNOS, Retrier, RetryPolicy
+from .runtime import ResilienceRuntime
+
+__all__ = [
+    "FAULT_POINTS",
+    "FAULT_KINDS",
+    "DESTRUCTIVE",
+    "FaultSpec",
+    "FaultAction",
+    "FaultEvent",
+    "FaultInjector",
+    "RetryPolicy",
+    "Retrier",
+    "TRANSIENT_ERRNOS",
+    "QuarantineManager",
+    "QuarantineRecord",
+    "minimal_failing_subset",
+    "HEALTHY",
+    "DEGRADED",
+    "FAILED",
+    "ComponentHealth",
+    "HealthRegistry",
+    "CircuitBreaker",
+    "ResilienceRuntime",
+]

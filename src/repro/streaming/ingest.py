@@ -72,6 +72,10 @@ class StreamIngestor:
             raise StreamingError(f"batch_size must be positive, got {batch_size}")
         self.database = database
         self.batch_size = batch_size
+        #: Optional fault injector (``streaming.ingest.flush``); a fault
+        #: raised here leaves the batch buffered for the next flush, so the
+        #: stream self-heals once the fault clears.
+        self.faults: Any = None
         self._buffers: dict[str, list[tuple[Any, ...]]] = {}
         self._stats: dict[str, IngestStats] = {}
         self._listeners: list[Callable[[IngestBatch], None]] = []
@@ -268,17 +272,37 @@ class StreamIngestor:
 
     def _append_rows(self, table_name: str, rows: list[tuple[Any, ...]]) -> IngestBatch:
         started = perf_counter()
+        if self.faults is not None:
+            try:
+                self.faults.hit("streaming.ingest.flush")
+            except OSError as exc:
+                # Typed outward: producers see a repro error, the batch
+                # stays buffered (submit/flush re-queue on failure).
+                raise StreamingError(
+                    f"ingest flush for {table_name!r} failed: {exc.strerror or exc}"
+                ) from exc
         # The append (+ version bump) and any commit listeners (the WAL's
         # redo record) form one critical section: a checkpoint holding the
         # same lock either sees the batch in the table *and* the log, or in
         # neither.
         with self.database.catalog.commit_lock:
+            live = self.database.catalog.live_table(table_name)
+            pre_image = live.pinned()
             start, end = self.database.append_batch(table_name, rows)
             batch = IngestBatch(
                 table_name=table_name, start_row=start, end_row=end, rows=tuple(rows)
             )
-            for listener in list(self._commit_listeners):
-                listener(batch)
+            try:
+                for listener in list(self._commit_listeners):
+                    listener(batch)
+            except BaseException:
+                # A commit listener is part of the commit (it writes the
+                # batch's WAL redo record, atomically).  If it fails, the
+                # in-memory append must not survive either: the caller
+                # re-queues the rows, and a retry would apply them twice.
+                live.rollback_to(pre_image)
+                self.database.catalog.mark_dirty(table_name)
+                raise
         elapsed = perf_counter() - started
         stats = self._stats_for(table_name)
         stats.rows_ingested += len(rows)

@@ -33,7 +33,7 @@ from repro.core.storage.model_switching import ModelLifecycleManager
 from repro.db.database import Database
 from repro.db.sql.parser import parse_expression
 from repro.db.table import Table
-from repro.errors import DriftMonitorError, ModelNotFoundError, ReproError
+from repro.errors import DriftMonitorError, ModelNotFoundError, ReproError, StreamingError
 from repro.streaming.changepoint import ChangePointResult, find_changepoints
 from repro.streaming.drift import DriftVerdict, ResidualDriftDetector
 from repro.streaming.ingest import IngestBatch
@@ -140,7 +140,21 @@ class ModelMaintenancePolicy:
         #: transitions, change-point localizations and every maintenance
         #: action are recorded as queryable events.
         self.journal: Any = None
+        #: Optional fault injector (``streaming.maintenance.refit``).
+        self.faults: Any = None
+        #: Optional :class:`repro.resilience.ResilienceRuntime`.  When set,
+        #: each watch target gets a per-target circuit breaker
+        #: (``refit:{table}.{column}``): a refit storm (repeated refit
+        #: failures on one target) trips the breaker and further refits of
+        #: that target are skipped until the cooldown passes, instead of
+        #: burning a failing fit per tick while other targets wait.
+        self.resilience: Any = None
         self._targets: dict[tuple[str, str], WatchTarget] = {}
+
+    def _breaker(self, target: WatchTarget) -> Any:
+        if self.resilience is None:
+            return None
+        return self.resilience.breaker(f"refit:{target.table_name}.{target.output_column}")
 
     def _journal_record(self, kind: str, **fields: Any) -> None:
         if self.journal is not None:
@@ -308,6 +322,9 @@ class ModelMaintenancePolicy:
             try:
                 report.actions.append(self._maintain_target(target))
             except ReproError as exc:
+                breaker = self._breaker(target)
+                if breaker is not None:
+                    breaker.record_failure(f"{type(exc).__name__}: {exc}")
                 report.actions.append(
                     MaintenanceAction(
                         table_name=target.table_name,
@@ -343,6 +360,19 @@ class ModelMaintenancePolicy:
         model = self.store.get(target.model_id)
         verdict = target.last_verdict
         drifted = verdict is not None and verdict.drifted
+
+        breaker = self._breaker(target)
+        if breaker is not None and not breaker.allow():
+            # Refit storm: this target's recent refits all failed.  Skip the
+            # tick (the stale-but-servable old model keeps answering) until
+            # the breaker's cooldown admits a half-open trial.
+            return MaintenanceAction(
+                table_name=target.table_name,
+                output_column=target.output_column,
+                kind="none",
+                old_model_ids=(model.model_id,),
+                details=f"maintenance skipped: circuit breaker {breaker.name!r} is open",
+            )
 
         blocked = (
             self.refit_guard(target.table_name) if self.refit_guard is not None else None
@@ -557,10 +587,18 @@ class ModelMaintenancePolicy:
     # -- helpers ---------------------------------------------------------------------------
 
     def _harvest(self, model: CapturedModel, predicate_sql: str | None) -> HarvestReport:
+        if self.faults is not None:
+            try:
+                self.faults.hit("streaming.maintenance.refit")
+            except OSError as exc:
+                raise StreamingError(
+                    f"maintenance refit of {model.table_name}.{model.output_column} "
+                    f"failed: {exc.strerror or exc}"
+                ) from exc
         # Refit with the same estimator settings the original capture used —
         # a robust or Gauss-Newton model must not silently become a plain
         # least-squares one across a maintenance refit.
-        return self.harvester.fit_and_capture(
+        report = self.harvester.fit_and_capture(
             model.table_name,
             model.formula,
             group_by=list(model.group_columns) or None,
@@ -568,6 +606,13 @@ class ModelMaintenancePolicy:
             robust=bool(model.metadata.get("robust", False)),
             method=str(model.metadata.get("method", "lm")),
         )
+        if self.resilience is not None:
+            # A completed fit — accepted or quality-rejected — is not a
+            # fault; it closes (or keeps closed) the target's breaker.
+            self.resilience.breaker(
+                f"refit:{model.table_name}.{model.output_column}"
+            ).record_success()
+        return report
 
     def _adopt(self, target: WatchTarget, model: CapturedModel) -> None:
         target.model_id = model.model_id

@@ -6,7 +6,7 @@ import pytest
 from repro.core.captured_model import CapturedModel, ModelCoverage
 from repro.core.model_store import ModelStore
 from repro.core.quality import ModelQuality, QualityPolicy, judge_fit, judge_grouped
-from repro.errors import ModelNotFoundError
+from repro.errors import HarvestError, ModelNotFoundError
 from repro.fitting import LinearModel, fit_model
 
 
@@ -191,7 +191,7 @@ class TestStaleDeprioritizationAndSupersede:
     def test_supersede_self_rejected(self):
         store = ModelStore()
         model = store.add(_make_captured(0.1))
-        with pytest.raises(ValueError):
+        with pytest.raises(HarvestError):
             store.supersede(model.model_id, model.model_id)
         with pytest.raises(ModelNotFoundError):
             store.supersede(model.model_id, 999)

@@ -1,0 +1,141 @@
+"""Graceful planner degradation: disclosed model answers vs typed refusals."""
+
+import pytest
+
+from repro import LawsDatabase
+from repro.core.planner import AccuracyContract
+from repro.errors import DegradedServiceError
+from repro.resilience import FaultInjector
+from repro.resilience.faults import FaultSpec
+
+ROWS = 64
+
+
+@pytest.fixture
+def db():
+    system = LawsDatabase(verify_seed=0)
+    system.load_dict(
+        "metrics",
+        {
+            "t": [float(t) for t in range(ROWS)],
+            "v": [2.0 * t + 3.0 for t in range(ROWS)],
+        },
+    )
+    system.fit("metrics", "v ~ t")
+    return system
+
+
+def fail_table(db):
+    db.resilience.health.mark_failed("table:metrics", "snapshot segments quarantined")
+
+
+def test_exact_query_raises_typed_degraded_error(db):
+    fail_table(db)
+    with pytest.raises(DegradedServiceError) as info:
+        db.query("SELECT avg(v) AS m FROM metrics", AccuracyContract(mode="exact"))
+    assert info.value.component == "table:metrics"
+    assert "quarantined" in info.value.reason
+
+
+def test_approx_query_serves_with_disclosure(db):
+    baseline = db.query(
+        "SELECT avg(v) AS m FROM metrics",
+        AccuracyContract(max_relative_error=0.1, verify_fraction=0.0),
+    )
+    fail_table(db)
+    answer = db.query(
+        "SELECT avg(v) AS m FROM metrics",
+        AccuracyContract(max_relative_error=0.1, verify_fraction=0.0),
+    )
+    assert answer.plan.degraded_reason is not None
+    assert not answer.is_exact
+    assert float(answer.scalar()) == pytest.approx(float(baseline.scalar()), rel=0.1)
+    # The disclosure propagates to metrics and the compliance ledger.
+    assert db.obs.metrics.counter_total("degraded_answers_total") == 1
+    route_report = db.compliance_report()["routes"][answer.route_taken]
+    assert route_report["degraded_served"] == 1
+    # ...and no feedback audit ran: "exact" over the partial rows would
+    # record bogus evidence against the surviving model.
+    assert answer.feedback is None
+
+
+def test_explain_discloses_degradation_without_executing(db):
+    fail_table(db)
+    plan_text = db.explain("SELECT avg(v) AS m FROM metrics")
+    assert "Degraded: table:metrics" in plan_text
+
+
+def test_queries_on_healthy_tables_unaffected(db):
+    db.load_dict("other", {"x": [1.0, 2.0, 3.0]})
+    fail_table(db)
+    answer = db.query("SELECT sum(x) AS s FROM other", AccuracyContract(mode="exact"))
+    assert float(answer.scalar()) == 6.0
+    assert answer.plan.degraded_reason is None
+
+
+def test_acknowledge_degraded_restores_service(db):
+    fail_table(db)
+    with pytest.raises(DegradedServiceError):
+        db.query("SELECT avg(v) AS m FROM metrics", AccuracyContract(mode="exact"))
+    db.acknowledge_degraded("table:metrics")
+    # The health transition bumped the store version, so the cached
+    # degraded plan is invalid and exact service resumes immediately.
+    answer = db.query("SELECT avg(v) AS m FROM metrics", AccuracyContract(mode="exact"))
+    assert answer.is_exact
+
+
+def test_refit_breaker_skips_storming_target():
+    specs = [
+        FaultSpec("streaming.maintenance.refit", "exception", hit=h)
+        for h in range(1, 10)
+    ]
+    db = LawsDatabase(verify_seed=0, fault_injector=FaultInjector(specs))
+    db.load_dict(
+        "metrics",
+        {
+            "t": [float(t) for t in range(ROWS)],
+            "v": [2.0 * t + 3.0 for t in range(ROWS)],
+        },
+    )
+    db.fit("metrics", "v ~ t")
+    db.watch("metrics", "v", order_column="t")
+    threshold = db.resilience.breaker_failure_threshold
+    kinds = []
+    for _ in range(threshold + 2):
+        # Every tick sees fresh drifted data, so maintenance keeps trying
+        # to refit — and the injected storm keeps failing it.
+        db.ingest("metrics", [(float(ROWS), 1e6)], flush=True)
+        report = db.maintain()
+        (action,) = report.actions
+        kinds.append((action.kind, action.details))
+    assert [k for k, _ in kinds[:threshold]] == ["error"] * threshold
+    skipped = [d for k, d in kinds[threshold:] if k == "none"]
+    assert skipped and all("circuit breaker" in d for d in skipped)
+    assert db.resilience.health.state("refit:metrics.v") == "degraded"
+    # The stale-but-servable old model keeps answering throughout.
+    assert db.best_model("metrics", "v") is not None
+
+
+def test_verifier_breaker_stops_failing_audits():
+    specs = [FaultSpec("planner.verify", "exception", hit=h) for h in range(1, 20)]
+    db = LawsDatabase(verify_seed=0, fault_injector=FaultInjector(specs))
+    db.load_dict(
+        "metrics",
+        {
+            "t": [float(t) for t in range(ROWS)],
+            "v": [2.0 * t + 3.0 for t in range(ROWS)],
+        },
+    )
+    db.fit("metrics", "v ~ t")
+    contract = AccuracyContract(max_relative_error=0.1, verify_fraction=1.0)
+    threshold = db.resilience.breaker_failure_threshold
+    for i in range(threshold + 2):
+        # The audit storm must never fail an answer that served correctly.
+        answer = db.query(f"SELECT avg(v) AS m{i} FROM metrics", contract)
+        assert answer.feedback is None
+    breaker = db.resilience.breaker("planner.verify")
+    assert breaker.is_open
+    # Only `threshold` audits actually ran; the rest were skipped open.
+    fired = [e for e in db.resilience.faults.fired() if e.point == "planner.verify"]
+    assert len(fired) == threshold
+    assert db.obs.metrics.counter_total("verifier_failures_total") == threshold

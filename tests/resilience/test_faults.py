@@ -1,0 +1,147 @@
+"""Unit tests for the deterministic fault injector itself."""
+
+import errno
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.resilience.faults import (
+    DESTRUCTIVE,
+    FAULT_POINTS,
+    FaultAction,
+    FaultInjector,
+    FaultSpec,
+)
+
+
+def test_unscheduled_points_are_silent():
+    injector = FaultInjector([FaultSpec("persist.wal.append", "oserror", hit=2)])
+    assert injector.hit("persist.snapshot.write") is None
+    assert injector.hit("persist.wal.append") is None  # hit 1: not scheduled
+    assert injector.fired() == ()
+
+
+def test_hit_counters_are_one_based_and_per_point():
+    injector = FaultInjector(
+        [
+            FaultSpec("persist.wal.append", "oserror", hit=1),
+            FaultSpec("persist.snapshot.write", "oserror", hit=2),
+        ]
+    )
+    with pytest.raises(OSError):
+        injector.hit("persist.wal.append")
+    # The snapshot point keeps its own counter: its first arrival is clean.
+    assert injector.hit("persist.snapshot.write") is None
+    with pytest.raises(OSError):
+        injector.hit("persist.snapshot.write")
+
+
+def test_oserror_kind_carries_errno_and_path():
+    injector = FaultInjector(
+        [FaultSpec("persist.manifest.write", "oserror", errno_code=errno.ENOSPC)]
+    )
+    with pytest.raises(OSError) as info:
+        injector.hit("persist.manifest.write", path="/tmp/MANIFEST.json")
+    assert info.value.errno == errno.ENOSPC
+    assert info.value.filename == "/tmp/MANIFEST.json"
+
+
+def test_exception_kind_raises_injected_fault():
+    injector = FaultInjector([FaultSpec("fitting.fit", "exception")])
+    with pytest.raises(InjectedFault) as info:
+        injector.hit("fitting.fit")
+    assert info.value.point == "fitting.fit"
+    assert info.value.hit == 1
+
+
+def test_latency_kind_sleeps_through_injectable_sleep():
+    slept = []
+    injector = FaultInjector(
+        [FaultSpec("persist.wal.reset", "latency", latency_seconds=0.25)],
+        sleep=slept.append,
+    )
+    assert injector.hit("persist.wal.reset") is None
+    assert slept == [0.25]
+
+
+def test_cooperative_kinds_return_an_action():
+    injector = FaultInjector(
+        [FaultSpec("persist.snapshot.write", "torn_write", fraction=0.5)]
+    )
+    action = injector.hit("persist.snapshot.write")
+    assert isinstance(action, FaultAction)
+    assert action.kind == "torn_write"
+
+
+def test_apply_torn_write_keeps_a_prefix():
+    action = FaultAction("persist.snapshot.write", "torn_write", fraction=0.5)
+    data = bytes(range(100))
+    torn = FaultInjector.apply(action, data)
+    assert torn == data[:50]
+    # Never tears to nothing — a zero-byte "write" is a different failure.
+    assert FaultInjector.apply(action, b"x") == b"x"
+
+
+def test_apply_bit_flip_changes_exactly_one_bit():
+    action = FaultAction("persist.snapshot.read", "bit_flip", bit_index=13)
+    data = bytes(16)
+    flipped = FaultInjector.apply(action, data)
+    assert len(flipped) == len(data)
+    diff = [a ^ b for a, b in zip(data, flipped)]
+    changed = [d for d in diff if d]
+    assert len(changed) == 1
+    assert bin(changed[0]).count("1") == 1
+
+
+def test_filter_bytes_flips_on_schedule_only():
+    injector = FaultInjector(
+        [FaultSpec("persist.wal.replay", "bit_flip", hit=2, bit_index=0)]
+    )
+    data = b"payload"
+    assert injector.filter_bytes("persist.wal.replay", data) == data
+    assert injector.filter_bytes("persist.wal.replay", data) != data
+
+
+def test_fired_log_and_drain():
+    injector = FaultInjector([FaultSpec("persist.wal.append", "latency")])
+    injector.hit("persist.wal.append")
+    events = injector.fired()
+    assert [(e.point, e.kind, e.hit) for e in events] == [
+        ("persist.wal.append", "latency", 1)
+    ]
+    assert injector.drain() == events
+    assert injector.fired() == ()
+
+
+def test_is_destructive_matches_the_frozen_set():
+    for point, kind in sorted(DESTRUCTIVE):
+        assert FaultInjector([FaultSpec(point, kind)]).is_destructive()
+    assert not FaultInjector(
+        [FaultSpec("persist.wal.append", "oserror")]
+    ).is_destructive()
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec("no.such.point", "oserror")
+    with pytest.raises(ValueError):
+        FaultSpec("persist.wal.append", "no-such-kind")
+    with pytest.raises(ValueError):
+        FaultSpec("persist.wal.append", "oserror", hit=0)
+    with pytest.raises(ValueError):
+        FaultInjector(
+            [
+                FaultSpec("persist.wal.append", "oserror", hit=1),
+                FaultSpec("persist.wal.append", "latency", hit=1),
+            ]
+        )
+
+
+def test_random_schedule_is_reproducible_and_valid():
+    a = FaultInjector.random_schedule(42)
+    b = FaultInjector.random_schedule(42)
+    assert a == b
+    assert FaultInjector.random_schedule(43) != a
+    for spec in a:
+        assert spec.point in FAULT_POINTS
+        assert 1 <= spec.hit <= 5

@@ -1,0 +1,128 @@
+"""Unit tests for the health registry and the circuit breaker."""
+
+import pytest
+
+from repro.obs.events import EventJournal
+from repro.resilience.health import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    CircuitBreaker,
+    HealthRegistry,
+)
+
+
+def test_unknown_components_are_healthy():
+    registry = HealthRegistry()
+    assert registry.state("warehouse") == HEALTHY
+    assert not registry.is_failed("warehouse")
+    assert registry.failed_components() == []
+
+
+def test_transitions_journal_and_fan_out():
+    journal = EventJournal()
+    registry = HealthRegistry(journal=journal)
+    seen = []
+    registry.on_transition = lambda name, was, now: seen.append((name, was, now))
+    registry.mark_degraded("wal", "flaky appends")
+    registry.mark_failed("wal", "log quarantined")
+    registry.mark_failed("wal", "log quarantined")  # no transition, no event
+    registry.mark_healthy("wal", "operator acknowledged")
+    assert seen == [
+        ("wal", HEALTHY, DEGRADED),
+        ("wal", DEGRADED, FAILED),
+        ("wal", FAILED, HEALTHY),
+    ]
+    events = journal.events(kind="health-transition")
+    assert [(e.fields["was"], e.fields["state"]) for e in events] == [
+        (HEALTHY, DEGRADED),
+        (DEGRADED, FAILED),
+        (FAILED, HEALTHY),
+    ]
+    assert registry.reason("wal") == "operator acknowledged"
+
+
+def test_invalid_state_rejected():
+    with pytest.raises(ValueError):
+        HealthRegistry().set_state("wal", "on-fire")
+
+
+def test_report_lists_components_sorted():
+    registry = HealthRegistry()
+    registry.mark_failed("warehouse", "gone")
+    registry.mark_degraded("table:metrics", "partial")
+    report = registry.report()
+    assert list(report) == ["table:metrics", "warehouse"]
+    assert report["warehouse"]["state"] == FAILED
+    assert registry.failed_components() == ["warehouse"]
+
+
+def make_breaker(**kwargs):
+    clock = {"now": 0.0}
+    breaker = CircuitBreaker(
+        "refit:metrics.v", clock=lambda: clock["now"], **kwargs
+    )
+    return breaker, clock
+
+
+def test_breaker_opens_at_threshold():
+    breaker, _ = make_breaker(failure_threshold=3)
+    assert not breaker.record_failure("one")
+    assert not breaker.record_failure("two")
+    assert breaker.allow()
+    assert breaker.record_failure("three")  # newly open
+    assert breaker.is_open
+    assert not breaker.allow()
+
+
+def test_breaker_success_resets_the_count():
+    breaker, _ = make_breaker(failure_threshold=2)
+    breaker.record_failure("one")
+    breaker.record_success()
+    breaker.record_failure("one again")
+    assert not breaker.is_open  # the success cleared the streak
+
+
+def test_half_open_single_trial_then_close():
+    breaker, clock = make_breaker(failure_threshold=1, cooldown_seconds=10.0)
+    breaker.record_failure("boom")
+    assert not breaker.allow()
+    clock["now"] = 10.0
+    assert breaker.allow()  # the half-open trial
+    assert not breaker.allow()  # only one trial at a time
+    breaker.record_success()
+    assert not breaker.is_open
+    assert breaker.allow()
+
+
+def test_half_open_failure_reopens():
+    breaker, clock = make_breaker(failure_threshold=1, cooldown_seconds=10.0)
+    breaker.record_failure("boom")
+    clock["now"] = 10.0
+    assert breaker.allow()
+    assert breaker.record_failure("still broken")  # reopens immediately
+    assert not breaker.allow()
+    clock["now"] = 20.0
+    assert breaker.allow()  # a fresh cooldown earns a fresh trial
+
+
+def test_breaker_drives_health_and_journal():
+    journal = EventJournal()
+    health = HealthRegistry()
+    clock = {"now": 0.0}
+    breaker = CircuitBreaker(
+        "verifier",
+        failure_threshold=1,
+        cooldown_seconds=5.0,
+        clock=lambda: clock["now"],
+        health=health,
+        journal=journal,
+    )
+    breaker.record_failure("storm")
+    assert health.state("verifier") == DEGRADED
+    assert journal.events(kind="breaker-open")
+    clock["now"] = 5.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert health.state("verifier") == HEALTHY
+    assert journal.events(kind="breaker-close")

@@ -1,0 +1,105 @@
+"""Unit tests for the quarantine manager and minimal-subset shrinking."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.quarantine import (
+    QuarantineManager,
+    minimal_failing_subset,
+)
+
+
+class CountingProbe:
+    """probe() that fails when the batch contains any bad item."""
+
+    def __init__(self, bad):
+        self.bad = set(bad)
+        self.calls = 0
+
+    def __call__(self, batch):
+        self.calls += 1
+        if any(item in self.bad for item in batch):
+            raise ValueError("bad entry in batch")
+
+
+def test_minimal_subset_empty_and_clean():
+    probe = CountingProbe(bad=[])
+    assert minimal_failing_subset([], probe) == []
+    assert minimal_failing_subset(list(range(8)), probe) == []
+    assert probe.calls == 1  # clean fast path: one whole-batch probe
+
+
+def test_minimal_subset_finds_exactly_the_bad_indices():
+    items = list(range(16))
+    probe = CountingProbe(bad=[3, 11])
+    assert minimal_failing_subset(items, probe) == [3, 11]
+    for index in (3, 11):
+        with pytest.raises(ValueError):
+            probe([items[index]])
+
+
+def test_minimal_subset_probe_count_is_logarithmic():
+    n = 256
+    probe = CountingProbe(bad=[57])
+    assert minimal_failing_subset(list(range(n)), probe) == [57]
+    # One bad entry in n items: ~2*log2(n) probes, nowhere near n.
+    assert probe.calls <= 2 * n.bit_length() + 2
+
+
+def test_quarantine_file_moves_and_ledgers(tmp_path):
+    manager = QuarantineManager(tmp_path)
+    victim = tmp_path / "segment.npz"
+    victim.write_bytes(b"corrupt bytes")
+    record = manager.quarantine_file(
+        victim, artefact="snapshot-segment", reason="checksum mismatch"
+    )
+    assert not victim.exists()
+    quarantined = tmp_path / "quarantine" / "segment.npz"
+    assert quarantined.read_bytes() == b"corrupt bytes"
+    assert record.quarantined_path == str(quarantined)
+    ledger = json.loads(manager.ledger_path.read_text())
+    assert len(ledger["records"]) == 1
+    assert ledger["records"][0]["artefact"] == "snapshot-segment"
+
+
+def test_quarantine_name_collisions_get_suffixes(tmp_path):
+    manager = QuarantineManager(tmp_path)
+    for payload in (b"first", b"second"):
+        manager.quarantine_bytes(payload, name="tail.bin", artefact="wal-tail", reason="torn")
+    directory = tmp_path / "quarantine"
+    assert (directory / "tail.bin").read_bytes() == b"first"
+    assert (directory / "tail.bin.1").read_bytes() == b"second"
+
+
+def test_ledger_survives_reload(tmp_path):
+    manager = QuarantineManager(tmp_path)
+    manager.quarantine_bytes(b"x", name="a.bin", artefact="wal-tail", reason="torn")
+    manager.quarantine_entry({"model_id": 7}, name="m.json", artefact="warehouse-entry", reason="bad")
+    reloaded = QuarantineManager(tmp_path)
+    report = reloaded.report()
+    assert report["count"] == 2
+    assert report["by_artefact"] == {"wal-tail": 1, "warehouse-entry": 1}
+    assert reloaded.records(artefact="warehouse-entry")[0].source == "m.json"
+
+
+def test_corrupt_ledger_is_set_aside_not_fatal(tmp_path):
+    manager = QuarantineManager(tmp_path)
+    manager.quarantine_bytes(b"x", name="a.bin", artefact="wal-tail", reason="torn")
+    manager.ledger_path.write_text("{not json", encoding="utf-8")
+    reloaded = QuarantineManager(tmp_path)
+    assert reloaded.records() == []
+    assert manager.ledger_path.with_suffix(".corrupt").exists()
+
+
+def test_quarantine_journals_and_counts(tmp_path):
+    journal = EventJournal()
+    metrics = MetricsRegistry()
+    manager = QuarantineManager(tmp_path, journal=journal, metrics=metrics)
+    manager.quarantine_bytes(b"x", name="a.bin", artefact="wal-tail", reason="torn")
+    events = journal.events(kind="quarantine")
+    assert len(events) == 1
+    assert events[0].fields["artefact"] == "wal-tail"
+    assert metrics.counter_value("quarantine_total", artefact="wal-tail") == 1

@@ -47,6 +47,12 @@ class ModelCoverage:
     when the whole table was used) — this is the paper's "partial models"
     challenge: a model fitted to a restricted query result only covers that
     subset.
+
+    ``row_range`` restricts coverage to a half-open row interval of the base
+    table (partition-scoped models): the model was fitted on exactly
+    ``table[start:stop]``.  Range-scoped models never serve whole-table
+    queries directly; the grouped route merges their per-group partials the
+    same way it merges archive-segment models.
     """
 
     table_name: str
@@ -54,10 +60,11 @@ class ModelCoverage:
     output_column: str
     group_columns: tuple[str, ...] = ()
     predicate_sql: str | None = None
+    row_range: tuple[int, int] | None = None
 
     @property
     def covers_whole_table(self) -> bool:
-        return self.predicate_sql is None
+        return self.predicate_sql is None and self.row_range is None
 
     def columns(self) -> set[str]:
         return set(self.input_columns) | {self.output_column} | set(self.group_columns)

@@ -107,6 +107,8 @@ class ModelHarvester:
         robust: bool = False,
         method: str = "lm",
         min_observations: int | None = None,
+        row_range: tuple[int, int] | None = None,
+        partition_id: int | None = None,
     ) -> HarvestReport:
         """Fit ``formula`` against a stored table and capture the model.
 
@@ -127,14 +129,27 @@ class ModelHarvester:
         method:
             ``"lm"`` (Levenberg-Marquardt) or ``"gn"`` (Gauss-Newton) for
             non-linear families.
+        row_range:
+            Optional half-open row interval restricting the fit to a table
+            partition; recorded in the coverage so serving, drift detection
+            and refits stay scoped to that shard.  Mutually exclusive with
+            ``predicate_sql``.
+        partition_id:
+            Partition the ``row_range`` belongs to, recorded in the model
+            metadata so a re-partition can find and refresh shard models.
         """
         if self.fit_guard is not None:
             blocked = self.fit_guard(table_name)
             if blocked is not None:
                 raise HarvestError(f"cannot capture a model of {table_name!r}: {blocked}")
+        if row_range is not None and predicate_sql is not None:
+            raise HarvestError(
+                "row_range and predicate_sql cannot be combined: a partition model "
+                "covers its row interval unconditionally"
+            )
         parsed = parse_formula(formula)
         group_columns = self._normalise_group_by(group_by)
-        table = self._fitting_input(table_name, parsed, group_columns, predicate_sql)
+        table = self._fitting_input(table_name, parsed, group_columns, predicate_sql, row_range)
 
         if group_columns:
             fit_result, quality, fraction = self._fit_grouped(table, parsed, group_columns, method, min_observations)
@@ -150,7 +165,11 @@ class ModelHarvester:
             output_column=parsed.output,
             group_columns=tuple(group_columns),
             predicate_sql=predicate_sql,
+            row_range=row_range,
         )
+        metadata: dict[str, Any] = {"robust": robust, "method": method}
+        if partition_id is not None:
+            metadata["partition_id"] = int(partition_id)
         model = CapturedModel(
             coverage=coverage,
             formula=formula,
@@ -159,7 +178,7 @@ class ModelHarvester:
             accepted=accepted,
             group_fit_fraction=fraction,
             fitted_row_count=table.num_rows,
-            metadata={"robust": robust, "method": method},
+            metadata=metadata,
         )
         self.store.add(model)
         if self.journal is not None:
@@ -173,6 +192,47 @@ class ModelHarvester:
                 grouped=bool(group_columns),
             )
         return HarvestReport(model=model, quality=quality, accepted=accepted)
+
+    def fit_partitioned(
+        self,
+        table_name: str,
+        formula: str,
+        group_by: str | list[str] | None = None,
+        robust: bool = False,
+        method: str = "lm",
+        min_observations: int | None = None,
+    ) -> list[HarvestReport]:
+        """Fit one model per partition of ``table_name`` (partition map in
+        the catalog metadata) and capture each with partition-scoped coverage.
+
+        Drift detection, demotion and refit then run per shard: a batch
+        appended past a partition's row range never stales that partition's
+        model, and maintenance refits only the shards that moved.  Grouped
+        per-partition models are merged per group by the grouped route, the
+        same way archive-segment models are.
+        """
+        payload = self.database.catalog.table_meta(table_name, "partitions")
+        if not payload or not payload.get("partitions"):
+            raise HarvestError(
+                f"table {table_name!r} has no partition map; call partition_table() first"
+            )
+        reports: list[HarvestReport] = []
+        for entry in payload["partitions"]:
+            start = int(entry["start"])
+            stop = start + int(entry["rows"])
+            reports.append(
+                self.fit_and_capture(
+                    table_name,
+                    formula,
+                    group_by=group_by,
+                    robust=robust,
+                    method=method,
+                    min_observations=min_observations,
+                    row_range=(start, stop),
+                    partition_id=int(entry["id"]),
+                )
+            )
+        return reports
 
     def ensure_grouped(
         self,
@@ -255,6 +315,7 @@ class ModelHarvester:
         parsed: ParsedFormula,
         group_columns: list[str],
         predicate_sql: str | None,
+        row_range: tuple[int, int] | None = None,
     ) -> Table:
         """Materialise exactly the columns (and rows) the fit needs."""
         table = self.database.table(table_name)
@@ -268,6 +329,14 @@ class ModelHarvester:
             projected = ", ".join(needed)
             result = self.database.query(f"SELECT {projected} FROM {table_name} WHERE {predicate_sql}")
             return result
+        if row_range is not None:
+            start, stop = row_range
+            if not (0 <= start <= stop <= table.num_rows):
+                raise HarvestError(
+                    f"row range {row_range!r} is outside table {table_name!r} "
+                    f"({table.num_rows} rows)"
+                )
+            return table.slice(start, stop).select(needed)
         return table.select(needed)
 
     def _fit_single(

@@ -350,14 +350,31 @@ class ModelStore:
 
     # -- lifecycle ----------------------------------------------------------------------
 
-    def mark_table_stale(self, table_name: str) -> list[CapturedModel]:
-        """Mark every model of ``table_name`` stale (called when data changes)."""
+    def mark_table_stale(
+        self, table_name: str, appended_from: int | None = None
+    ) -> list[CapturedModel]:
+        """Mark every model of ``table_name`` stale (called when data changes).
+
+        When the change was an *append* starting at row ``appended_from``,
+        partition-scoped models whose row range lies entirely below the
+        append boundary are exempt — their rows did not change, so per-shard
+        drift detection leaves them active and maintenance refits only the
+        shards the batch actually landed in.
+        """
         stale = []
         with self._lock:
             for model in self._models.values():
-                if model.table_name == table_name and model.status == "active":
-                    model.mark_stale()
-                    stale.append(model)
+                if model.table_name != table_name or model.status != "active":
+                    continue
+                row_range = model.coverage.row_range
+                if (
+                    appended_from is not None
+                    and row_range is not None
+                    and row_range[1] <= appended_from
+                ):
+                    continue
+                model.mark_stale()
+                stale.append(model)
             if stale:
                 self._version += 1
         return stale

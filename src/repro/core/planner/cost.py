@@ -50,15 +50,30 @@ class OperatorCosts:
     #: scans, model routes read no pages at all — the paper's zero-IO
     #: argument, made visible to the cost-based route choice.
     io_bytes_per_second: float = 500e6
+    #: Fixed cost of dispatching one partition task to a pool thread
+    #: (submit + future wakeup + partial-state merge share); calibrated by
+    #: ``benchmarks/bench_parallel.py``'s ``"parallel"`` block when present.
+    parallel_task_overhead_seconds: float = 2.5e-4
+    #: Same, for a forked process worker (fork + token round-trip + result
+    #: pickling) — orders of magnitude above the thread cost, so the process
+    #: backend only wins on very large per-worker slices.
+    parallel_process_task_overhead_seconds: float = 6.0e-2
+    #: Pool width the fan-out decision plans for.
+    parallel_max_workers: int = 4
 
     @classmethod
     def from_bench_payload(cls, payload: dict) -> "OperatorCosts":
         """Calibrate from a parsed ``BENCH_hotpaths.json`` payload."""
         hot = payload.get("hot_paths", {})
+        parallel = payload.get("parallel", {})
 
         def rate(name: str, key: str, default: float) -> float:
             entry = hot.get(name, {})
             value = float(entry.get(key, 0.0) or 0.0)
+            return value if value > 0 else default
+
+        def positive(mapping: dict, key: str, default: float) -> float:
+            value = float(mapping.get(key, 0.0) or 0.0)
             return value if value > 0 else default
 
         base = cls()
@@ -68,6 +83,15 @@ class OperatorCosts:
             join_seconds_per_row=1.0 / rate("join", "rows_per_second", 1.0 / base.join_seconds_per_row),
             model_eval_seconds=base.model_eval_seconds,
             query_fixed_seconds=1.0 / rate("repeated_query", "queries_per_second", 1.0 / base.query_fixed_seconds),
+            parallel_task_overhead_seconds=positive(
+                parallel, "task_overhead_seconds", base.parallel_task_overhead_seconds
+            ),
+            parallel_process_task_overhead_seconds=positive(
+                parallel, "process_task_overhead_seconds", base.parallel_process_task_overhead_seconds
+            ),
+            parallel_max_workers=int(
+                positive(parallel, "max_workers", base.parallel_max_workers)
+            ),
         )
 
 
@@ -129,6 +153,35 @@ class CostModel:
         if statement.group_by:
             seconds += base_rows * costs.group_by_seconds_per_row
         return seconds + scanned_bytes / costs.io_bytes_per_second
+
+    def parallel_fanout(self, rows: int, num_partitions: int) -> tuple[int, str] | None:
+        """Decide whether fanning a ``rows``-row scan across partitions pays.
+
+        Returns ``(workers, backend)`` when the modelled parallel critical
+        path — the per-worker row share plus one dispatch overhead per
+        partition task — beats single-threaded row cost, ``None`` otherwise.
+        Small tables lose to dispatch overhead and stay serial; the process
+        backend is only chosen when each worker's slice dwarfs the fork
+        round-trip.  Deliberately *not* clamped to ``os.cpu_count()``: the
+        host CPU count says nothing about the simulated-IO savings, and on
+        single-core CI the thread pool must still be exercised.
+        """
+        if num_partitions < 2 or rows <= 0:
+            return None
+        costs = self.costs
+        workers = max(1, min(costs.parallel_max_workers, num_partitions))
+        serial_seconds = rows * costs.scan_seconds_per_row
+        tasks_per_worker = -(-num_partitions // workers)  # ceil
+        parallel_seconds = (
+            serial_seconds / workers
+            + tasks_per_worker * costs.parallel_task_overhead_seconds
+        )
+        if parallel_seconds >= serial_seconds or workers < 2:
+            return None
+        per_worker_seconds = serial_seconds / workers
+        if per_worker_seconds > 20.0 * costs.parallel_process_task_overhead_seconds:
+            return workers, "process"
+        return workers, "thread"
 
     def exact_fill_seconds(
         self, uncovered_rows: float, fill_scan_rows: float | None = None

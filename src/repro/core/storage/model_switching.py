@@ -65,10 +65,23 @@ class ModelLifecycleManager:
 
     # -- change notification -------------------------------------------------------
 
-    def on_data_changed(self, table_name: str) -> list[CapturedModel]:
-        """Mark models of ``table_name`` stale after an insert/update."""
-        self.database.catalog.mark_dirty(table_name)
-        return self.store.mark_table_stale(table_name)
+    def on_data_changed(
+        self, table_name: str, appended_from: int | None = None
+    ) -> list[CapturedModel]:
+        """Mark models of ``table_name`` stale after an insert/update.
+
+        ``appended_from`` (the start row of an append) exempts
+        partition-scoped models wholly below the append boundary — those
+        shards did not change.
+
+        Statistics that are still clean here were already updated by the
+        mutator itself (the ingest flush folds exact per-batch statistics
+        into the cached table statistics); re-marking them dirty would
+        discard that merge and force a whole-table rescan for nothing.
+        """
+        if not self.database.catalog.stats_clean(table_name):
+            self.database.catalog.mark_dirty(table_name)
+        return self.store.mark_table_stale(table_name, appended_from=appended_from)
 
     # -- re-validation -----------------------------------------------------------------
 
@@ -152,6 +165,13 @@ class ModelLifecycleManager:
         order column alongside the modelled ones).
         """
         table = self.database.table(model.table_name)
+        row_range = model.coverage.row_range
+        if row_range is not None:
+            # Partition-scoped coverage: exactly the shard's rows, clamped
+            # to the current table length (a shrink mid-repartition).
+            start = min(int(row_range[0]), table.num_rows)
+            stop = min(int(row_range[1]), table.num_rows)
+            return table.slice(start, stop)
         predicate = model.coverage.predicate_sql
         if predicate is None:
             return table

@@ -26,6 +26,7 @@ from repro.core.planner import (
     UnifiedPlan,
     UnifiedPlanner,
 )
+from repro.core.planner.cost import CostModel
 from repro.core.quality import QualityPolicy
 from repro.core.snapshot import Snapshot
 from repro.core.storage.model_switching import ModelLifecycleManager
@@ -40,6 +41,13 @@ from repro.db.sql.executor import QueryResult
 from repro.db.table import Table
 from repro.errors import ApproximationError, ArchiveError, PersistenceError
 from repro.obs import Event, Observability, SlowQuery, Span
+from repro.parallel import ParallelQueryEngine
+from repro.parallel.partition import (
+    PARTITION_META_KEY,
+    build_partition_map,
+    hash_partition_order,
+    range_partition_order,
+)
 from repro.persist.archive import ArchiveReport, ArchiveTier
 from repro.persist.store import CheckpointReport, DurableStore, RecoveryReport
 from repro.resilience import FaultInjector, ResilienceRuntime, RetryPolicy
@@ -124,6 +132,21 @@ class LawsDatabase:
         )
         self.planner.obs = self.obs
         self.database.executor.tracer = self.obs.tracer
+        # Partitioned parallel execution: tables with a committed partition
+        # map run scan/filter/join/group-by per shard on a worker pool (or
+        # skip pruned shards entirely); everything else falls through to the
+        # standard root execution at the cost of one attribute check.
+        self.parallel = ParallelQueryEngine(
+            self.database.catalog,
+            io_model=self.database.io_model,
+            cost_model=CostModel.from_bench(),
+        )
+        self.parallel.tracer = self.obs.tracer
+        self.parallel.metrics = self.obs.metrics
+        self.parallel.journal = self.obs.journal
+        self.parallel.pool.journal = self.obs.journal
+        self.parallel.pool.metrics = self.obs.metrics
+        self.database.executor.parallel = self.parallel
         self.approx.tracer = self.obs.tracer
         self.maintenance.journal = self.obs.journal
         self.harvester.journal = self.obs.journal
@@ -151,6 +174,7 @@ class LawsDatabase:
             self.maintenance.faults = fault_injector
             self.harvester.faults = fault_injector
             self.planner.feedback.faults = fault_injector
+            self.parallel.pool.faults = fault_injector
 
     # -- durable storage -----------------------------------------------------------
 
@@ -325,6 +349,63 @@ class LawsDatabase:
         if self.durable is not None:
             self.durable.log_drop_table(name)
 
+    def partition_table(
+        self,
+        name: str,
+        partitions: int = 4,
+        by: str | None = None,
+        scheme: str | None = None,
+    ) -> dict[str, Any]:
+        """Commit a partition map for ``name``; queries fan out over it.
+
+        ``scheme`` is ``"rows"`` (contiguous row ranges, no data movement —
+        the default), ``"range"`` (physically re-cluster by sorting on
+        ``by``, so contiguous shards coincide with key ranges and range
+        predicates prune), or ``"hash"`` (re-cluster by a deterministic
+        hash of ``by`` — co-locates equal keys for joins and DISTINCT).
+        The re-clustering schemes rewrite the table (its captured models go
+        stale); the map itself commits as table metadata under the catalog
+        commit lock, so pinned snapshots keep seeing the map that matches
+        their rows.  Appends stay cheap: rows past the map's ``built_rows``
+        form an implicit unpruned tail shard until the next call.
+        """
+        scheme = scheme or ("range" if by is not None else "rows")
+        if scheme in ("range", "hash") and by is None:
+            raise ValueError(f"scheme {scheme!r} requires a partitioning column (by=...)")
+        catalog = self.database.catalog
+        with catalog.commit_lock:
+            live = catalog.live_table(name)
+            if scheme == "rows":
+                table = live
+            else:
+                if scheme == "range":
+                    order = range_partition_order(live, by)
+                elif scheme == "hash":
+                    order, _ = hash_partition_order(live, by, partitions)
+                else:
+                    raise ValueError(f"unknown partitioning scheme {scheme!r}")
+                table = live.take(order)
+                self.register_table(table, replace=True)
+                self.lifecycle.on_data_changed(name)
+            payload = build_partition_map(
+                table.pinned(),
+                partitions,
+                scheme={"kind": scheme, "partitions": partitions, "column": by},
+            )
+            catalog.set_table_meta(name, PARTITION_META_KEY, payload)
+        self.obs.journal.record(
+            "partition-map",
+            table=name,
+            scheme=scheme,
+            partitions=len(payload["partitions"]),
+            rows=payload["built_rows"],
+        )
+        return payload
+
+    def partition_map(self, name: str) -> dict[str, Any] | None:
+        """The committed partition map of ``name`` (pin-aware), if any."""
+        return self.database.catalog.table_meta(name, PARTITION_META_KEY)
+
     def table(self, name: str) -> Table:
         return self.database.table(name)
 
@@ -338,10 +419,11 @@ class LawsDatabase:
         # still runs only after the append succeeded, so a row the
         # substrate rejected never reaches the redo log.
         with self.database.catalog.commit_lock:
+            appended_from = self.database.catalog.live_table(name).num_rows
             self.database.insert_rows(name, rows)
             if self.durable is not None:
                 self.durable.log_append(name, rows)
-        self.lifecycle.on_data_changed(name)
+        self.lifecycle.on_data_changed(name, appended_from=appended_from)
 
     # -- streaming ingestion & online maintenance -----------------------------------
 
@@ -394,7 +476,9 @@ class LawsDatabase:
             self.durable.log_append(batch.table_name, batch.rows)
 
     def _on_ingest_batch(self, batch: IngestBatch) -> None:
-        self.lifecycle.on_data_changed(batch.table_name)
+        # An append's start row exempts partition models wholly below it —
+        # only the shards the batch landed in go stale.
+        self.lifecycle.on_data_changed(batch.table_name, appended_from=batch.start_row)
         self.maintenance.on_batch(batch)
 
     # -- SQL: the unified entry point ------------------------------------------------
@@ -741,6 +825,18 @@ class LawsDatabase:
     ) -> HarvestReport:
         """Fit a model formula in-database and capture it."""
         return self.harvester.fit_and_capture(table_name, formula, group_by=group_by, **kwargs)
+
+    def fit_partitioned(
+        self,
+        table_name: str,
+        formula: str,
+        group_by: str | list[str] | None = None,
+        **kwargs: Any,
+    ) -> list[HarvestReport]:
+        """Fit one model per partition of ``table_name`` (see
+        :meth:`partition_table`); drift, demotion and refit then run per
+        shard instead of staleness cascading across the whole table."""
+        return self.harvester.fit_partitioned(table_name, formula, group_by=group_by, **kwargs)
 
     def ensure_grouped_model(
         self,

@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterator
 
 from repro.db.schema import Schema
 from repro.db.snapshot import CatalogSnapshot, PinStack
-from repro.db.stats import TableStats, compute_table_stats
+from repro.db.stats import TableStats, compute_table_stats, merge_table_stats
 from repro.db.table import Table
 from repro.errors import CatalogError
 
@@ -153,6 +153,15 @@ class Catalog:
         with self._commit_lock:
             if table.name in self._tables and not replace:
                 raise CatalogError(f"table {table.name!r} already exists")
+            if replace:
+                # A replaced table invalidates its partition map: the old
+                # per-shard min/max stats no longer describe the rows, and
+                # serving them would let pruning drop live rows.  (Appends
+                # keep the map valid — the tail past ``built_rows`` is never
+                # pruned — so ``replace_table`` does not clear it.)
+                entry = self._table_meta.get(table.name)
+                if entry is not None:
+                    entry.pop("partitions", None)
             self._tables[table.name] = table
             self._stats_dirty.add(table.name)
             self._version += 1
@@ -265,6 +274,45 @@ class Catalog:
                 self._stats_dirty.discard(name)
         return overlay(stats) if overlay is not None else stats
 
+    def stats_clean(self, name: str) -> bool:
+        """True when the cached live statistics for ``name`` are fresh.
+
+        Writers sample this *before* an append (under the commit lock) to
+        learn whether the cached stats describe exactly the pre-append rows
+        — the precondition for :meth:`merge_stats_delta`.
+        """
+        with self._commit_lock:
+            return name in self._stats and name not in self._stats_dirty
+
+    def merge_stats_delta(self, name: str, delta: TableStats) -> bool:
+        """Fold per-batch statistics into the cached stats of ``name``.
+
+        ``delta`` must describe exactly the rows appended since the cached
+        statistics were computed; the row-count equation
+        ``cached.row_count + delta.row_count == live.num_rows`` guards that
+        invariant.  On success the merged statistics are published as fresh
+        (no whole-table rescan) and True is returned; any mismatch returns
+        False and leaves lazy recomputation to the next :meth:`stats` call.
+        Callers must sample :meth:`stats_clean` before their append — a base
+        that was already stale may satisfy the row-count equation by
+        coincidence.
+        """
+        with self._commit_lock:
+            table = self._tables.get(name)
+            base = self._stats.get(name)
+            if table is None or base is None:
+                return False
+            if base.row_count + delta.row_count != table.num_rows:
+                return False
+            try:
+                merged = merge_table_stats(base, delta)
+            except ValueError:
+                return False
+            merged.byte_size = table.byte_size()
+            self._stats[name] = merged
+            self._stats_dirty.discard(name)
+            return True
+
     # -- per-table commit metadata ------------------------------------------------
 
     def set_table_meta(self, name: str, key: str, value: Any) -> None:
@@ -274,9 +322,15 @@ class Catalog:
         the same commit as the table change it accompanies — a snapshot can
         never pair a pre-archive table with post-archive metadata or vice
         versa.  Values should be immutable; snapshots alias them.
+
+        Metadata can also change *without* a table change (publishing a
+        partition map over an untouched table), so this is a versioned
+        commit of its own — otherwise memoized snapshots and cached plans
+        would keep serving the old metadata.
         """
         with self._commit_lock:
             self._table_meta.setdefault(name, {})[key] = value
+            self._version += 1
 
     def clear_table_meta(self, name: str, key: str) -> None:
         with self._commit_lock:
@@ -285,6 +339,7 @@ class Catalog:
                 entry.pop(key, None)
                 if not entry:
                     del self._table_meta[name]
+                self._version += 1
 
     def table_meta(self, name: str, key: str, default: Any = None) -> Any:
         """Pin-aware metadata lookup (the pinned commit's value, if pinned)."""

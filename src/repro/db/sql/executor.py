@@ -68,6 +68,11 @@ class SQLExecutor:
         #: open, SELECT operator trees execute with one span per operator;
         #: otherwise execution pays a single attribute check.
         self.tracer = None
+        #: Optional :class:`repro.parallel.ParallelQueryEngine`.  When set,
+        #: SELECT roots are first offered to the partitioned-execution path;
+        #: it returns ``None`` (and this stays a single attribute check per
+        #: query) whenever the partitioned strategy does not apply.
+        self.parallel = None
         self._parse_cache: OrderedDict[str, Statement] = OrderedDict()
         #: sql text -> (catalog version, plan, rendered plan text)
         self._plan_cache: OrderedDict[str, tuple[int, PlannedQuery, str]] = OrderedDict()
@@ -148,6 +153,11 @@ class SQLExecutor:
         tree; the shared cached plan is never mutated and concurrent
         executions of the same plan never see another query's spans.
         """
+        parallel = self.parallel
+        if parallel is not None:
+            table = parallel.try_execute(planned)
+            if table is not None:
+                return table
         tracer = self.tracer
         if tracer is not None and tracer.active:
             from repro.obs.trace import traced_operator_execute

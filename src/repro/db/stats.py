@@ -12,6 +12,7 @@ columns, the full domain.  These statistics feed three consumers:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -21,7 +22,13 @@ from repro.db.column import Column
 from repro.db.table import Table
 from repro.db.types import DataType
 
-__all__ = ["ColumnStats", "TableStats", "compute_column_stats", "compute_table_stats"]
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "compute_column_stats",
+    "compute_table_stats",
+    "merge_table_stats",
+]
 
 #: Columns with at most this many distinct values are considered enumerable
 #: and have their full domain materialised in the statistics.
@@ -84,6 +91,85 @@ class ColumnStats:
             return 1.0 if lo <= float(self.min_value) <= hi else 0.0
         overlap = max(0.0, min(hi, float(self.max_value)) - max(lo, float(self.min_value)))
         return min(1.0, overlap / span)
+
+    def merge(self, other: "ColumnStats") -> "ColumnStats":
+        """Merge statistics of two *disjoint* row sets of the same column.
+
+        The merge is associative and commutative, so per-partition (or
+        per-batch) statistics can be combined in any grouping and reproduce
+        what :func:`compute_column_stats` would report over the union —
+        exactly for row/null counts, min/max, mean, domains and domain
+        counts; ``std`` via the pooled second moment (population std, as
+        computed); ``distinct_count`` exactly whenever both sides carry
+        their full domain (or are empty), otherwise as a max lower bound.
+        """
+        if self.name != other.name or self.dtype is not other.dtype:
+            raise ValueError(
+                f"cannot merge stats of {self.name!r}:{self.dtype.value} "
+                f"with {other.name!r}:{other.dtype.value}"
+            )
+        n1 = self.row_count - self.null_count
+        n2 = other.row_count - other.null_count
+
+        def _combine(a: Any, b: Any, pick: Any) -> Any:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return pick(a, b)
+
+        mean: float | None = None
+        std: float | None = None
+        if n1 == 0:
+            mean, std = other.mean, other.std
+        elif n2 == 0:
+            mean, std = self.mean, self.std
+        elif self.mean is not None and other.mean is not None:
+            total = n1 + n2
+            mean = (n1 * self.mean + n2 * other.mean) / total
+            if self.std is not None and other.std is not None:
+                second_moment = (
+                    n1 * (self.std * self.std + self.mean * self.mean)
+                    + n2 * (other.std * other.std + other.mean * other.mean)
+                ) / total
+                std = math.sqrt(max(0.0, second_moment - mean * mean))
+
+        # A side's value multiset is fully known when it carries its domain
+        # (or holds no non-null data at all); only then is the merged domain
+        # — and hence the merged distinct count — exact.
+        domain: list[Any] | None = None
+        domain_counts: list[int] | None = None
+        distinct_count = max(self.distinct_count, other.distinct_count)
+        if (self.domain is not None or n1 == 0) and (other.domain is not None or n2 == 0):
+            counts: dict[Any, int] = {}
+            for side in (self, other):
+                if side.domain is None:
+                    continue
+                side_counts = (
+                    side.domain_counts
+                    if side.domain_counts is not None
+                    else [0] * len(side.domain)
+                )
+                for value, count in zip(side.domain, side_counts):
+                    counts[value] = counts.get(value, 0) + int(count)
+            distinct_count = len(counts)
+            if 0 < distinct_count <= ENUMERABLE_DISTINCT_LIMIT:
+                domain = sorted(counts)
+                domain_counts = [counts[value] for value in domain]
+
+        return ColumnStats(
+            name=self.name,
+            dtype=self.dtype,
+            row_count=self.row_count + other.row_count,
+            null_count=self.null_count + other.null_count,
+            distinct_count=distinct_count,
+            min_value=_combine(self.min_value, other.min_value, min),
+            max_value=_combine(self.max_value, other.max_value, max),
+            mean=mean,
+            std=std,
+            domain=domain,
+            domain_counts=domain_counts,
+        )
 
 
 @dataclass
@@ -181,3 +267,25 @@ def compute_table_stats(table: Table) -> TableStats:
     for col_name in table.schema.names:
         stats.columns[col_name] = compute_column_stats(col_name, table.column(col_name))
     return stats
+
+
+def merge_table_stats(base: TableStats, delta: TableStats) -> TableStats:
+    """Merge whole-table statistics of two disjoint row sets.
+
+    Column-wise :meth:`ColumnStats.merge`; both sides must describe the
+    same column set.  Used to fold per-partition (or per-ingest-batch)
+    statistics into table statistics without rescanning the whole table.
+    """
+    if set(base.columns) != set(delta.columns):
+        raise ValueError(
+            f"cannot merge table stats with different columns: "
+            f"{sorted(base.columns)} vs {sorted(delta.columns)}"
+        )
+    merged = TableStats(
+        table_name=base.table_name,
+        row_count=base.row_count + delta.row_count,
+        byte_size=base.byte_size + delta.byte_size,
+    )
+    for name, column_stats in base.columns.items():
+        merged.columns[name] = column_stats.merge(delta.columns[name])
+    return merged

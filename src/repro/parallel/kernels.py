@@ -1,0 +1,207 @@
+"""Per-partition worker kernels.
+
+Everything in this module runs *inside* worker threads/processes.  It must
+stay free of observability imports at module scope (enforced by
+``tools/check_module_state.py``): workers report nothing themselves — spans,
+metrics and journal entries are the coordinator's job — and a forked worker
+importing the obs hub would drag mutable singletons across the fork.
+
+The only numerics here are the *partial* aggregate states.  Everything else
+(filters, joins, projections, expression evaluation) reuses the existing
+operator implementations verbatim on a partition slice, so the per-shard
+semantics are the single-partition semantics by construction.
+
+A grouped partial carries, per group of its shard: the representative key
+values, ``COUNT(*)``, and per input column the non-NULL count, sum, sum of
+squared deviations (M2, for the parallel variance merge), min and max.
+These states merge associatively (``merge.py``), which is what makes
+partitioned GROUP BY exact rather than approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.db.column import Column
+from repro.db.operators.aggregate import Aggregate, _GroupContext, _InputState
+from repro.db.operators.base import Operator
+from repro.db.operators.codes import factorize_keys
+from repro.db.table import Table
+from repro.errors import ExecutionError
+
+__all__ = ["GroupedPartial", "GlobalPartial", "InputPartial", "partial_aggregate", "run_subtree"]
+
+
+def run_subtree(op: Operator) -> Table:
+    """Execute a per-partition operator subtree (scan/filter/join pipeline)."""
+    return op.execute()
+
+
+@dataclass
+class InputPartial:
+    """Mergeable per-group reductions of one aggregate input column.
+
+    ``m2`` is the within-shard sum of squared deviations about the shard's
+    per-group mean — the quantity Chan's parallel update combines without
+    the catastrophic cancellation a sum-of-squares merge would suffer.
+    ``mins``/``maxs`` use ±inf as the identity for empty groups.
+    """
+
+    counts: np.ndarray
+    sums: np.ndarray | None = None
+    m2: np.ndarray | None = None
+    mins: np.ndarray | None = None
+    maxs: np.ndarray | None = None
+
+
+@dataclass
+class GroupedPartial:
+    """Partial GROUP BY state of one partition."""
+
+    key_columns: list[Column]
+    counts_star: np.ndarray
+    inputs: dict[int, InputPartial] = field(default_factory=dict)
+
+    @property
+    def num_groups(self) -> int:
+        return int(len(self.counts_star))
+
+
+@dataclass
+class GlobalPartial:
+    """Partial no-GROUP-BY aggregate state of one partition.
+
+    ``stats`` holds per aggregate position either ``None`` (COUNT — derived
+    from the counts) or ``(count, total, m2, min, max)`` over non-NULL values.
+    """
+
+    num_rows: int
+    counts: list[int]
+    stats: list[tuple[int, float, float, float, float] | None]
+
+
+def _input_needs(aggregate: Aggregate) -> dict[int, set[str]]:
+    """Which reductions each aggregate-input position requires.
+
+    Positions sharing an identical input expression object are deduplicated
+    onto the first position, mirroring the oracle's by-identity reuse.
+    """
+    needs: dict[int, set[str]] = {}
+    canonical: dict[int, int] = {}
+    for index, spec in enumerate(aggregate.aggregates):
+        if spec.expression is None:
+            continue
+        slot = canonical.setdefault(id(spec.expression), index)
+        bucket = needs.setdefault(slot, set())
+        function = spec.function.lower()
+        if function in ("sum", "avg"):
+            bucket.add("sum")
+        elif function in ("stddev", "var"):
+            bucket.update(("sum", "m2"))
+        elif function in ("min", "max"):
+            bucket.add(function)
+    return needs
+
+
+def input_slot(aggregate: Aggregate, index: int) -> int:
+    """The canonical input position ``index``'s reductions are stored under."""
+    canonical: dict[int, int] = {}
+    for position, spec in enumerate(aggregate.aggregates):
+        if spec.expression is not None:
+            canonical.setdefault(id(spec.expression), position)
+    spec = aggregate.aggregates[index]
+    assert spec.expression is not None
+    return canonical[id(spec.expression)]
+
+
+def partial_aggregate(aggregate: Aggregate, table: Table) -> GroupedPartial | GlobalPartial:
+    """Reduce one partition slice to a mergeable partial aggregate state."""
+    agg_inputs: list[Column | None] = [
+        None if spec.expression is None else spec.expression.evaluate(table)
+        for spec in aggregate.aggregates
+    ]
+    for spec, column in zip(aggregate.aggregates, agg_inputs):
+        function = spec.function.lower()
+        if column is None:
+            if function != "count":
+                raise ExecutionError(f"aggregate {function!r} requires an argument")
+        elif function != "count" and not column.dtype.is_numeric:
+            raise ExecutionError(f"aggregate {function!r} requires a numeric argument")
+
+    if not aggregate.group_by:
+        return _global_partial(aggregate, table, agg_inputs)
+    return _grouped_partial(aggregate, table, agg_inputs)
+
+
+def _global_partial(
+    aggregate: Aggregate, table: Table, agg_inputs: list[Column | None]
+) -> GlobalPartial:
+    counts: list[int] = []
+    stats: list[tuple[int, float, float, float, float] | None] = []
+    for spec, column in zip(aggregate.aggregates, agg_inputs):
+        if column is None:
+            counts.append(table.num_rows)
+            stats.append(None)
+            continue
+        counts.append(table.num_rows - column.null_count)
+        if spec.function.lower() == "count":
+            stats.append(None)
+            continue
+        values = column.nonnull_numpy().astype(np.float64)
+        n = int(len(values))
+        if n == 0:
+            stats.append((0, 0.0, 0.0, np.inf, -np.inf))
+            continue
+        total = float(np.sum(values))
+        mean = total / n
+        deviations = values - mean
+        stats.append(
+            (n, total, float(np.dot(deviations, deviations)), float(np.min(values)), float(np.max(values)))
+        )
+    return GlobalPartial(num_rows=table.num_rows, counts=counts, stats=stats)
+
+
+def _grouped_partial(
+    aggregate: Aggregate, table: Table, agg_inputs: list[Column | None]
+) -> GroupedPartial:
+    key_columns = [expr.evaluate(table) for expr in aggregate.group_by]
+    group_ids, first_rows, num_groups = factorize_keys(key_columns, table.num_rows)
+    partial = GroupedPartial(
+        key_columns=[key.take(first_rows) for key in key_columns],
+        counts_star=np.bincount(group_ids, minlength=num_groups).astype(np.int64),
+    )
+    context = _GroupContext(group_ids, num_groups)
+    for slot, needed in _input_needs(aggregate).items():
+        column = agg_inputs[slot]
+        assert column is not None
+        state = _InputState(column, context)
+        entry = InputPartial(counts=state.counts)
+        if "sum" in needed:
+            entry.sums = state.sums
+        if "m2" in needed:
+            counts = state.counts
+            nonempty = counts > 0
+            means = np.zeros(num_groups, dtype=np.float64)
+            means[nonempty] = state.sums[nonempty] / counts[nonempty]
+            deviations = state.vals - means[state.ids]
+            entry.m2 = np.bincount(state.ids, weights=deviations * deviations, minlength=num_groups)
+        if "min" in needed or "max" in needed:
+            counts = state.counts
+            nonempty = counts > 0
+            starts = np.zeros(num_groups, dtype=np.int64)
+            starts[1:] = np.cumsum(counts)[:-1]
+            if "min" in needed:
+                mins = np.full(num_groups, np.inf, dtype=np.float64)
+                if nonempty.any():
+                    mins[nonempty] = np.minimum.reduceat(state.sorted_vals, starts[nonempty])
+                entry.mins = mins
+            if "max" in needed:
+                maxs = np.full(num_groups, -np.inf, dtype=np.float64)
+                if nonempty.any():
+                    maxs[nonempty] = np.maximum.reduceat(state.sorted_vals, starts[nonempty])
+                entry.maxs = maxs
+        partial.inputs[slot] = entry
+    return partial

@@ -36,6 +36,7 @@ from repro.errors import (
     StorageIOError,
     WALError,
 )
+from repro.parallel.partition import PARTITION_META_KEY, partition_map_from_segments
 from repro.persist.archive import ArchiveTier
 from repro.persist.snapshot import (
     DEFAULT_ROWS_PER_SEGMENT,
@@ -337,6 +338,14 @@ class DurableStore:
             report.tables += 1
             report.rows += table.num_rows
             report.segment_files += len(entries)
+            # Freshly-written segments carry exact min/max stats; publish
+            # them as the table's partition map unless the user already
+            # committed one (a range/hash map must not be clobbered by the
+            # storage layout).
+            if len(entries) > 1 and database.catalog.table_meta(name, PARTITION_META_KEY) is None:
+                database.catalog.set_table_meta(
+                    name, PARTITION_META_KEY, partition_map_from_segments(table, entries)
+                )
 
         warehouse_payload = serialize_store(system.models)
         warehouse_payload["calibration"] = _calibration_payload(system)
@@ -611,6 +620,19 @@ class DurableStore:
                 f"manifest recorded {entry.get('row_count')}"
             )
         system.database.register_table(table)
+        if not lost_segments:
+            # The snapshot's per-segment min/max stats double as a partition
+            # map: serve them through the catalog so partition pruning (and
+            # the fan-out path) works on a reopened store without a rescan.
+            # A partially-quarantined table gets no map — its stats no
+            # longer tile the recovered rows.
+            try:
+                payload = partition_map_from_segments(table, entry["segments"])
+            except ReproError:
+                pass
+            else:
+                if len(payload["partitions"]) > 1:
+                    system.database.catalog.set_table_meta(name, PARTITION_META_KEY, payload)
         report.tables_loaded += 1
         report.rows_loaded += table.num_rows
 

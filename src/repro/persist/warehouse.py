@@ -271,6 +271,9 @@ def serialize_model(model: CapturedModel) -> dict[str, Any]:
             "output_column": model.coverage.output_column,
             "group_columns": list(model.coverage.group_columns),
             "predicate_sql": model.coverage.predicate_sql,
+            "row_range": (
+                None if model.coverage.row_range is None else list(model.coverage.row_range)
+            ),
         },
         "formula": model.formula,
         "fit": fit_payload,
@@ -319,6 +322,11 @@ def _deserialize_model(payload: dict[str, Any]) -> CapturedModel:
             output_column=coverage["output_column"],
             group_columns=tuple(coverage["group_columns"]),
             predicate_sql=coverage.get("predicate_sql"),
+            row_range=(
+                None
+                if coverage.get("row_range") is None
+                else (int(coverage["row_range"][0]), int(coverage["row_range"][1]))
+            ),
         ),
         formula=payload["formula"],
         fit=fit,

@@ -64,6 +64,7 @@ FAULT_POINTS: tuple[str, ...] = (
     "streaming.maintenance.refit",
     "fitting.fit",
     "planner.verify",
+    "parallel.worker.task",
 )
 
 FAULT_KINDS: tuple[str, ...] = ("oserror", "exception", "latency", "torn_write", "bit_flip", "nan")
@@ -86,6 +87,9 @@ _POINT_KINDS: dict[str, tuple[str, ...]] = {
     "streaming.maintenance.refit": ("oserror", "exception", "latency"),
     "fitting.fit": ("exception", "latency", "nan"),
     "planner.verify": ("exception", "latency"),
+    # A worker task raising (exception) or hanging past its deadline
+    # (latency): the pool retries once, then degrades to serial execution.
+    "parallel.worker.task": ("exception", "latency"),
 }
 
 #: Fault kinds that, by construction, destroy durable bytes that may hold

@@ -20,6 +20,8 @@ from time import perf_counter
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.db.database import Database
+from repro.db.stats import compute_table_stats
+from repro.db.table import Table
 from repro.errors import StreamingError
 
 __all__ = ["IngestBatch", "IngestStats", "StreamIngestor"]
@@ -286,8 +288,13 @@ class StreamIngestor:
         # same lock either sees the batch in the table *and* the log, or in
         # neither.
         with self.database.catalog.commit_lock:
-            live = self.database.catalog.live_table(table_name)
+            catalog = self.database.catalog
+            live = catalog.live_table(table_name)
             pre_image = live.pinned()
+            # Sampled before the append: the cached stats (if fresh here)
+            # describe exactly the pre-append rows, so batch statistics can
+            # be merged in instead of rescanning the whole table later.
+            stats_were_clean = catalog.stats_clean(table_name)
             start, end = self.database.append_batch(table_name, rows)
             batch = IngestBatch(
                 table_name=table_name, start_row=start, end_row=end, rows=tuple(rows)
@@ -303,6 +310,9 @@ class StreamIngestor:
                 live.rollback_to(pre_image)
                 self.database.catalog.mark_dirty(table_name)
                 raise
+            if stats_were_clean and rows:
+                delta = compute_table_stats(Table.from_rows(table_name, live.schema, rows))
+                catalog.merge_stats_delta(table_name, delta)
         elapsed = perf_counter() - started
         stats = self._stats_for(table_name)
         stats.rows_ingested += len(rows)

@@ -597,7 +597,18 @@ class ModelMaintenancePolicy:
                 ) from exc
         # Refit with the same estimator settings the original capture used —
         # a robust or Gauss-Newton model must not silently become a plain
-        # least-squares one across a maintenance refit.
+        # least-squares one across a maintenance refit.  Partition-scoped
+        # models refit over their shard's *current* row range (the partition
+        # map may have absorbed appended rows since the capture).
+        row_range = model.coverage.row_range
+        partition_id = model.metadata.get("partition_id")
+        if row_range is not None and partition_id is not None:
+            payload = self.database.catalog.table_meta(model.table_name, "partitions")
+            for entry in (payload or {}).get("partitions", ()):
+                if int(entry["id"]) == int(partition_id):
+                    start = int(entry["start"])
+                    row_range = (start, start + int(entry["rows"]))
+                    break
         report = self.harvester.fit_and_capture(
             model.table_name,
             model.formula,
@@ -605,6 +616,8 @@ class ModelMaintenancePolicy:
             predicate_sql=predicate_sql,
             robust=bool(model.metadata.get("robust", False)),
             method=str(model.metadata.get("method", "lm")),
+            row_range=row_range,
+            partition_id=None if partition_id is None else int(partition_id),
         )
         if self.resilience is not None:
             # A completed fit — accepted or quality-rejected — is not a
@@ -645,6 +658,13 @@ class ModelMaintenancePolicy:
         self, batch: IngestBatch, model: CapturedModel
     ) -> tuple[tuple[Any, ...], ...]:
         """The batch rows that fall inside the model's coverage predicate."""
+        row_range = model.coverage.row_range
+        if row_range is not None:
+            # Partition-scoped coverage: only the batch rows that landed
+            # inside the shard's row interval are the model's to score.
+            lo = max(int(row_range[0]), batch.start_row) - batch.start_row
+            hi = min(int(row_range[1]), batch.end_row) - batch.start_row
+            return batch.rows[lo:hi] if hi > lo else ()
         predicate = model.coverage.predicate_sql
         if predicate is None:
             return batch.rows

@@ -1,0 +1,118 @@
+"""Worker-pool semantics: backends, retry-once, degrade-to-serial chaos."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LawsDatabase
+from repro.errors import InjectedFault
+from repro.obs import EventJournal, MetricsRegistry
+from repro.parallel.pool import WorkerPool, _TASK_REGISTRY
+from repro.resilience.faults import FaultInjector, FaultSpec
+
+
+class TestWorkerPool:
+    def test_results_in_task_order(self) -> None:
+        pool = WorkerPool(max_workers=4)
+        assert pool.run_tasks([lambda i=i: i * i for i in range(10)]) == [
+            i * i for i in range(10)
+        ]
+
+    def test_process_backend_returns_results_and_clears_registry(self) -> None:
+        pool = WorkerPool(max_workers=2, backend="process")
+        assert pool.run_tasks([lambda i=i: i + 1 for i in range(4)]) == [1, 2, 3, 4]
+        assert not _TASK_REGISTRY
+
+    def test_retry_once_recovers_without_degrading(self) -> None:
+        pool = WorkerPool(max_workers=2, deadline_seconds=5.0)
+        pool.faults = FaultInjector([FaultSpec("parallel.worker.task", "exception", hit=1)])
+        pool.metrics = MetricsRegistry()
+        pool.journal = EventJournal()
+        assert pool.run_tasks([lambda: 1, lambda: 2]) == [1, 2]
+        assert pool.metrics.counter_value("parallel_retries_total") == 1.0
+        assert pool.metrics.counter_value("parallel_degraded_total") == 0.0
+        assert pool.journal.events(kind="parallel-degraded") == []
+
+    def test_repeat_exception_degrades_to_serial(self) -> None:
+        pool = WorkerPool(max_workers=2, deadline_seconds=5.0)
+        pool.faults = FaultInjector(
+            [
+                FaultSpec("parallel.worker.task", "exception", hit=1),
+                FaultSpec("parallel.worker.task", "exception", hit=2),
+            ]
+        )
+        pool.metrics = MetricsRegistry()
+        pool.journal = EventJournal()
+        assert pool.run_tasks([lambda: 7]) == [7]  # degraded run still answers
+        assert pool.metrics.counter_value("parallel_degraded_total") == 1.0
+        events = pool.journal.events(kind="parallel-degraded")
+        assert len(events) == 1
+        assert "InjectedFault" in events[0].fields["error"]
+
+    def test_hang_past_deadline_degrades(self) -> None:
+        pool = WorkerPool(max_workers=2, deadline_seconds=0.05)
+        pool.faults = FaultInjector(
+            [
+                FaultSpec("parallel.worker.task", "latency", hit=1, latency_seconds=0.5),
+                FaultSpec("parallel.worker.task", "latency", hit=2, latency_seconds=0.5),
+            ]
+        )
+        pool.metrics = MetricsRegistry()
+        pool.journal = EventJournal()
+        assert pool.run_tasks([lambda: "ok"]) == ["ok"]
+        assert pool.metrics.counter_value("parallel_degraded_total") == 1.0
+        assert "TimeoutError" in pool.journal.events(kind="parallel-degraded")[0].fields["error"]
+
+    def test_genuine_error_still_raises_after_degrade(self) -> None:
+        pool = WorkerPool(max_workers=2, deadline_seconds=5.0)
+
+        def bad() -> None:
+            raise ValueError("task bug, not a fault")
+
+        with pytest.raises(ValueError):
+            pool.run_tasks([bad])
+
+
+class TestChaosPartitionedQuery:
+    def test_worker_faults_degrade_but_query_answers_correctly(self) -> None:
+        """ISSUE satellite 6: chaos coverage of ``parallel.worker.task``.
+
+        Two scheduled worker faults force retry-then-degrade in the middle
+        of a partitioned GROUP BY; the query must still return the oracle
+        answer, journal the degrade and bump ``parallel_degraded_total``.
+        """
+        # 8 partition tasks arrive as hits 1-8; the single first-pass fault
+        # (hit 2) forces one retry, which arrives as hit 9 and faults again,
+        # forcing the degrade path.
+        injector = FaultInjector(
+            [
+                FaultSpec("parallel.worker.task", "exception", hit=2),
+                FaultSpec("parallel.worker.task", "exception", hit=9),
+            ]
+        )
+        rng = np.random.default_rng(5)
+        rows = 120_000
+        data = {
+            "k": rng.integers(0, 10, rows).tolist(),
+            "x": rng.normal(1.0, 2.0, rows).tolist(),
+        }
+        sql = "SELECT k, count(*), sum(x) FROM t GROUP BY k ORDER BY k"
+
+        oracle_db = LawsDatabase(observability=False)
+        oracle_db.load_dict("t", data)
+        oracle_db.parallel.enabled = False
+        oracle = oracle_db.database.sql(sql).rows()
+
+        db = LawsDatabase(fault_injector=injector)
+        db.load_dict("t", data)
+        db.partition_table("t", partitions=8)
+        result = db.database.sql(sql).rows()
+
+        assert [r[:2] for r in result] == [r[:2] for r in oracle]
+        for got, want in zip(result, oracle):
+            assert got[2] == pytest.approx(want[2], rel=1e-9)
+        assert any(event.point == "parallel.worker.task" for event in injector.fired())
+        counters = db.metrics()["counters"]
+        assert "parallel_degraded_total" in counters
+        assert len(db.events(kind="parallel-degraded")) == 1

@@ -25,7 +25,16 @@ import sys
 from pathlib import Path
 
 #: Packages whose module scope must stay free of mutable state.
-DEFAULT_ROOTS = ("src/repro/db", "src/repro/obs")
+DEFAULT_ROOTS = ("src/repro/db", "src/repro/obs", "src/repro/parallel")
+
+#: Worker-side modules that must not import the observability hub at module
+#: scope: workers report nothing themselves (spans/metrics/journal are the
+#: coordinator's job), and a forked worker importing the obs hub would drag
+#: its mutable singletons across the fork boundary.
+OBS_FREE_MODULES = (
+    "src/repro/parallel/kernels.py",
+    "src/repro/parallel/pool.py",
+)
 
 #: relative path -> names that are allowed despite looking mutable.
 ALLOWLIST: dict[str, set[str]] = {
@@ -45,6 +54,10 @@ ALLOWLIST: dict[str, set[str]] = {
     # Process-wide append lock: serializes Table.append_rows column swaps
     # across all instances by design (see table.py).
     "src/repro/db/table.py": {"_append_lock"},
+    # Fork-inherited task registry for the process worker backend: tasks
+    # are parked here *before* the pool forks so children get the closures
+    # copy-on-write; entries are lock-guarded and emptied in a finally.
+    "src/repro/parallel/pool.py": {"_TASK_REGISTRY", "_registry_lock"},
 }
 
 #: Names whose module scope is conventional and never mutated.
@@ -118,6 +131,22 @@ def scan_source(source: str, filename: str = "<string>") -> list[tuple[int, str]
     return found
 
 
+def scan_obs_imports(source: str, filename: str = "<string>") -> list[tuple[int, str]]:
+    """Return ``(lineno, module)`` for module-scope imports of ``repro.obs``."""
+    tree = ast.parse(source, filename=filename)
+    found: list[tuple[int, str]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.obs" or alias.name.startswith("repro.obs."):
+                    found.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "repro.obs" or module.startswith("repro.obs."):
+                found.append((node.lineno, module))
+    return found
+
+
 def check(roots: list[str], base: Path) -> list[str]:
     """Return violation messages for every guarded file under ``roots``."""
     problems: list[str] = []
@@ -140,6 +169,21 @@ def check(roots: list[str], base: Path) -> list[str]:
                     f"globals) or allowlist it in tools/check_module_state.py "
                     f"with a justification"
                 )
+    for rel in OBS_FREE_MODULES:
+        # Only enforced for modules under the scanned roots, so the checker
+        # stays usable against other trees (and in its own unit tests).
+        if not any(rel.startswith(root.rstrip("/") + "/") for root in roots):
+            continue
+        path = base / rel
+        if not path.is_file():
+            problems.append(f"{rel}: listed in OBS_FREE_MODULES but missing")
+            continue
+        for lineno, module in scan_obs_imports(path.read_text(), filename=rel):
+            problems.append(
+                f"{rel}:{lineno}: module-scope import of {module!r} — worker "
+                f"modules must stay observability-free; have the coordinator "
+                f"inject journal/metrics as instance attributes instead"
+            )
     for rel, names in ALLOWLIST.items():
         stale = names - seen_allowed.get(rel, set())
         for name in sorted(stale):

@@ -16,9 +16,17 @@ other bench suites):
   trees, per-operator tracing, metrics, compliance accounting), reported
   as ``instrumented_overhead_fraction`` over the obs-off run.  Tracing is
   opt-in, so this is informational, not gated at the 5% budget.
+* ``flight_calibration_obs_off`` — the obs-off suite with the disabled
+  flight-recorder / calibration / SLO hooks in the planner's accounting
+  path, against the same suite with those components unwired entirely
+  (the pre-flight-recorder obs-off path).  The hooks are enabled-flag
+  checks when observability is off, so ``overhead_fraction`` is the
+  telemetry subsystem's cost on the hot path nobody opted into —
+  acceptance is ≤3%, gated here.
 
 Also writes ``BENCH_obs_metrics.snapshot.json`` — the metrics snapshot of
-the obs-on run — which CI uploads as an artifact.
+the obs-on run — and, with ``--ops-report-output``, the obs-on run's full
+``ops_report()`` document; CI uploads both as artifacts.
 
 Usage::
 
@@ -136,7 +144,7 @@ def _bench_exact_hotpath(rows: int) -> dict:
     }
 
 
-def _bench_laws_query(rows: int) -> tuple[dict, dict, str]:
+def _bench_laws_query(rows: int) -> tuple[dict, dict, str, dict]:
     contract = AccuracyContract(max_relative_error=0.25)
 
     db_off = _build_laws_db(rows, observability=False)
@@ -181,12 +189,59 @@ def _bench_laws_query(rows: int) -> tuple[dict, dict, str]:
         "instrumented_overhead_fraction": on_seconds / off_seconds - 1.0,
         "overhead_note": "opt-in tracing cost over the obs-off path (informational)",
     }
-    return off_entry, on_entry, db_on.metrics_json()
+    # Flush self-telemetry so the ops-report artifact shows the flight
+    # recorder's warehouse populated, not just pending counters.
+    db_on.flush_telemetry()
+    return off_entry, on_entry, db_on.metrics_json(), db_on.ops_report()
 
 
-def run(rows: int) -> tuple[dict, str]:
+def _bench_flight_calibration(rows: int) -> dict:
+    """Cost of the (disabled) telemetry hooks on the obs-off serving path."""
+    contract = AccuracyContract(max_relative_error=0.25)
+    db = _build_laws_db(rows, observability=False)
+
+    def _suite():
+        for sql in SUITE:
+            db.query(sql, contract)
+
+    _suite()  # warm plan caches
+    hooked = db.obs.calibration, db.obs.slo, db.obs.flight
+    hooked_seconds = float("inf")
+    unwired_seconds = float("inf")
+    # Interleaved rounds, same rationale as _bench_exact_hotpath: keep
+    # cache/frequency noise common-mode across the two sides of the ratio.
+    try:
+        for _ in range(ROUNDS * 3):
+            db.obs.calibration, db.obs.slo, db.obs.flight = hooked
+            started = perf_counter()
+            _suite()
+            hooked_seconds = min(hooked_seconds, perf_counter() - started)
+            db.obs.calibration = db.obs.slo = db.obs.flight = None
+            started = perf_counter()
+            _suite()
+            unwired_seconds = min(unwired_seconds, perf_counter() - started)
+    finally:
+        db.obs.calibration, db.obs.slo, db.obs.flight = hooked
+
+    queries = len(SUITE)
+    overhead = hooked_seconds / unwired_seconds - 1.0 if unwired_seconds > 0 else 0.0
+    return {
+        "description": "obs-off LawsDatabase.query suite with disabled flight/calibration/SLO hooks in the accounting path",
+        "queries": queries,
+        "seconds": hooked_seconds,
+        "queries_per_second": queries / hooked_seconds,
+        "reference": "same suite with flight/calibration/SLO unwired entirely",
+        "reference_seconds": unwired_seconds,
+        "speedup_vs_seed": unwired_seconds / hooked_seconds,
+        "overhead_fraction": max(0.0, overhead),
+        "overhead_note": "flight-recorder + calibration cost on the obs-off hot path (acceptance: 0.03, gated)",
+    }
+
+
+def run(rows: int) -> tuple[dict, str, dict]:
     exact_entry = _bench_exact_hotpath(rows)
-    off_entry, on_entry, metrics_snapshot = _bench_laws_query(rows)
+    off_entry, on_entry, metrics_snapshot, ops_report = _bench_laws_query(rows)
+    flight_entry = _bench_flight_calibration(rows)
     report = {
         "benchmark": "bench_observability",
         "generated_by": "benchmarks/bench_observability.py",
@@ -197,9 +252,10 @@ def run(rows: int) -> tuple[dict, str]:
             "exact_hotpath_instrumented": exact_entry,
             "laws_query_obs_off": off_entry,
             "laws_query_obs_on": on_entry,
+            "flight_calibration_obs_off": flight_entry,
         },
     }
-    return report, metrics_snapshot
+    return report, metrics_snapshot, ops_report
 
 
 def main() -> int:
@@ -209,22 +265,36 @@ def main() -> int:
     parser.add_argument(
         "--metrics-output", type=Path, default=Path("BENCH_obs_metrics.snapshot.json")
     )
+    parser.add_argument(
+        "--ops-report-output",
+        type=Path,
+        default=None,
+        help="also write the obs-on run's ops_report() JSON (CI artifact)",
+    )
     args = parser.parse_args()
-    report, metrics_snapshot = run(args.rows)
+    report, metrics_snapshot, ops_report = run(args.rows)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     args.metrics_output.write_text(metrics_snapshot + "\n")
+    if args.ops_report_output is not None:
+        args.ops_report_output.write_text(json.dumps(ops_report, indent=2) + "\n")
 
     exact = report["hot_paths"]["exact_hotpath_instrumented"]
     on = report["hot_paths"]["laws_query_obs_on"]
+    flight = report["hot_paths"]["flight_calibration_obs_off"]
     print(
         f"instrumentation-off overhead: {exact['overhead_fraction']:.2%} "
-        f"(acceptance 3%); telemetry-on cost: "
+        f"(acceptance 3%); flight+calibration obs-off overhead: "
+        f"{flight['overhead_fraction']:.2%} (acceptance 3%); telemetry-on cost: "
         f"{on['instrumented_overhead_fraction']:+.2%} over obs-off"
     )
+    failed = False
     if exact["overhead_fraction"] > 0.03:
         print("FAIL: instrumentation-off overhead exceeds 3% on the exact hot path")
-        return 1
-    return 0
+        failed = True
+    if flight["overhead_fraction"] > 0.03:
+        print("FAIL: flight/calibration hooks exceed 3% on the obs-off serving path")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,225 @@
+"""SLO tour: the self-observing loop, end to end.
+
+Walks the PR-10 telemetry subsystem on a sensor workload:
+
+1. **Flight recorder** — served queries flush into reserved
+   ``_telemetry_*`` tables through the real streaming-ingest path; the
+   telemetry warehouse is then ordinary SQL, and a latency baseline model
+   is harvested over the system's own series so a regression journals the
+   same ``drift-detected`` event a drifting sensor table would;
+2. **Adaptive cost calibration** — observed per-operator span timings
+   retune the planner's cost model online, with the provenance visible in
+   ``explain()`` and the recalibration journaled;
+3. **SLO engine** — a seeded latency cliff trips the fast burn-rate
+   window (the slow window, diluted by an hour of good service, holds),
+   degrading the ``slo:latency`` component in the health registry;
+   recovery clears it;
+4. **Ops surface** — ``ops_report()`` as one status document, OTLP trace
+   export, and the ``tools/repro_top.py`` dashboard rendering.
+
+Run with::
+
+    PYTHONPATH=src python examples/slo_tour.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+
+from repro import AccuracyContract, LawsDatabase
+from repro.obs.flight import QUERY_TABLE
+from repro.obs.slo import SLO, SLOEngine
+from repro.resilience.health import HealthRegistry
+
+
+def build_database(seed: int = 23) -> LawsDatabase:
+    rng = np.random.default_rng(seed)
+    db = LawsDatabase(verify_sample_fraction=0.25, verify_seed=7)
+    rows = 4000
+    sensor = rng.integers(0, 8, rows)
+    load = rng.integers(0, 6, rows).astype(float)
+    temperature = 15.0 + 2.5 * sensor + 1.8 * load + rng.normal(0.0, 0.3, rows)
+    db.load_dict(
+        "readings",
+        {
+            "sensor": [int(v) for v in sensor],
+            "load": [float(v) for v in load],
+            "temperature": [float(v) for v in temperature],
+        },
+    )
+    report = db.fit("readings", "temperature ~ linear(load)", group_by="sensor")
+    assert report.accepted
+    return db
+
+
+def tour_flight_recorder(db: LawsDatabase) -> None:
+    print("=" * 72)
+    print("1. The flight recorder: telemetry as data")
+    print("=" * 72)
+    contract = AccuracyContract(max_relative_error=0.1)
+    for _ in range(12):
+        db.query("SELECT sensor, avg(temperature) AS t FROM readings GROUP BY sensor", contract)
+        db.query("SELECT count(*) AS n FROM readings", AccuracyContract(mode="exact"))
+    rows = db.flush_telemetry()
+    print(f"\nflushed {rows} telemetry rows through the streaming-ingest path")
+
+    print("\nthe telemetry warehouse is ordinary SQL:")
+    result = db.query(
+        f"SELECT route, count(*) AS n, avg(elapsed_us) AS mean_us "
+        f"FROM {QUERY_TABLE} GROUP BY route ORDER BY route"
+    )
+    for route, n, mean_us in result.rows():
+        print(f"  {route:<18} {n:>4} queries   mean {mean_us:8.1f} µs")
+    print("\n(and it is guarded: that query minted zero new telemetry rows)")
+
+    flight = db.obs.flight.report()
+    print(f"\nflight recorder: {flight['recorded_queries']} recorded, "
+          f"{flight['flushes']} flush(es), {flight['flushed_rows']} rows")
+
+    # Drive enough jittered traffic for the latency baseline to be fitted
+    # over the system's own series, then inject a latency regression.
+    rng = random.Random(5)
+    db.obs.flight.baseline_min_rows = 48
+    for _ in range(48):
+        db.obs.flight.record_query("exact", 0.004 + rng.gauss(0.0, 0.0004))
+    db.flush_telemetry()
+    print(f"\nlatency baseline fitted: model "
+          f"#{db.obs.flight.report()['baseline_model_id']} watching {QUERY_TABLE}")
+
+    for _ in range(2):
+        for _ in range(16):
+            db.obs.flight.record_query("exact", 0.200 + rng.gauss(0.0, 0.0004))
+        db.flush_telemetry()
+    for event in db.events(kind="drift-detected", table=QUERY_TABLE):
+        print(f"latency regression detected by the PR-1 drift machinery:\n  {event.describe()}")
+
+
+def tour_calibration(db: LawsDatabase) -> None:
+    print()
+    print("=" * 72)
+    print("2. Adaptive cost calibration")
+    print("=" * 72)
+    sql = "SELECT sensor, avg(temperature) AS t FROM readings GROUP BY sensor"
+    print(f"\ncost provenance before: {db.calibration_report()['source']}")
+
+    # Skew the observed world through the tracer's injectable clock: every
+    # span reading advances 20ms, so traced per-row rates come out orders
+    # of magnitude worse than the committed BENCH calibration.
+    class SkewedClock:
+        def __init__(self) -> None:
+            self.now = 0.0
+
+        def __call__(self) -> float:
+            self.now += 0.02
+            return self.now
+
+    db.obs.tracer.clock = SkewedClock()
+    for _ in range(8):
+        db.query(sql)
+    report = db.calibration_report()
+    print(f"cost provenance after {report['observed_traces']} traced queries: "
+          f"{report['source']}")
+    for event in db.events(kind="cost-recalibration", limit=1):
+        shifted = ", ".join(sorted(event.fields["shifted"]))
+        print(f"journaled: {event.kind} generation {event.fields['generation']} "
+              f"(shifted: {shifted})")
+    print("\nexplain() discloses the provenance:")
+    for line in db.explain(sql).splitlines()[:4]:
+        print(f"  {line}")
+
+
+def tour_slo_engine() -> None:
+    print()
+    print("=" * 72)
+    print("3. SLOs: multiwindow burn-rate alerting through the health registry")
+    print("=" * 72)
+
+    # A standalone engine with a settable clock makes the windows visible
+    # without sleeping; LawsDatabase wires the same engine to its own
+    # health registry and journal.
+    class Clock:
+        now = 100_000.0
+
+        def __call__(self) -> float:
+            return self.now
+
+    clock = Clock()
+    health = HealthRegistry()
+    engine = SLOEngine(
+        health=health,
+        slos=(SLO(name="latency", kind="latency", objective=0.99, threshold_seconds=0.1),),
+        clock=clock,
+    )
+
+    # An hour of good service, then a cliff in the last ten seconds.
+    for i in range(600):
+        clock.now = 100_000.0 - 3000.0 + i * (2600.0 / 600.0)
+        engine.observe_query(0.005)
+    for i in range(30):
+        clock.now = 100_000.0 - 10.0 + i / 3.0
+        engine.observe_query(0.450)
+    clock.now = 100_000.0
+
+    report = engine.evaluate()["latency"]
+    for label, window in report["windows"].items():
+        marker = "BURN" if window["alerting"] else "ok"
+        print(f"  {label:<5} window: burn {window['burn_rate']:6.1f}x "
+              f"(threshold {window['burn_threshold']:g}x, "
+              f"{window['bad']}/{window['events']} bad)  [{marker}]")
+    print(f"\nalerting on the {report['alert_window']} window; "
+          f"health registry says slo:latency = {health.state('slo:latency')}")
+    print(f"  reason: {health.reason('slo:latency')}")
+
+    # The cliff ages out; good traffic restores the error budget.
+    clock.now += 200.0
+    for _ in range(30):
+        engine.observe_query(0.005)
+    clock.now += 200.0
+    engine.evaluate()
+    print(f"\nafter 400s of good service: slo:latency = {health.state('slo:latency')}")
+
+
+def tour_ops_surface(db: LawsDatabase) -> None:
+    print()
+    print("=" * 72)
+    print("4. The ops surface")
+    print("=" * 72)
+    report = db.ops_report()
+    print("\nops_report() — one JSON document (abridged):")
+    queries = report["queries"]
+    print(f"  queries: total={queries['total']:.0f} by_route={queries['by_route']}")
+    print(f"  calibration: {report['calibration']['source']}")
+    print(f"  flight: flushed_rows={report['flight']['flushed_rows']}")
+    top_events = sorted(report["events"].items(), key=lambda kv: -kv[1])[:4]
+    print(f"  events: {dict(top_events)}")
+
+    otlp = db.export_traces_otlp()
+    spans = otlp["resourceSpans"][0]["scopeSpans"][0]["spans"]
+    print(f"\nOTLP export: {len(spans)} span(s); first span:")
+    print("  " + json.dumps({k: spans[0][k] for k in ("traceId", "spanId", "name")}))
+
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+    from repro_top import render
+
+    print("\ntools/repro_top.py renders the same report as a dashboard frame:")
+    print()
+    print(render(report, color=False))
+
+
+def main() -> None:
+    db = build_database()
+    tour_flight_recorder(db)
+    tour_calibration(db)
+    tour_slo_engine()
+    tour_ops_surface(db)
+    print("\nSLO tour complete.")
+
+
+if __name__ == "__main__":
+    main()

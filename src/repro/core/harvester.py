@@ -34,6 +34,7 @@ from repro.fitting.formulas import ParsedFormula, parse_formula
 from repro.fitting.grouped import GroupedFitter
 from repro.fitting.model import FitResult
 from repro.fitting.robust import fit_robust
+from repro.obs.flight import is_telemetry_table
 
 __all__ = ["HarvestReport", "ModelHarvester"]
 
@@ -109,6 +110,7 @@ class ModelHarvester:
         min_observations: int | None = None,
         row_range: tuple[int, int] | None = None,
         partition_id: int | None = None,
+        policy: "QualityPolicy | None" = None,
     ) -> HarvestReport:
         """Fit ``formula`` against a stored table and capture the model.
 
@@ -137,6 +139,11 @@ class ModelHarvester:
         partition_id:
             Partition the ``row_range`` belongs to, recorded in the model
             metadata so a re-partition can find and refresh shard models.
+        policy:
+            Per-capture override of the acceptance gate.  The flight
+            recorder uses this for its telemetry baselines: a flat latency
+            series is the healthy case, yet its R² ≈ 0 would fail the
+            default gate tuned for user data.
         """
         if self.fit_guard is not None:
             blocked = self.fit_guard(table_name)
@@ -151,13 +158,14 @@ class ModelHarvester:
         group_columns = self._normalise_group_by(group_by)
         table = self._fitting_input(table_name, parsed, group_columns, predicate_sql, row_range)
 
+        gate = policy if policy is not None else self.policy
         if group_columns:
             fit_result, quality, fraction = self._fit_grouped(table, parsed, group_columns, method, min_observations)
-            accepted = self.policy.accepts(quality) and fraction >= self.policy.min_group_pass_fraction
+            accepted = gate.accepts(quality) and fraction >= gate.min_group_pass_fraction
         else:
             fit_result, quality = self._fit_single(table, parsed, robust, method)
             fraction = 1.0
-            accepted = self.policy.accepts(quality)
+            accepted = gate.accepts(quality)
 
         coverage = ModelCoverage(
             table_name=table_name,
@@ -389,6 +397,10 @@ class ModelHarvester:
 
     def _on_udf_fit(self, invocation: FitInvocation) -> None:
         """Capture a fit that was executed through the in-database UDF layer."""
+        if is_telemetry_table(invocation.table_name):
+            # The flight recorder owns its baselines; an ad-hoc UDF fit over
+            # a `_telemetry_*` table must not auto-register watcher models.
+            return
         inputs = ", ".join(invocation.input_columns)
         formula = f"{invocation.output_column} ~ {invocation.model_name}({inputs})"
         try:

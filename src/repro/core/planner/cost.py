@@ -109,10 +109,18 @@ def _locate_bench_file() -> Path | None:
 
 
 class CostModel:
-    """Predicts execution cost (seconds) for unified-plan candidates."""
+    """Predicts execution cost (seconds) for unified-plan candidates.
 
-    def __init__(self, costs: OperatorCosts | None = None) -> None:
+    ``source`` is the calibration provenance — where the per-operator rates
+    came from — rendered by ``explain()`` so every plan discloses whether it
+    was costed against the committed bench figures or rates the adaptive
+    calibrator (:class:`repro.obs.calibration.CostCalibrator`) observed on
+    this very process.
+    """
+
+    def __init__(self, costs: OperatorCosts | None = None, source: str = "builtin-defaults") -> None:
         self.costs = costs or OperatorCosts()
+        self.source = source
 
     @classmethod
     def from_bench(cls, path: Path | str | None = None) -> "CostModel":
@@ -126,7 +134,9 @@ class CostModel:
             payload = json.loads(bench_path.read_text())
         except (OSError, ValueError):
             return cls()
-        return cls(OperatorCosts.from_bench_payload(payload))
+        return cls(
+            OperatorCosts.from_bench_payload(payload), source=f"bench:{bench_path.name}"
+        )
 
     # -- predictions ----------------------------------------------------------
 

@@ -101,6 +101,15 @@ class UnifiedPlan:
     #: disclosed — and anything else raises a typed
     #: :class:`~repro.errors.DegradedServiceError`.
     degraded_reason: str | None = None
+    #: Calibration provenance of the cost model this plan was costed with
+    #: ("bench:BENCH_hotpaths.json", "adaptive:gen3 (...)", ...) — every
+    #: route decision discloses which rates it believed.
+    cost_source: str | None = None
+    #: True when the statement reads or writes a reserved ``_telemetry_*``
+    #: table: the flight recorder, calibrator, SLO engine, slow log and
+    #: feedback sampler all skip such plans, so observing the telemetry
+    #: warehouse never generates more telemetry than it reads.
+    telemetry: bool = False
 
     @property
     def is_model_route(self) -> bool:
@@ -111,8 +120,10 @@ class UnifiedPlan:
         lines = [
             f"Query: {self.sql.strip()}",
             f"Contract: {self.contract.describe()}",
-            "Candidates:",
         ]
+        if self.cost_source is not None:
+            lines.append(f"Cost model: {self.cost_source}")
+        lines.append("Candidates:")
         for node in self.candidates:
             marker = "=>" if node is self.chosen else "  "
             rendered = node.render(indent=0)

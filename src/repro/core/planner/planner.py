@@ -38,6 +38,7 @@ from repro.db.sql.executor import QueryResult
 from repro.db.stats import TableStats
 from repro.errors import ApproximationError, DegradedServiceError
 from repro.db.table import Table
+from repro.obs.flight import is_telemetry_table
 from repro.obs.hub import normalize_reason
 from repro.obs.trace import Span, Tracer
 
@@ -146,6 +147,10 @@ class UnifiedPlanner:
         #: and slow-logged; when absent, execution pays one attribute check.
         self.obs = None
         self.plan_cache_size = plan_cache_size
+        #: Bumped by :meth:`set_cost_model`; part of the plan-cache key, so
+        #: a recalibration atomically invalidates every cached route
+        #: decision costed against the superseded rates.
+        self._cost_version = 0
         self._plan_cache: OrderedDict[tuple, UnifiedPlan] = OrderedDict()
         # Concurrent queries share this planner; OrderedDict mutation
         # (move_to_end / insert / evict) is not atomic.
@@ -196,6 +201,7 @@ class UnifiedPlanner:
             for_execution,
             self.database.catalog.version,
             self.store.version,
+            self._cost_version,
         )
         with self._cache_lock:
             cached = self._plan_cache.get(key)
@@ -216,6 +222,18 @@ class UnifiedPlanner:
                 self._plan_cache.popitem(last=False)
         return plan
 
+    def set_cost_model(self, cost_model: CostModel) -> None:
+        """Install a recalibrated cost model and invalidate cached plans.
+
+        The adaptive calibrator's entry point: the swap and the version bump
+        happen under the cache lock, so no concurrent planner can cache a
+        decision costed with the old rates under the new version.
+        """
+        with self._cache_lock:
+            self.cost_model = cost_model
+            self._cost_version += 1
+            self._plan_cache.clear()
+
     def explain(self, sql: str, contract: AccuracyContract | None = None) -> str:
         """Render the chosen route, predicted cost and predicted error per node."""
         return self.plan(sql, contract, for_execution=False).explain()
@@ -235,6 +253,7 @@ class UnifiedPlanner:
         statement = self.database.parse_sql(sql)
         catalog_version = self.database.catalog.version
         store_version = self.store.version
+        telemetry = _references_telemetry(statement)
 
         if not isinstance(statement, SelectStatement):
             is_create = type(statement).__name__.startswith("CreateTable")
@@ -252,6 +271,7 @@ class UnifiedPlanner:
                 reason="not a SELECT; model routes do not apply",
                 catalog_version=catalog_version,
                 store_version=store_version,
+                telemetry=telemetry,
             )
 
         stats_by_table = self._statement_stats(statement)
@@ -310,6 +330,8 @@ class UnifiedPlanner:
             sketch=sketch,
             archived_reason=archived_reason,
             degraded_reason=degraded_reason,
+            cost_source=self.cost_model.source,
+            telemetry=telemetry,
         )
 
     def _statement_stats(self, statement: SelectStatement) -> dict[str, TableStats]:
@@ -697,11 +719,14 @@ class UnifiedPlanner:
             # No feedback sampling over archived or degraded tables: "exact"
             # would run on the partial live rows and record bogus evidence
             # against a model that is answering for the full logical table.
+            # Telemetry tables are excluded too — an audit is itself a query,
+            # and auditing the telemetry warehouse would generate telemetry.
             if (
                 not approx.is_exact
                 and approx.used_model_ids
                 and plan.archived_reason is None
                 and plan.degraded_reason is None
+                and not plan.telemetry
                 and self.feedback.should_verify(contract)
             ):
                 with tracer.span("verify-sample") as verify_span:
@@ -783,6 +808,7 @@ class UnifiedPlanner:
             degraded=degraded,
         )
         feedback = answer.feedback
+        violated: bool | None = None
         if feedback is not None:
             metrics.inc("feedback_verifications_total")
             if feedback.demoted_model_ids:
@@ -799,6 +825,12 @@ class UnifiedPlanner:
                 )
                 if violated:
                     metrics.inc("contract_violations_total", route=route)
+        if answer.plan.telemetry:
+            # Queries over the telemetry warehouse are counted above but
+            # must not feed the self-observation loops: no slow-log entry,
+            # no calibration sample, no SLO event, no flight record —
+            # otherwise reading telemetry would mint more telemetry.
+            return
         obs.slow_log.observe(
             answer.sql,
             route,
@@ -806,6 +838,27 @@ class UnifiedPlanner:
             trace_summary=root.summary(),
             contract=answer.contract.describe(),
         )
+        # Enabled is re-checked here (not just inside each component) so the
+        # obs-off serving path pays three attribute reads, not method calls.
+        calibration = getattr(obs, "calibration", None)
+        if calibration is not None and calibration.enabled:
+            calibration.observe_trace(root)
+        slo = getattr(obs, "slo", None)
+        if slo is not None and slo.enabled:
+            slo.observe_query(elapsed_seconds, degraded=degraded, violated=violated)
+        flight = getattr(obs, "flight", None)
+        if flight is not None and flight.enabled:
+            flight.on_query(answer, root, elapsed_seconds)
+
+
+def _references_telemetry(statement: Any) -> bool:
+    """Whether the statement reads or writes a reserved ``_telemetry_*`` table."""
+    if isinstance(statement, SelectStatement):
+        names = [statement.table.name] if statement.table is not None else []
+        names.extend(join.table.name for join in statement.joins)
+    else:
+        names = [getattr(statement, "name", None)]
+    return any(is_telemetry_table(name) for name in names)
 
 
 def _annotate_plan_span(span: Span, plan: UnifiedPlan) -> None:

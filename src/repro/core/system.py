@@ -40,7 +40,18 @@ from repro.db.sql.ast import InsertStatement, SelectStatement
 from repro.db.sql.executor import QueryResult
 from repro.db.table import Table
 from repro.errors import ApproximationError, ArchiveError, PersistenceError
-from repro.obs import Event, Observability, SlowQuery, Span
+from repro.obs import (
+    CostCalibrator,
+    Event,
+    FlightRecorder,
+    Observability,
+    SLO,
+    SLOEngine,
+    SlowQuery,
+    Span,
+    is_telemetry_table,
+    spans_to_otlp,
+)
 from repro.parallel import ParallelQueryEngine
 from repro.parallel.partition import (
     PARTITION_META_KEY,
@@ -175,6 +186,35 @@ class LawsDatabase:
             self.harvester.faults = fault_injector
             self.planner.feedback.faults = fault_injector
             self.parallel.pool.faults = fault_injector
+        # The self-observation loop (wired last — it needs the planner, the
+        # health registry and this façade): adaptive cost calibration over
+        # traced operator timings, declarative SLOs whose error-budget burn
+        # degrades components through the health registry, and the flight
+        # recorder streaming the system's own telemetry into reserved
+        # ``_telemetry_*`` tables via the real ingest path.
+        self.obs.calibration = CostCalibrator(
+            self.planner, journal=self.obs.journal, metrics=self.obs.metrics
+        )
+        self.obs.slo = SLOEngine(
+            health=self.resilience.health,
+            journal=self.obs.journal,
+            metrics=self.obs.metrics,
+            slos=(
+                SLO(
+                    name="latency",
+                    kind="latency",
+                    objective=0.99,
+                    threshold_seconds=slow_query_seconds,
+                ),
+                SLO(name="compliance", kind="compliance", objective=0.95),
+                SLO(name="degraded-serving", kind="degraded", objective=0.99),
+            ),
+        )
+        self.obs.flight = FlightRecorder(self)
+        if not observability:
+            self.obs.calibration.enabled = False
+            self.obs.slo.enabled = False
+            self.obs.flight.enabled = False
 
     # -- durable storage -----------------------------------------------------------
 
@@ -476,6 +516,7 @@ class LawsDatabase:
             self.durable.log_append(batch.table_name, batch.rows)
 
     def _on_ingest_batch(self, batch: IngestBatch) -> None:
+        self.obs.metrics.inc("ingest_rows_total", len(batch.rows), table=batch.table_name)
         # An append's start row exempts partition models wholly below it —
         # only the shards the batch landed in go stale.
         self.lifecycle.on_data_changed(batch.table_name, appended_from=batch.start_row)
@@ -653,6 +694,73 @@ class LawsDatabase:
     def compliance_report(self) -> dict[str, Any]:
         """Per-route and per-model predicted-vs-observed error accounting."""
         return self.obs.compliance.report()
+
+    def slo_report(self) -> dict[str, Any]:
+        """Current SLO burn-rate evaluation and latency percentiles."""
+        if self.obs.slo is None:
+            return {"observed_queries": 0, "objectives": {}}
+        return self.obs.slo.report()
+
+    def calibration_report(self) -> dict[str, Any]:
+        """Cost-model provenance and the adaptive calibrator's estimates."""
+        if self.obs.calibration is None:
+            return {"source": self.planner.cost_model.source, "recalibrations": 0}
+        return self.obs.calibration.report()
+
+    def flush_telemetry(self) -> int:
+        """Force the flight recorder's pending records through ingest."""
+        if self.obs.flight is None:
+            return 0
+        return self.obs.flight.flush()
+
+    def export_traces_otlp(self) -> dict[str, Any]:
+        """Completed traces as an OTLP/JSON ``ExportTraceServiceRequest``."""
+        return spans_to_otlp(self.obs.tracer.traces())
+
+    def ops_report(self) -> dict[str, Any]:
+        """One JSON-serializable operational status document.
+
+        Everything an operator (or the ``tools/repro_top.py`` dashboard, or
+        the CI artifact upload) needs in one call: query counters by route,
+        SLO burn rates with latency percentiles, cost-calibration
+        provenance, the flight recorder's self-telemetry accounting,
+        journal event totals (monotonic — these reconcile with the metrics
+        counters), component health, plan-cache and storage figures.
+        """
+        self._refresh_gauges()
+        metrics = self.obs.metrics
+
+        def by_label(counter: str, label: str) -> dict[str, float]:
+            return {
+                dict(key).get(label, ""): value
+                for key, value in metrics.counter_series(counter).items()
+            }
+
+        return {
+            "queries": {
+                "total": metrics.counter_total("queries_total"),
+                "by_route": by_label("queries_total", "route"),
+                "errors": metrics.counter_total("query_errors_total"),
+                "fallbacks": metrics.counter_total("fallbacks_total"),
+                "degraded": metrics.counter_total("degraded_answers_total"),
+                "verified": metrics.counter_total("feedback_verifications_total"),
+                "contract_violations": metrics.counter_total(
+                    "contract_violations_total"
+                ),
+                "slow": self.obs.slow_log.total,
+            },
+            "slo": self.slo_report(),
+            "calibration": self.calibration_report(),
+            "flight": self.obs.flight.report() if self.obs.flight is not None else {},
+            "events": self.obs.journal.totals(),
+            "health": self.health_report(),
+            "plan_cache": {
+                "sql": self.database.plan_cache_info(),
+                "planner": self.planner.plan_cache_info(),
+            },
+            "storage": self.storage_report(),
+            "compliance": self.compliance_report(),
+        }
 
     # -- resilience --------------------------------------------------------------------
 
@@ -954,6 +1062,12 @@ class LawsDatabase:
         return None
 
     def _grouped_model_provider(self, table_name: str, output_column: str, group_columns, formula=None):
+        if is_telemetry_table(table_name):
+            # No auto-harvest over the system's own telemetry: the flight
+            # recorder owns its baselines, and a query-triggered fit here
+            # would mint models (and journal events) as a side effect of
+            # merely reading telemetry.
+            return None
         if self._archive_refit_reason(table_name) is not None:
             return None
         return self.harvester.ensure_grouped(

@@ -61,6 +61,15 @@ class Observability:
         self.compliance = ComplianceLedger()
         self.slow_log = SlowQueryLog(threshold_seconds=slow_query_seconds)
         self.slow_log.enabled = enabled
+        #: The self-observation trio, wired by ``LawsDatabase`` (they need
+        #: the planner / health registry / façade, which outlive this hub's
+        #: construction): :class:`repro.obs.calibration.CostCalibrator`,
+        #: :class:`repro.obs.slo.SLOEngine`,
+        #: :class:`repro.obs.flight.FlightRecorder`.  None means "not wired"
+        #: — the planner's accounting checks before calling.
+        self.calibration: Any = None
+        self.slo: Any = None
+        self.flight: Any = None
         self._enabled = enabled
 
     def _on_event(self, event: Event) -> None:
@@ -78,6 +87,9 @@ class Observability:
         self.tracer.enabled = True
         self.journal.enabled = True
         self.slow_log.enabled = True
+        for part in (self.calibration, self.slo, self.flight):
+            if part is not None:
+                part.enabled = True
 
     def disable(self) -> None:
         """Turn every collector off; recorded data is retained, not erased."""
@@ -86,6 +98,9 @@ class Observability:
         self.tracer.enabled = False
         self.journal.enabled = False
         self.slow_log.enabled = False
+        for part in (self.calibration, self.slo, self.flight):
+            if part is not None:
+                part.enabled = False
 
     # -- convenience -----------------------------------------------------------
 

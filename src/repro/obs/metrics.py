@@ -40,6 +40,28 @@ DEFAULT_LATENCY_BUCKETS = (
 #: Label-key type: a sorted tuple of (label name, label value) pairs.
 LabelKey = tuple
 
+#: ``# HELP`` text for the well-known metric names (Prometheus exposition
+#: conformance: scrapers and ``promtool check metrics`` expect HELP next to
+#: TYPE).  Unknown metrics fall back to a generic line.  Read-only.
+_METRIC_HELP = {
+    "queries_total": "Queries served, by route taken.",
+    "query_seconds": "End-to-end query latency.",
+    "query_errors_total": "Queries that raised, by exception type.",
+    "pages_read_total": "Simulated pages read from base tables, by route.",
+    "fallbacks_total": "Model routes that fell back to exact execution.",
+    "degraded_answers_total": "Answers served while a needed component was degraded.",
+    "feedback_verifications_total": "Sampled answers audited against exact execution.",
+    "feedback_demotions_total": "Models demoted by observed-error feedback.",
+    "contract_violations_total": "Audited answers whose observed error broke the contract.",
+    "verifier_failures_total": "Feedback audits that raised (behind the breaker).",
+    "events_total": "Journal events recorded, by kind.",
+    "ingest_rows_total": "Rows committed through streaming ingestion.",
+    "cost_recalibrations_total": "Adaptive cost-model recalibrations installed.",
+    "slo_breaches_total": "SLO error-budget burn alerts fired, by objective and window.",
+    "recovery_total": "Crash/fault recovery outcomes.",
+}
+_GENERIC_HELP = "repro metric (no description registered)."
+
 
 class Histogram:
     """A fixed-bucket histogram (cumulative counts, Prometheus-style)."""
@@ -179,16 +201,19 @@ class MetricsRegistry:
         lines: list[str] = []
         for name, series in sorted(self._counters.items()):
             metric = f"{self.namespace}_{name}"
+            lines.append(f"# HELP {metric} {_help_text(name)}")
             lines.append(f"# TYPE {metric} counter")
             for key, value in sorted(series.items()):
                 lines.append(f"{metric}{_format_labels(key)} {_format_value(value)}")
         for name, series in sorted(self._gauges.items()):
             metric = f"{self.namespace}_{name}"
+            lines.append(f"# HELP {metric} {_help_text(name)}")
             lines.append(f"# TYPE {metric} gauge")
             for key, value in sorted(series.items()):
                 lines.append(f"{metric}{_format_labels(key)} {_format_value(value)}")
         for name, histogram in sorted(self._histograms.items()):
             metric = f"{self.namespace}_{name}"
+            lines.append(f"# HELP {metric} {_help_text(name)}")
             lines.append(f"# TYPE {metric} histogram")
             running = 0
             for bound, count in zip(histogram.buckets, histogram.counts):
@@ -215,6 +240,13 @@ def _format_labels(key: LabelKey) -> str:
 
 def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _help_text(name: str) -> str:
+    # HELP text escaping differs from label escaping: only backslash and
+    # newline (quotes are legal in HELP).
+    text = _METRIC_HELP.get(name, _GENERIC_HELP)
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(value: float) -> str:

@@ -1,0 +1,104 @@
+"""OTLP-style JSON trace export: span trees in OpenTelemetry's wire shape.
+
+The tracer's span trees are rendered into the OTLP/JSON ``resourceSpans``
+layout (resource → scope → flat span list with parent links), so any
+OTLP-ingesting backend — or just ``jq`` — can read the system's traces
+without a bespoke parser.  Pure translation, no wire protocol: the export
+is a plain ``dict`` the caller serialises.
+
+Identifier discipline: OTLP wants 16-byte trace ids and 8-byte span ids as
+lowercase hex.  The exporter derives them deterministically from each
+trace's position and each span's depth-first index — stable across calls
+over the same traces, no randomness (and thus no seeding concerns).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.trace import Span
+
+__all__ = ["spans_to_otlp"]
+
+_SERVICE_NAME = "repro-laws-db"
+_SCOPE_NAME = "repro.obs.trace"
+
+#: Attribute keys coerced to OTLP int values (everything else becomes a
+#: string or double).
+_NANOS_PER_SECOND = 1_000_000_000
+
+
+def spans_to_otlp(traces: list[Span]) -> dict[str, Any]:
+    """Render completed trace roots as one OTLP/JSON ``ExportTraceServiceRequest``."""
+    all_spans: list[dict[str, Any]] = []
+    for trace_index, root in enumerate(traces):
+        trace_id = f"{trace_index + 1:032x}"
+        counter = [0]
+        _flatten(root, trace_id, parent_span_id="", counter=counter, out=all_spans)
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        {
+                            "key": "service.name",
+                            "value": {"stringValue": _SERVICE_NAME},
+                        }
+                    ]
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": _SCOPE_NAME},
+                        "spans": all_spans,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def _flatten(
+    span: Span,
+    trace_id: str,
+    parent_span_id: str,
+    counter: list[int],
+    out: list[dict[str, Any]],
+) -> None:
+    counter[0] += 1
+    span_id = f"{counter[0]:016x}"
+    start_nanos = int(span.started_at * _NANOS_PER_SECOND)
+    end_nanos = start_nanos + int(span.elapsed_seconds * _NANOS_PER_SECOND)
+    attributes = [
+        {"key": key, "value": _attribute_value(value)}
+        for key, value in span.attributes.items()
+    ]
+    for key, value in span.io.items():
+        attributes.append({"key": f"io.{key}", "value": _attribute_value(value)})
+    rendered: dict[str, Any] = {
+        "traceId": trace_id,
+        "spanId": span_id,
+        "name": span.name,
+        "kind": 1,  # SPAN_KIND_INTERNAL
+        "startTimeUnixNano": str(start_nanos),
+        "endTimeUnixNano": str(end_nanos),
+        "attributes": attributes,
+    }
+    if parent_span_id:
+        rendered["parentSpanId"] = parent_span_id
+    out.append(rendered)
+    for child in span.children:
+        _flatten(child, trace_id, span_id, counter, out)
+
+
+def _attribute_value(value: Any) -> dict[str, Any]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    if isinstance(value, (list, tuple)):
+        return {
+            "arrayValue": {"values": [_attribute_value(entry) for entry in value]}
+        }
+    return {"stringValue": str(value)}

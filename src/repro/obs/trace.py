@@ -16,6 +16,7 @@ trace) costs one attribute check and allocates nothing — the hot paths the
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -35,9 +36,17 @@ class Span:
     name: str
     attributes: dict[str, Any] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    #: Wall-clock time (``time.time()``) the span opened — the anchor the
+    #: OTLP exporter needs, since ``elapsed_seconds`` is monotonic-relative.
+    started_at: float = 0.0
     #: Simulated IO charged while this span (including children) was open.
     io: dict[str, float] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+
+    @property
+    def self_seconds(self) -> float:
+        """Elapsed time net of child spans (an operator's own work)."""
+        return max(0.0, self.elapsed_seconds - sum(c.elapsed_seconds for c in self.children))
 
     @property
     def pages_read(self) -> float:
@@ -126,6 +135,10 @@ class Tracer:
         self.io_snapshot = io_snapshot
         self.io_scope = io_scope
         self.keep_traces = keep_traces
+        #: Injectable monotonic clock.  Span timings come from here, so a
+        #: test (or the calibration convergence harness) can skew observed
+        #: operator durations without sleeping.
+        self.clock: Callable[[], float] = perf_counter
         self._local = threading.local()
         self._traces: list[Span] = []
         self._traces_lock = threading.Lock()
@@ -198,14 +211,14 @@ class Tracer:
             with self.span(name, **attributes) as span:
                 yield span
             return
-        root = Span(name=name, attributes=dict(attributes))
+        root = Span(name=name, attributes=dict(attributes), started_at=time.time())
         stack.append(root)
-        started = perf_counter()
+        started = self.clock()
         try:
             with self._span_io(root):
                 yield root
         finally:
-            root.elapsed_seconds = perf_counter() - started
+            root.elapsed_seconds = self.clock() - started
             stack.pop()
             with self._traces_lock:
                 self._traces.append(root)
@@ -219,15 +232,15 @@ class Tracer:
         if not self.enabled or not stack:
             yield _DISCARDED
             return
-        span = Span(name=name, attributes=dict(attributes))
+        span = Span(name=name, attributes=dict(attributes), started_at=time.time())
         stack[-1].children.append(span)
         stack.append(span)
-        started = perf_counter()
+        started = self.clock()
         try:
             with self._span_io(span):
                 yield span
         finally:
-            span.elapsed_seconds = perf_counter() - started
+            span.elapsed_seconds = self.clock() - started
             stack.pop()
 
 

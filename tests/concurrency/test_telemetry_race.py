@@ -1,0 +1,141 @@
+"""Telemetry under concurrency: flight flushes racing queries and ingest.
+
+The flight recorder flushes through the same ingest/commit machinery the
+racing workers are using, while the planner's accounting hooks
+(calibration, SLO, flight) run on every served query — the deadlock bait
+is a flush holding the recorder lock while ingest listeners call back into
+observability.  These tests drive that overlap on real threads and then
+assert the books still balance: recorder accounting, metrics counters and
+journal totals all describe the same stream.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import LawsDatabase
+from repro.core.planner import AccuracyContract
+from repro.obs.flight import QUERY_TABLE
+from tests.concurrency.harness import iterations, run_workers
+
+pytestmark = pytest.mark.concurrency
+
+EXACT = AccuracyContract(mode="exact")
+
+
+def _seed_db() -> LawsDatabase:
+    db = LawsDatabase(ingest_batch_size=64, verify_sample_fraction=0.0)
+    db.load_dict(
+        "stream",
+        {
+            "t": list(range(256)),
+            "g": [i % 4 for i in range(256)],
+            "v": [2.5 * i + 1.0 for i in range(256)],
+        },
+    )
+    return db
+
+
+def test_flight_flushes_race_queries_and_ingest_without_deadlock():
+    """Concurrent query/ingest/flush workers must all run to completion.
+
+    ``run_workers`` fails the test if any worker is still alive after the
+    timeout, which is exactly what a flush-vs-ingest lock cycle would
+    produce.
+    """
+    db = _seed_db()
+    db.obs.flight.flush_every = 8  # frequent auto-flushes amid the race
+    rounds = iterations(40)
+    stop = threading.Event()
+
+    def querier() -> None:
+        try:
+            for _ in range(rounds):
+                if stop.is_set():
+                    return
+                db.query("SELECT count(*) AS n, sum(v) AS s FROM stream", EXACT)
+        finally:
+            stop.set()
+
+    def ingester() -> None:
+        try:
+            for i in range(rounds):
+                if stop.is_set():
+                    return
+                base = 10_000 + i * 4
+                db.ingest(
+                    "stream",
+                    [(base + j, j % 4, float(j)) for j in range(4)],
+                    flush=(i % 5 == 4),
+                )
+        finally:
+            stop.set()
+
+    def flusher() -> None:
+        try:
+            for _ in range(rounds):
+                if stop.is_set():
+                    return
+                db.flush_telemetry()
+        finally:
+            stop.set()
+
+    run_workers(querier, querier, ingester, flusher, timeout=120.0)
+    # Drain whatever the race left pending; the recorder must still work.
+    db.flush_telemetry()
+    assert db.obs.flight.report()["pending_queries"] == 0
+
+
+def test_telemetry_books_balance_after_the_race():
+    """After racing workers finish, every surface tells the same story."""
+    db = _seed_db()
+    db.obs.flight.flush_every = 0  # all flushes explicit, to count exactly
+    rounds = iterations(30)
+    queries_per_worker = rounds
+    workers = 3
+
+    def querier() -> None:
+        for _ in range(queries_per_worker):
+            db.query("SELECT g, avg(v) AS m FROM stream GROUP BY g", EXACT)
+
+    def flusher() -> None:
+        for _ in range(rounds // 2):
+            db.flush_telemetry()
+
+    run_workers(querier, querier, querier, flusher, timeout=120.0)
+    db.flush_telemetry()
+
+    total_queries = workers * queries_per_worker
+    report = db.ops_report()
+    # Metrics counter == planner accounting == flight recorder == SLO feed.
+    assert report["queries"]["total"] == float(total_queries)
+    assert report["flight"]["recorded_queries"] == total_queries
+    assert report["flight"]["pending_queries"] == 0
+    assert report["slo"]["observed_queries"] == total_queries
+    # Every recorded query landed in the warehouse exactly once (flushes
+    # never double-drain or drop under the race).
+    assert db.database.table(QUERY_TABLE).num_rows == total_queries
+    # Journal totals stay the metrics counters' source of truth.
+    for key, value in db.obs.metrics.counter_series("events_total").items():
+        kind = dict(key).get("kind")
+        assert report["events"].get(kind) == int(value), kind
+
+
+def test_concurrent_flush_calls_never_double_ingest():
+    """N threads calling flush() on the same pending set: rows land once."""
+    db = _seed_db()
+    flight = db.obs.flight
+    flight.flush_every = 0
+    recorded = 200
+    for i in range(recorded):
+        flight.record_query("exact", 0.001 * (i % 7))
+
+    def flusher() -> None:
+        for _ in range(10):
+            db.flush_telemetry()
+
+    run_workers(*[flusher] * 4, timeout=60.0)
+    assert db.database.table(QUERY_TABLE).num_rows == recorded
+    assert flight.report()["pending_queries"] == 0

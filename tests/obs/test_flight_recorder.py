@@ -1,0 +1,292 @@
+"""The flight recorder: self-telemetry through the real ingest path.
+
+Covers the dogfooding loop end to end — query records land in
+``_telemetry_*`` tables via the streaming ingestor, a latency baseline is
+harvested over the system's own series, a latency regression journals the
+same ``drift-detected`` event a drifting sensor table would — and the
+feedback-loop guards: querying the telemetry warehouse never generates
+more telemetry than it reads.
+"""
+
+import random
+
+import pytest
+
+from repro import AccuracyContract, LawsDatabase
+from repro.obs.flight import (
+    METRIC_TABLE,
+    OPERATOR_TABLE,
+    QUERY_TABLE,
+    TELEMETRY_PREFIX,
+    is_telemetry_table,
+)
+
+
+def _db(**kwargs) -> LawsDatabase:
+    db = LawsDatabase(**kwargs)
+    db.load_dict(
+        "t",
+        {
+            "g": [i % 4 for i in range(400)],
+            "x": [float(i) for i in range(400)],
+            "y": [2.0 * i for i in range(400)],
+        },
+    )
+    return db
+
+
+class TestIsTelemetryTable:
+    def test_prefix_match(self):
+        assert is_telemetry_table(QUERY_TABLE)
+        assert is_telemetry_table(TELEMETRY_PREFIX + "anything")
+        assert not is_telemetry_table("t")
+        assert not is_telemetry_table("telemetry")
+        assert not is_telemetry_table(None)
+        assert not is_telemetry_table("")
+
+
+class TestFlush:
+    def test_flush_lands_rows_through_the_ingest_path(self):
+        db = _db()
+        flight = db.obs.flight
+        flight.flush_every = 0  # explicit flushes only
+        db.query("SELECT avg(y) AS m FROM t")
+        db.query("SELECT count(*) AS n FROM t")
+        report = flight.report()
+        assert report["recorded_queries"] == 2
+        assert report["pending_queries"] == 2
+        assert report["pending_operator_rows"] > 0
+
+        ingested_before = db.obs.metrics.counter_total("ingest_rows_total")
+        rows = db.flush_telemetry()
+        assert rows > 0
+        # The rows went through the StreamIngestor, not a side door.
+        assert db.obs.metrics.counter_total("ingest_rows_total") >= ingested_before + rows
+
+        for table in (QUERY_TABLE, OPERATOR_TABLE, METRIC_TABLE):
+            assert db.database.has_table(table)
+        assert db.database.table(QUERY_TABLE).num_rows == 2
+        assert db.database.table(OPERATOR_TABLE).num_rows == report["pending_operator_rows"]
+        assert db.database.table(METRIC_TABLE).num_rows > 0
+
+        # And the warehouse is queryable like any other table.
+        result = db.query(f"SELECT count(*) AS n FROM {QUERY_TABLE}")
+        assert result.rows()[0][0] == 2
+
+    def test_operator_rows_carry_span_timings(self):
+        db = _db()
+        db.obs.flight.flush_every = 0
+        db.query("SELECT g, avg(y) AS m FROM t GROUP BY g")
+        db.flush_telemetry()
+        operators = {
+            row[1] for row in db.query(f"SELECT seq, operator FROM {OPERATOR_TABLE}").rows()
+        }
+        assert "TableScan" in operators
+        assert "Aggregate" in operators
+
+    def test_auto_flush_after_flush_every_queries(self):
+        db = _db()
+        flight = db.obs.flight
+        flight.flush_every = 8
+        for _ in range(8):
+            db.query("SELECT count(*) AS n FROM t")
+        report = flight.report()
+        assert report["flushes"] >= 1
+        assert report["pending_queries"] == 0
+        assert db.database.table(QUERY_TABLE).num_rows >= 8
+
+    def test_disabled_recorder_records_nothing(self):
+        db = _db(observability=False)
+        db.query("SELECT count(*) AS n FROM t")
+        assert db.obs.flight.report()["recorded_queries"] == 0
+        assert db.flush_telemetry() == 0
+        assert not db.database.has_table(QUERY_TABLE)
+
+
+class TestLatencyBaseline:
+    def test_baseline_fitted_and_drift_watch_armed(self):
+        db = _db()
+        flight = db.obs.flight
+        flight.flush_every = 0
+        flight.baseline_min_rows = 32
+        rng = random.Random(7)
+        for _ in range(32):
+            flight.record_query("exact", 0.010 + rng.gauss(0.0, 0.001))
+        flight.flush()
+        report = flight.report()
+        assert report["baseline_model_id"] is not None
+        assert report["watching_latency_drift"]
+        model = db.models.get(report["baseline_model_id"])
+        assert model.metadata.get("telemetry_baseline") is True
+        targets = {(t.table_name, t.output_column) for t in db.maintenance.targets()}
+        assert (QUERY_TABLE, "elapsed_us") in targets
+
+    def test_latency_regression_journals_drift_detected(self):
+        db = _db()
+        flight = db.obs.flight
+        flight.flush_every = 0
+        flight.baseline_min_rows = 64
+        rng = random.Random(11)
+        for _ in range(64):
+            flight.record_query("exact", 0.010 + rng.gauss(0.0, 0.001))
+        flight.flush()
+        assert flight.report()["watching_latency_drift"]
+        assert not db.events(kind="drift-detected")
+
+        # A 50x latency regression: each flush is one scored ingest batch;
+        # the detector's patience needs two consecutive bad batches.
+        for _ in range(2):
+            for _ in range(16):
+                flight.record_query("exact", 0.500 + rng.gauss(0.0, 0.001))
+            flight.flush()
+        drifts = db.events(kind="drift-detected")
+        assert drifts
+        assert drifts[-1].fields["table"] == QUERY_TABLE
+        assert drifts[-1].fields["column"] == "elapsed_us"
+
+    def test_steady_latency_does_not_alarm(self):
+        db = _db()
+        flight = db.obs.flight
+        flight.flush_every = 0
+        flight.baseline_min_rows = 64
+        rng = random.Random(13)
+        for _ in range(64):
+            flight.record_query("exact", 0.010 + rng.gauss(0.0, 0.001))
+        flight.flush()
+        for _ in range(4):
+            for _ in range(16):
+                flight.record_query("exact", 0.010 + rng.gauss(0.0, 0.001))
+            flight.flush()
+        assert not db.events(kind="drift-detected")
+
+    def test_unwatchable_series_keeps_baseline_without_refit_churn(self):
+        # A degenerate latency series (e.g. zero residual error) cannot
+        # anchor a residual drift detector; the recorder must keep the
+        # baseline — no refit on every subsequent flush — and simply not
+        # arm the watch.
+        from repro.streaming.maintenance import DriftMonitorError
+
+        db = _db()
+        flight = db.obs.flight
+        flight.flush_every = 0
+        flight.baseline_min_rows = 32
+
+        def unwatchable(*args, **kwargs):
+            raise DriftMonitorError("degenerate residual error")
+
+        db.maintenance.watch = unwatchable
+        for _ in range(32):
+            flight.record_query("exact", 0.010)
+        flight.flush()
+        models_before = len(db.models.all_models())
+        report = flight.report()
+        assert report["baseline_model_id"] is not None
+        assert not report["watching_latency_drift"]
+        for _ in range(3):
+            flight.record_query("exact", 0.010)
+            flight.flush()
+        assert len(db.models.all_models()) == models_before  # no refit per flush
+
+
+class TestFeedbackLoopGuards:
+    """Querying the telemetry warehouse must not mint more telemetry."""
+
+    def _seeded(self) -> LawsDatabase:
+        db = _db(verify_sample_fraction=1.0, slow_query_seconds=0.0)
+        db.obs.flight.flush_every = 0
+        db.query("SELECT count(*) AS n FROM t")
+        db.flush_telemetry()
+        return db
+
+    def test_plan_is_stamped_as_telemetry(self):
+        db = self._seeded()
+        plan = db.plan(f"SELECT count(*) AS n FROM {QUERY_TABLE}")
+        assert plan.telemetry
+        assert not db.plan("SELECT count(*) AS n FROM t").telemetry
+
+    def test_telemetry_queries_mint_no_new_telemetry_rows(self):
+        db = self._seeded()
+        flight = db.obs.flight
+        recorded_before = flight.report()["recorded_queries"]
+        rows_before = db.database.table(QUERY_TABLE).num_rows
+        read_rows = 0
+        for _ in range(5):
+            read_rows += len(db.query(f"SELECT seq, route FROM {QUERY_TABLE}").rows())
+        db.flush_telemetry()
+        minted = db.database.table(QUERY_TABLE).num_rows - rows_before
+        assert read_rows > 0
+        assert minted == 0  # read 5 batches, produced nothing
+        assert flight.report()["recorded_queries"] == recorded_before
+
+    def test_telemetry_queries_skip_verification_and_slow_log(self):
+        db = self._seeded()
+        slow_before = db.obs.slow_log.total
+        answer = db.query(
+            f"SELECT avg(elapsed_us) AS m FROM {QUERY_TABLE}",
+            AccuracyContract(max_relative_error=0.5),
+        )
+        assert answer.feedback is None  # verify_sample_fraction=1.0 elsewhere
+        assert db.obs.slow_log.total == slow_before  # threshold 0.0 elsewhere
+
+    def test_telemetry_queries_skip_slo_accounting(self):
+        db = self._seeded()
+        observed_before = db.obs.slo.report()["observed_queries"]
+        db.query(f"SELECT count(*) AS n FROM {QUERY_TABLE}")
+        assert db.obs.slo.report()["observed_queries"] == observed_before
+
+    def test_harvester_never_autocaptures_telemetry_tables(self):
+        db = self._seeded()
+        flight = db.obs.flight
+        flight.baseline_min_rows = 10_000  # keep the deliberate baseline out
+        version_before = db.models.version
+        # Aggregates over the telemetry table would be auto-capture bait on
+        # a user table; the guard must suppress it here.
+        for _ in range(10):
+            db.query(f"SELECT route, avg(elapsed_us) AS m FROM {QUERY_TABLE} GROUP BY route")
+        assert db.models.version == version_before
+        assert all(
+            not is_telemetry_table(model.table_name)
+            for model in db.models.all_models()
+            if not model.metadata.get("telemetry_baseline")
+        )
+
+    def test_telemetry_tables_never_route_through_the_baseline_model(self):
+        # The baseline model exists over _telemetry_queries, but the planner
+        # must not serve user queries of the warehouse from it.  (The
+        # zero-IO analytic-aggregate route reads real table statistics, not
+        # the baseline model, so it remains legitimate.)
+        db = _db()
+        flight = db.obs.flight
+        flight.flush_every = 0
+        flight.baseline_min_rows = 32
+        rng = random.Random(3)
+        for _ in range(32):
+            flight.record_query("exact", 0.010 + rng.gauss(0.0, 0.001))
+        flight.flush()
+        assert flight.report()["baseline_model_id"] is not None
+        answer = db.query(
+            f"SELECT avg(elapsed_us) AS m FROM {QUERY_TABLE}",
+            AccuracyContract(max_relative_error=0.5),
+        )
+        assert answer.route_taken in ("exact", "analytic-aggregate")
+        assert answer.route_taken != "grouped-model"
+
+    def test_flush_reentrancy_is_latched(self):
+        # A flush triggers ingest listeners; if one re-entered flush() the
+        # recorder would deadlock or double-drain. The latch makes nested
+        # calls no-ops.
+        db = _db()
+        flight = db.obs.flight
+        flight.flush_every = 0
+        flight.record_query("exact", 0.01)
+        inner_rows = []
+        original_ensure = flight._ensure_baseline
+
+        def reenter():
+            inner_rows.append(flight.flush())
+            original_ensure()
+
+        flight._ensure_baseline = reenter
+        outer = flight.flush()
+        assert outer > 0
+        assert inner_rows == [0]

@@ -117,3 +117,33 @@ class TestExporters:
         m.inc("c", reason='say "hi"\nbye\\')
         text = m.to_prometheus_text()
         assert 'reason="say \\"hi\\"\\nbye\\\\"' in text
+
+    def test_prometheus_emits_help_before_every_type(self):
+        """Exposition conformance: every # TYPE line is preceded by a # HELP
+        line for the same metric (what promtool check metrics expects)."""
+        lines = self._registry().to_prometheus_text().splitlines()
+        type_indices = [i for i, line in enumerate(lines) if line.startswith("# TYPE ")]
+        assert type_indices  # the fixture registry has metrics of every kind
+        for i in type_indices:
+            metric = lines[i].split()[2]
+            assert lines[i - 1].startswith(f"# HELP {metric} "), lines[i - 1]
+
+    def test_prometheus_help_text_for_known_metrics(self):
+        m = MetricsRegistry()
+        m.inc("queries_total", route="exact")
+        text = m.to_prometheus_text()
+        assert "# HELP repro_queries_total Queries served, by route taken." in text
+
+    def test_prometheus_help_falls_back_for_unknown_metrics(self):
+        m = MetricsRegistry()
+        m.inc("made_up_metric_total")
+        text = m.to_prometheus_text()
+        assert "# HELP repro_made_up_metric_total " in text
+        assert "# TYPE repro_made_up_metric_total counter" in text
+
+    def test_prometheus_help_escapes_newlines(self):
+        # HELP escaping: backslash and newline only (quotes are legal).
+        from repro.obs.metrics import _help_text
+
+        assert _help_text("x") == "repro metric (no description registered)."
+        assert "\n" not in _help_text("queries_total")

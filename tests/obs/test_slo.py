@@ -1,0 +1,199 @@
+"""SLO engine: multi-window burn-rate alerting routed through health.
+
+The acceptance scenario for this subsystem: a latency cliff that started
+minutes ago trips the *fast* window (burn ≥ 14x) while the *slow* window —
+diluted by an hour of good service — stays under its 6x threshold.  The
+breach degrades the ``slo:<name>`` component in the health registry and is
+journaled; recovery clears both.
+"""
+
+import pytest
+
+from repro.obs.events import EventJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_SLOS, SLO, SLOEngine
+from repro.resilience.health import DEGRADED, HEALTHY, HealthRegistry
+
+
+class SettableClock:
+    def __init__(self, now: float = 100_000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _engine(slos=None, **kwargs):
+    clock = SettableClock()
+    journal = EventJournal()
+    health = HealthRegistry(journal=journal)
+    engine = SLOEngine(
+        health=health,
+        journal=journal,
+        metrics=MetricsRegistry(),
+        slos=slos or (SLO(name="latency", kind="latency", objective=0.99, threshold_seconds=0.1),),
+        clock=clock,
+        **kwargs,
+    )
+    return engine, clock, health, journal
+
+
+def _event_kinds(journal):
+    return [event.kind for event in journal.events()]
+
+
+class TestBurnWindows:
+    def test_fast_burn_trips_while_slow_burn_does_not(self):
+        engine, clock, health, journal = _engine()
+        # An hour of good service: 600 fast queries spread over the slow
+        # window but all older than the fast window's 300s cutoff.
+        for i in range(600):
+            clock.now = 100_000.0 - 3000.0 + i * (2600.0 / 600.0)
+            engine.observe_query(0.001)
+        clock.now = 100_000.0
+        assert not engine.evaluate()["latency"]["alerting"]
+
+        # Then a cliff: 30 straight slow queries in the last 10 seconds.
+        for i in range(30):
+            clock.now = 100_000.0 - 10.0 + i / 3.0
+            engine.observe_query(0.5)
+        clock.now = 100_000.0
+        report = engine.evaluate()["latency"]
+
+        fast, slow = report["windows"]["fast"], report["windows"]["slow"]
+        # Fast window holds only the cliff: 30/30 bad → burn 100x ≥ 14.
+        assert fast["bad"] == 30 and fast["events"] == 30
+        assert fast["burn_rate"] == pytest.approx(100.0)
+        assert fast["alerting"]
+        # Slow window dilutes it: 30/630 bad → burn ≈4.8x < 6.
+        assert slow["events"] == 630
+        assert slow["burn_rate"] == pytest.approx((30 / 630) / 0.01)
+        assert not slow["alerting"]
+
+        assert report["alerting"] and report["alert_window"] == "fast"
+        # The breach reached the health registry and the journal.
+        assert health.state("slo:latency") == DEGRADED
+        assert "burn" in health.reason("slo:latency")
+        burns = [e for e in journal.events() if e.kind == "slo-burn"]
+        assert len(burns) == 1
+        assert burns[0].fields["window"] == "fast"
+        assert engine.metrics.counter_value(
+            "slo_breaches_total", slo="latency", window="fast"
+        ) == 1.0
+
+    def test_recovery_clears_the_alert_and_health(self):
+        engine, clock, health, journal = _engine()
+        # Good history keeps the slow window diluted throughout.
+        for i in range(600):
+            clock.now = 100_000.0 - 3000.0 + i * (2600.0 / 600.0)
+            engine.observe_query(0.001)
+        for i in range(30):
+            clock.now = 100_000.0 - 10.0 + i / 3.0
+            engine.observe_query(0.5)
+        clock.now = 100_000.0
+        engine.evaluate()
+        assert health.state("slo:latency") == DEGRADED
+
+        # The cliff ages out of the fast window; good traffic keeps the
+        # event count above min_events so the all-clear is evidence-based.
+        clock.advance(200.0)
+        for _ in range(30):
+            engine.observe_query(0.001)
+        clock.advance(200.0)
+        report = engine.evaluate()["latency"]
+        assert not report["alerting"]
+        assert health.state("slo:latency") == HEALTHY
+        assert "slo-recovered" in _event_kinds(journal)
+
+    def test_min_events_gate_suppresses_noise(self):
+        # Two bad queries out of two is a 100% bad fraction — but two
+        # events prove nothing; no alert below min_events.
+        engine, clock, health, _ = _engine()
+        engine.observe_query(0.5)
+        engine.observe_query(0.5)
+        assert not engine.evaluate()["latency"]["alerting"]
+        assert health.state("slo:latency") == HEALTHY
+
+    def test_breach_fires_once_not_every_evaluation(self):
+        engine, clock, _, journal = _engine()
+        for i in range(30):
+            clock.now = 100_000.0 - 10.0 + i / 3.0
+            engine.observe_query(0.5)
+        clock.now = 100_000.0
+        engine.evaluate()
+        engine.evaluate()
+        engine.evaluate()
+        assert _event_kinds(journal).count("slo-burn") == 1
+
+
+class TestSignals:
+    def test_compliance_counts_only_audited_answers(self):
+        engine, clock, _, _ = _engine(
+            slos=(SLO(name="compliance", kind="compliance", objective=0.95),)
+        )
+        for _ in range(100):
+            engine.observe_query(0.01, violated=None)  # unaudited: no evidence
+        report = engine.evaluate()["compliance"]
+        assert report["windows"]["fast"]["events"] == 0
+
+        for _ in range(24):
+            engine.observe_query(0.01, violated=True)
+        report = engine.evaluate()["compliance"]
+        assert report["windows"]["fast"]["events"] == 24
+        assert report["alerting"]
+
+    def test_degraded_kind_tracks_the_flag(self):
+        engine, clock, health, _ = _engine(
+            slos=(SLO(name="degraded-serving", kind="degraded", objective=0.99),)
+        )
+        for _ in range(24):
+            engine.observe_query(0.001, degraded=True)
+        assert engine.evaluate()["degraded-serving"]["alerting"]
+        assert health.state("slo:degraded-serving") == DEGRADED
+
+    def test_latency_percentiles_in_report(self):
+        engine, clock, _, _ = _engine()
+        for i in range(1, 101):
+            engine.observe_query(i / 1000.0)
+        report = engine.report()
+        assert report["observed_queries"] == 100
+        assert report["latency_percentiles"]["p50"] == pytest.approx(0.050, abs=0.002)
+        assert report["latency_percentiles"]["p99"] == pytest.approx(0.099, abs=0.002)
+
+    def test_disabled_engine_observes_nothing(self):
+        engine, clock, _, _ = _engine()
+        engine.enabled = False
+        for _ in range(50):
+            engine.observe_query(9.9)
+        assert engine.report()["observed_queries"] == 0
+
+
+class TestDeclaration:
+    def test_default_slos_are_valid(self):
+        assert {slo.name for slo in DEFAULT_SLOS} == {
+            "latency",
+            "compliance",
+            "degraded-serving",
+        }
+
+    def test_objective_must_be_a_fraction(self):
+        with pytest.raises(ValueError, match="objective"):
+            SLO(name="x", kind="latency", objective=1.0, threshold_seconds=0.1)
+
+    def test_latency_requires_threshold(self):
+        with pytest.raises(ValueError, match="threshold_seconds"):
+            SLO(name="x", kind="latency", objective=0.99)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLO(name="x", kind="availability", objective=0.99)
+
+    def test_redefining_resets_tracking(self):
+        engine, clock, _, _ = _engine()
+        for _ in range(30):
+            engine.observe_query(0.5)
+        engine.define(SLO(name="latency", kind="latency", objective=0.99, threshold_seconds=0.1))
+        assert engine.evaluate()["latency"]["windows"]["fast"]["events"] == 0

@@ -58,6 +58,8 @@ ALLOWLIST: dict[str, set[str]] = {
     # are parked here *before* the pool forks so children get the closures
     # copy-on-write; entries are lock-guarded and emptied in a finally.
     "src/repro/parallel/pool.py": {"_TASK_REGISTRY", "_registry_lock"},
+    # Read-only metric-name -> HELP-text table for Prometheus exposition.
+    "src/repro/obs/metrics.py": {"_METRIC_HELP"},
 }
 
 #: Names whose module scope is conventional and never mutated.

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""repro_top: a live terminal dashboard over ``LawsDatabase.ops_report()``.
+
+A ``top``-style view of a running (or demo) instance: query throughput by
+route, SLO burn rates with latency percentiles, cost-calibration
+provenance, the flight recorder's self-telemetry accounting, and component
+health — redrawn in place with ANSI escapes.
+
+Modes:
+
+* ``--demo`` (default when run standalone): builds an in-process demo
+  database, drives synthetic query traffic between frames, and renders the
+  live report — an honest end-to-end exercise of the ops surface.
+* ``--report FILE``: renders a saved ``ops_report()`` JSON document once
+  (what the CI artifact upload produces) — no database needed.
+
+Non-interactive use: ``--frames N`` stops after N redraws, ``--once``
+renders a single frame without clearing the screen (safe in pipelines and
+CI logs), ``--interval`` sets the refresh period.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+_CLEAR = "\x1b[2J\x1b[H"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RESET = "\x1b[0m"
+
+
+def _style(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.2f}s"
+
+
+def render(report: dict[str, Any], color: bool = True) -> str:
+    """Render one ops report as a fixed-layout text frame."""
+    lines: list[str] = []
+    queries = report.get("queries", {})
+    lines.append(_style("repro — self-observing warehouse", _BOLD, color))
+    lines.append(
+        f"queries {queries.get('total', 0):.0f}  "
+        f"errors {queries.get('errors', 0):.0f}  "
+        f"fallbacks {queries.get('fallbacks', 0):.0f}  "
+        f"degraded {queries.get('degraded', 0):.0f}  "
+        f"verified {queries.get('verified', 0):.0f}  "
+        f"slow {queries.get('slow', 0)}"
+    )
+    by_route = queries.get("by_route", {})
+    if by_route:
+        routes = "  ".join(
+            f"{route or '(none)'}={count:.0f}"
+            for route, count in sorted(by_route.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(_style(f"  routes: {routes}", _DIM, color))
+
+    slo = report.get("slo", {})
+    percentiles = slo.get("latency_percentiles", {})
+    lines.append("")
+    lines.append(
+        _style("SLOs", _BOLD, color)
+        + f"  p50 {_fmt_seconds(percentiles.get('p50'))}"
+        + f"  p99 {_fmt_seconds(percentiles.get('p99'))}"
+    )
+    for name, entry in sorted(slo.get("objectives", {}).items()):
+        alerting = entry.get("alerting", False)
+        marker = _style("BURN", _RED, color) if alerting else _style("ok", _GREEN, color)
+        windows = entry.get("windows", {})
+        burns = "  ".join(
+            f"{label} {window.get('burn_rate', 0.0):.1f}x/"
+            f"{window.get('burn_threshold', 0.0):g} "
+            f"({window.get('bad', 0)}/{window.get('events', 0)} bad)"
+            for label, window in windows.items()
+        )
+        lines.append(
+            f"  {name:<18} {marker:<14} objective {entry.get('objective', 0.0):g}  {burns}"
+        )
+
+    calibration = report.get("calibration", {})
+    lines.append("")
+    lines.append(
+        _style("Cost model", _BOLD, color)
+        + f"  {calibration.get('source', '?')}"
+        + f"  recalibrations={calibration.get('recalibrations', 0)}"
+        + f"  traced={calibration.get('observed_traces', 0)}"
+    )
+    for field, estimate in sorted(calibration.get("estimates", {}).items()):
+        observed = estimate.get("ewma_seconds_per_row")
+        planned = estimate.get("planned_seconds_per_row")
+        if observed is None or not planned:
+            continue
+        ratio = observed / planned
+        code = _YELLOW if (ratio > 1.25 or ratio < 0.8) else _DIM
+        lines.append(
+            _style(
+                f"  {field:<28} observed/planned {ratio:5.2f}x "
+                f"({estimate.get('samples', 0)} sample(s))",
+                code,
+                color,
+            )
+        )
+
+    flight = report.get("flight", {})
+    if flight:
+        lines.append("")
+        lines.append(
+            _style("Flight recorder", _BOLD, color)
+            + f"  recorded={flight.get('recorded_queries', 0)}"
+            + f"  pending={flight.get('pending_queries', 0)}"
+            + f"  flushes={flight.get('flushes', 0)}"
+            + f"  rows={flight.get('flushed_rows', 0)}"
+            + (
+                "  watching-drift"
+                if flight.get("watching_latency_drift")
+                else "  (no baseline yet)"
+            )
+        )
+
+    health = report.get("health", {})
+    components = health.get("components", health)
+    degraded = []
+    if isinstance(components, dict):
+        for name, entry in components.items():
+            state = entry.get("state", entry) if isinstance(entry, dict) else entry
+            if isinstance(state, str) and state not in ("healthy", "HEALTHY"):
+                degraded.append((name, state))
+    lines.append("")
+    if degraded:
+        lines.append(_style("Health", _BOLD, color) + "  " + _style("DEGRADED", _RED, color))
+        for name, state in sorted(degraded):
+            lines.append(_style(f"  {name}: {state}", _RED, color))
+    else:
+        lines.append(_style("Health", _BOLD, color) + "  " + _style("all healthy", _GREEN, color))
+
+    events = report.get("events", {})
+    if events:
+        top = sorted(events.items(), key=lambda kv: -kv[1])[:8]
+        lines.append("")
+        lines.append(
+            _style("Events", _BOLD, color)
+            + "  "
+            + "  ".join(f"{kind}={count}" for kind, count in top)
+        )
+    return "\n".join(lines)
+
+
+def _build_demo_db():
+    from repro import AccuracyContract, LawsDatabase
+
+    db = LawsDatabase(verify_sample_fraction=0.25, verify_seed=7)
+    n = 2000
+    db.load_dict(
+        "sensors",
+        {
+            "t": [float(i % 500) for i in range(n)],
+            "g": [i % 4 for i in range(n)],
+            "reading": [3.0 * (i % 500) + 10.0 * (i % 4) for i in range(n)],
+        },
+    )
+    db.fit("sensors", "reading ~ linear(t)", group_by="g")
+    contract = AccuracyContract(max_relative_error=0.1)
+    return db, contract
+
+
+def _drive_demo(db, contract, round_index: int) -> None:
+    from repro import AccuracyContract
+
+    db.query("SELECT g, avg(reading) AS m FROM sensors GROUP BY g", contract)
+    db.query("SELECT avg(reading) AS m FROM sensors", contract)
+    db.query("SELECT count(*) AS n FROM sensors", AccuracyContract(mode="exact"))
+    if round_index % 3 == 2:
+        db.ingest(
+            "sensors",
+            [(float(round_index % 500), round_index % 4, 3.0 * (round_index % 500))],
+            flush=True,
+        )
+    db.flush_telemetry()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", type=Path, help="render a saved ops_report() JSON once")
+    parser.add_argument("--demo", action="store_true", help="drive an in-process demo database")
+    parser.add_argument("--interval", type=float, default=1.0, help="refresh period (seconds)")
+    parser.add_argument("--frames", type=int, default=0, help="stop after N frames (0 = forever)")
+    parser.add_argument("--once", action="store_true", help="single frame, no screen clearing")
+    parser.add_argument("--no-color", action="store_true", help="disable ANSI colors")
+    args = parser.parse_args(argv)
+    color = not args.no_color and sys.stdout.isatty()
+
+    if args.report is not None:
+        report = json.loads(args.report.read_text())
+        print(render(report, color=color))
+        return 0
+
+    # Demo mode is the default interactive behaviour: there is no external
+    # server to attach to — the database lives in-process.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    db, contract = _build_demo_db()
+    frame = 0
+    try:
+        while True:
+            _drive_demo(db, contract, frame)
+            text = render(db.ops_report(), color=color)
+            if args.once:
+                print(text)
+                return 0
+            sys.stdout.write(_CLEAR + text + "\n")
+            sys.stdout.flush()
+            frame += 1
+            if args.frames and frame >= args.frames:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
